@@ -1,0 +1,34 @@
+"""E4 benchmark — Theorem 21: all-or-nothing optimum toward e/(2e-1)."""
+
+import math
+
+import pytest
+
+from repro.bounds.instances import theorem21_analysis, theorem21_path_instance
+from repro.subsidies import greedy_aon_sne, solve_aon_sne_exact
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_exact_branch_and_bound(benchmark, n):
+    _, state = theorem21_path_instance(n)
+    res = benchmark(solve_aon_sne_exact, state)
+    assert res.optimal
+    assert res.cost == pytest.approx(theorem21_analysis(n).optimal_cost, abs=1e-6)
+
+
+def test_greedy_heuristic(benchmark):
+    _, state = theorem21_path_instance(12)
+    res = benchmark(greedy_aon_sne, state)
+    assert res.verified
+    assert res.cost >= theorem21_analysis(12).optimal_cost - 1e-9
+
+
+def test_closed_form_series(benchmark):
+    limit = math.e / (2 * math.e - 1)
+
+    def series():
+        return [theorem21_analysis(n).optimal_fraction for n in (20, 100, 1000, 10_000)]
+
+    fracs = benchmark(series)
+    assert fracs[-1] == pytest.approx(limit, abs=5e-3)
+    assert all(f > 1 / math.e for f in fracs)

@@ -1,0 +1,28 @@
+"""E5 benchmark — Lemma 4: building and checking Bypass gadgets."""
+
+import pytest
+
+from repro.games.equilibrium import best_deviation_from_tree, check_equilibrium
+from repro.hardness.bypass import build_bypass_game, connector_deviates
+
+
+@pytest.mark.parametrize("kappa", [5, 20])
+def test_build_and_threshold(benchmark, kappa):
+    def kernel():
+        out = []
+        for beta in (kappa - 1, kappa):
+            game, state, gadget = build_bypass_game(kappa, beta)
+            dev = best_deviation_from_tree(state, gadget.connector)
+            out.append(dev.deviation_cost < dev.current_cost - 1e-12)
+        return out
+
+    below, at = benchmark(kernel)
+    assert below and not at
+    assert connector_deviates(kappa, kappa - 1)
+    assert not connector_deviates(kappa, kappa)
+
+
+def test_full_equilibrium_check(benchmark):
+    game, state, gadget = build_bypass_game(kappa=12, beta=12)
+    report = benchmark(check_equilibrium, state)
+    assert report.is_equilibrium

@@ -1,0 +1,26 @@
+"""E3 benchmark — Theorem 11: the cycle lower-bound series toward 1/e."""
+
+import math
+
+import pytest
+
+from repro.bounds.instances import theorem11_cycle_instance, theorem11_optimal_fraction
+from repro.subsidies import solve_sne_broadcast_lp3
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_cycle_lp_optimum(benchmark, n):
+    _, state = theorem11_cycle_instance(n)
+    res = benchmark(solve_sne_broadcast_lp3, state)
+    assert res.verified
+    assert res.cost / n == pytest.approx(theorem11_optimal_fraction(n), abs=1e-6)
+    assert res.cost / n < 1 / math.e
+
+
+def test_closed_form_series(benchmark):
+    def series():
+        return [theorem11_optimal_fraction(n) for n in (8, 32, 128, 512, 2048, 8192)]
+
+    fracs = benchmark(series)
+    assert all(b > a for a, b in zip(fracs, fracs[1:]))
+    assert fracs[-1] == pytest.approx(1 / math.e, abs=1e-3)

@@ -1,0 +1,26 @@
+"""E9 benchmark — best-response dynamics and the PoS <= H_n descent."""
+
+import pytest
+
+from repro.bounds.harmonic import harmonic
+from repro.games.broadcast import BroadcastGame
+from repro.games.dynamics import best_response_dynamics, equilibrium_from_optimum
+from repro.graphs.generators import random_connected_gnp
+
+
+@pytest.mark.parametrize("n", [10, 18])
+def test_descent_from_optimum(benchmark, n):
+    g = random_connected_gnp(n, 0.35, seed=n)
+    game = BroadcastGame(g, root=0)
+    res = benchmark(equilibrium_from_optimum, game)
+    assert res.converged
+    assert res.final_social_cost <= harmonic(game.n_players) * game.mst_weight() + 1e-9
+
+
+def test_brd_from_shortest_paths(benchmark):
+    g = random_connected_gnp(14, 0.4, seed=3)
+    game = BroadcastGame(g, root=0)
+    nd = game.to_network_design_game()
+    start = nd.shortest_path_state()
+    res = benchmark(best_response_dynamics, start)
+    assert res.converged

@@ -1,0 +1,77 @@
+"""E6/E7/E8 benchmark — the three hardness reductions, end to end."""
+
+import pytest
+
+from repro.games.equilibrium import check_equilibrium
+from repro.graphs.spanning_trees import enumerate_minimum_spanning_trees
+from repro.hardness.binpacking_reduction import any_mst_equilibrium, build_theorem3_instance
+from repro.hardness.independent_set import (
+    build_theorem5_instance,
+    equilibrium_weight,
+    tree_from_independent_set,
+)
+from repro.hardness.sat_reduction import build_theorem12_instance, light_enforcement_exists
+from repro.hardness.solvers import (
+    BinPackingInstance,
+    CNFFormula,
+    max_independent_set,
+    petersen_graph,
+)
+
+
+def test_theorem3_solvable_roundtrip(benchmark):
+    packing = BinPackingInstance((6, 2, 4, 4), 2, 8)
+
+    def kernel():
+        inst = build_theorem3_instance(packing)
+        return any_mst_equilibrium(inst)
+
+    state = benchmark(kernel)
+    assert state is not None
+
+
+def test_theorem3_unsolvable_exhaustive(benchmark):
+    packing = BinPackingInstance((4, 4, 4), 2, 6)
+    inst = build_theorem3_instance(packing)
+
+    def kernel():
+        return sum(
+            check_equilibrium(inst.game.tree_state(edges)).is_equilibrium
+            for edges in enumerate_minimum_spanning_trees(inst.game.graph)
+        )
+
+    assert benchmark(kernel) == 0
+
+
+def test_theorem5_petersen(benchmark):
+    inst = build_theorem5_instance(petersen_graph())
+    mis = max_independent_set(inst.source)
+
+    def kernel():
+        state = tree_from_independent_set(inst, mis)
+        assert check_equilibrium(state).is_equilibrium
+        return state.social_cost()
+
+    weight = benchmark(kernel)
+    assert weight == pytest.approx(equilibrium_weight(inst, len(mis)))
+
+
+def test_theorem12_satisfiable(benchmark):
+    formula = CNFFormula.from_lists([[1, 2, 3], [-1, 2, 4]])
+
+    def kernel():
+        inst = build_theorem12_instance(formula)
+        return light_enforcement_exists(inst)
+
+    ok, chosen = benchmark(kernel)
+    assert ok and len(chosen) == 6
+
+
+def test_theorem12_unsatisfiable(benchmark):
+    clauses = [
+        [a * 1, b * 2, c * 3] for a in (1, -1) for b in (1, -1) for c in (1, -1)
+    ]
+    formula = CNFFormula.from_lists(clauses)
+    inst = build_theorem12_instance(formula)
+    ok, _ = benchmark(light_enforcement_exists, inst)
+    assert not ok

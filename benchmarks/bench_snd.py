@@ -1,0 +1,29 @@
+"""E11 benchmark — STABLE NETWORK DESIGN solvers under a budget."""
+
+import pytest
+
+from repro.games.broadcast import BroadcastGame
+from repro.graphs.generators import random_tree_plus_chords
+from repro.subsidies import snd_heuristic, solve_snd_exact
+
+
+@pytest.fixture(scope="module")
+def game():
+    g = random_tree_plus_chords(7, 3, seed=19, chord_factor=1.05)
+    return BroadcastGame(g, root=0)
+
+
+@pytest.mark.parametrize("budget_frac", [0.0, 0.2])
+def test_exact_snd(benchmark, game, budget_frac):
+    budget = budget_frac * game.mst_weight()
+    res = benchmark(solve_snd_exact, game, budget)
+    assert res is not None
+    assert res.subsidy_cost <= budget + 1e-6
+    assert res.weight >= game.mst_weight() - 1e-9
+
+
+def test_heuristic_snd(benchmark, game):
+    budget = 0.2 * game.mst_weight()
+    exact = solve_snd_exact(game, budget)
+    res = benchmark(snd_heuristic, game, budget)
+    assert res.weight >= exact.weight - 1e-9

@@ -1,0 +1,51 @@
+"""E1 benchmark — Theorem 1: the three SNE LP formulations.
+
+Measures each formulation on a fixed 20-node broadcast instance and asserts
+they produce the same optimal subsidy cost.
+"""
+
+import pytest
+
+from repro.games.broadcast import BroadcastGame
+from repro.graphs.generators import random_tree_plus_chords
+from repro.subsidies import (
+    solve_sne_broadcast_lp3,
+    solve_sne_cutting_plane_lp1,
+    solve_sne_polynomial_lp2,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    g = random_tree_plus_chords(20, 10, seed=42, chord_factor=1.1)
+    game = BroadcastGame(g, root=0)
+    state = game.mst_state()
+    reference = solve_sne_broadcast_lp3(state).cost
+    return state, reference
+
+
+def test_lp3_broadcast(benchmark, instance):
+    state, reference = instance
+    res = benchmark(solve_sne_broadcast_lp3, state)
+    assert res.verified
+    assert res.cost == pytest.approx(reference, abs=1e-6)
+
+
+def test_lp2_polynomial(benchmark, instance):
+    state, reference = instance
+    res = benchmark(solve_sne_polynomial_lp2, state)
+    assert res.verified
+    assert res.cost == pytest.approx(reference, abs=1e-5)
+
+
+def test_lp1_cutting_planes(benchmark, instance):
+    state, reference = instance
+    res = benchmark(solve_sne_cutting_plane_lp1, state)
+    assert res.verified
+    assert res.cost == pytest.approx(reference, abs=1e-5)
+
+
+def test_lp3_simplex_backend(benchmark, instance):
+    state, reference = instance
+    res = benchmark(solve_sne_broadcast_lp3, state, "simplex")
+    assert res.cost == pytest.approx(reference, abs=1e-5)

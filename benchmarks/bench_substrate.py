@@ -1,0 +1,71 @@
+"""Substrate benchmarks — the kernels everything else leans on.
+
+Not tied to a single paper artefact; tracks the cost of the primitives
+(MST, Dijkstra, equilibrium check, spanning-tree enumeration, simplex) so
+regressions in the substrate surface before they distort the experiment
+benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.games.broadcast import BroadcastGame
+from repro.games.equilibrium import check_equilibrium
+from repro.graphs import dijkstra, kruskal_mst, prim_mst
+from repro.graphs.generators import complete_graph, random_connected_gnp
+from repro.graphs.spanning_trees import count_spanning_trees, enumerate_spanning_trees
+from repro.lp import LinearProgram, simplex_solve, solve_lp
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    return random_connected_gnp(300, 0.05, seed=0)
+
+
+def test_kruskal(benchmark, big_graph):
+    tree = benchmark(kruskal_mst, big_graph)
+    assert len(tree) == big_graph.num_nodes - 1
+
+
+def test_prim(benchmark, big_graph):
+    tree = benchmark(prim_mst, big_graph)
+    assert big_graph.subset_weight(tree) == pytest.approx(
+        big_graph.subset_weight(kruskal_mst(big_graph))
+    )
+
+
+def test_dijkstra(benchmark, big_graph):
+    dist, _ = benchmark(dijkstra, big_graph, 0)
+    assert len(dist) == big_graph.num_nodes
+
+
+def test_equilibrium_check(benchmark, big_graph):
+    game = BroadcastGame(big_graph, root=0)
+    state = game.mst_state()
+    benchmark(check_equilibrium, state)
+
+
+def test_spanning_tree_enumeration(benchmark):
+    g = complete_graph(6)
+    trees = benchmark(lambda: list(enumerate_spanning_trees(g)))
+    assert len(trees) == count_spanning_trees(g) == 6**4
+
+
+def _random_lp(seed: int, n: int = 12, m: int = 20) -> LinearProgram:
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(m, n))
+    b = A @ rng.uniform(0.2, 1.0, size=n) + rng.uniform(0.1, 1.0, size=m)
+    lp = LinearProgram(n_vars=n, c=rng.normal(size=n), upper=np.full(n, 5.0))
+    for row, rhs in zip(A, b):
+        lp.add_constraint(row, rhs)
+    return lp
+
+
+def test_simplex_from_scratch(benchmark):
+    res = benchmark(lambda: simplex_solve(_random_lp(1)))
+    assert res.ok
+
+
+def test_highs_backend(benchmark):
+    res = benchmark(lambda: solve_lp(_random_lp(1), "highs"))
+    assert res.ok

@@ -1,0 +1,56 @@
+"""E2/E10 benchmark — Theorem 6 constructive subsidies and Figure 4 data.
+
+Regenerates the wgt(T)/e assignment on growing random graphs and the
+virtual-cost series of Figure 4.
+"""
+
+import math
+
+import pytest
+
+from repro.games.broadcast import BroadcastGame
+from repro.games.equilibrium import check_equilibrium
+from repro.graphs.generators import random_connected_gnp
+from repro.subsidies import theorem6_subsidies
+from repro.subsidies.virtual_cost import (
+    claim10_closed_form,
+    pack_subsidies_on_path,
+    path_virtual_cost,
+)
+
+
+@pytest.mark.parametrize("n", [20, 60, 150])
+def test_theorem6_constructive(benchmark, n):
+    g = random_connected_gnp(n, 0.2, seed=n)
+    game = BroadcastGame(g, root=0)
+    state = game.mst_state()
+    res = benchmark(theorem6_subsidies, state)
+    assert res.cost == pytest.approx(res.bound, rel=1e-6)
+    assert res.fraction == pytest.approx(1 / math.e, rel=1e-6)
+
+
+def test_theorem6_enforcement_check(benchmark):
+    g = random_connected_gnp(60, 0.2, seed=7)
+    game = BroadcastGame(g, root=0)
+    state = game.mst_state()
+    res = theorem6_subsidies(state)
+    report = benchmark(check_equilibrium, state, res.subsidies, 1e-7)
+    assert report.is_equilibrium
+
+
+def test_figure4_virtual_cost_series(benchmark):
+    def series():
+        c = 1.0
+        mults = list(range(1, 7))
+        rows = []
+        for tenths in range(0, 61):
+            total = tenths / 10
+            y = pack_subsidies_on_path(c, mults, total)
+            rows.append((total, path_virtual_cost(c, mults, y)))
+        return rows
+
+    rows = benchmark(series)
+    # Spot-check against the Claim 10 closed form at the figure's y = 1.6.
+    at_16 = dict(rows)[1.6]
+    assert at_16 == pytest.approx(claim10_closed_form(1.0, 6, 6, 1.6))
+    assert at_16 == pytest.approx(math.log(6 / 1.6))

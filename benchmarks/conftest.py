@@ -1,0 +1,6 @@
+"""Shared benchmark configuration.
+
+Each ``bench_*.py`` regenerates one paper artefact (tables/figures are the
+theorem-level quantities; see DESIGN.md's experiment index) and asserts its
+shape while pytest-benchmark measures the cost of the regeneration kernel.
+"""

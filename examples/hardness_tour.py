@@ -1,0 +1,86 @@
+"""A guided tour of the paper's hardness constructions, fully executed.
+
+1. The Bypass gadget (Lemma 4): a tunable deviation threshold.
+2. Theorem 3: bin-packing instances hidden inside MST equilibria.
+3. Theorem 12: a SAT solver decides whether cheap (light) all-or-nothing
+   subsidies exist — with exact rational arithmetic.
+
+Run:  python examples/hardness_tour.py
+"""
+
+from repro.games.equilibrium import best_deviation_from_tree, check_equilibrium
+from repro.hardness.bypass import build_bypass_game
+from repro.hardness.binpacking_reduction import (
+    any_mst_equilibrium,
+    build_theorem3_instance,
+    packing_from_tree,
+)
+from repro.hardness.sat_reduction import (
+    build_theorem12_instance,
+    light_enforcement_exists,
+)
+from repro.hardness.solvers import BinPackingInstance, CNFFormula
+
+
+def tour_bypass() -> None:
+    print("== 1. Bypass gadget (Lemma 4) ==")
+    kappa = 5
+    for beta in (3, 5, 7):
+        game, state, gadget = build_bypass_game(kappa, beta)
+        dev = best_deviation_from_tree(state, gadget.connector)
+        verdict = "deviates" if dev.deviation_cost < dev.current_cost - 1e-12 else "stays"
+        print(
+            f"  capacity {kappa}, attached load {beta}: connector pays "
+            f"{dev.current_cost:.4f} on the path vs {dev.deviation_cost:.4f} "
+            f"on the bypass -> {verdict}"
+        )
+    print("  (threshold exactly at beta = kappa, as Lemma 4 states)\n")
+
+
+def tour_binpacking() -> None:
+    print("== 2. Theorem 3: BIN PACKING inside MST equilibria ==")
+    for sizes, bins_, cap in [((4, 2, 2, 4), 2, 6), ((4, 4, 4), 2, 6)]:
+        inst = build_theorem3_instance(BinPackingInstance(sizes, bins_, cap))
+        state = any_mst_equilibrium(inst)
+        if state is None:
+            print(f"  items {sizes} into {bins_} bins of {cap}: "
+                  "NO equilibrium MST exists (packing unsolvable)")
+        else:
+            allocation = packing_from_tree(inst, state)
+            print(f"  items {sizes} into {bins_} bins of {cap}: equilibrium MST "
+                  f"found, encodes allocation {allocation}")
+    print()
+
+
+def tour_sat() -> None:
+    print("== 3. Theorem 12: light subsidies decide satisfiability ==")
+    sat = CNFFormula.from_lists([[1, 2, 3], [-1, 2, 4]])
+    unsat = CNFFormula.from_lists(
+        [[a, b, c] for a in (1, -1) for b in (2, -2) for c in (3, -3)]
+    )
+    for name, formula in (("satisfiable", sat), ("unsatisfiable", unsat)):
+        inst = build_theorem12_instance(formula)
+        ok, chosen = light_enforcement_exists(inst)
+        if ok:
+            print(
+                f"  {name} formula ({formula.n_clauses} clauses): light "
+                f"assignment of cost 3|C| = {3 * formula.n_clauses} enforces the "
+                f"MST over {inst.game.n_players:,} players"
+            )
+        else:
+            print(
+                f"  {name} formula ({formula.n_clauses} clauses): no light "
+                f"assignment works; any enforcement must fully fund a heavy "
+                f"edge of weight >= K = {float(inst.K):g}"
+            )
+    print("  (this K / 3|C| gap is the paper's any-factor inapproximability)")
+
+
+def main() -> None:
+    tour_bypass()
+    tour_binpacking()
+    tour_sat()
+
+
+if __name__ == "__main__":
+    main()

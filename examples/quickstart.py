@@ -1,0 +1,69 @@
+"""Quickstart: enforce a minimum spanning tree with subsidies.
+
+Builds a tiny broadcast game where the MST is *not* an equilibrium, then
+stabilizes it three ways:
+
+1. the LP-optimal subsidies (Theorem 1 / LP (3)),
+2. the constructive Theorem 6 assignment (cost exactly wgt(T)/e),
+3. an all-or-nothing assignment (Section 5).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.games import BroadcastGame, check_equilibrium
+from repro.graphs import Graph
+from repro.subsidies import (
+    solve_aon_sne_exact,
+    solve_sne_broadcast_lp3,
+    theorem6_subsidies,
+)
+
+
+def main() -> None:
+    # A path 0-1-2-3 (the MST) with two tempting shortcuts to the root.
+    g = Graph.from_edges(
+        [
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (0, 2, 1.3),  # shortcut for player 2
+            (0, 3, 1.6),  # shortcut for player 3
+        ]
+    )
+    game = BroadcastGame(g, root=0)
+    mst = game.mst_state()
+    print(f"MST weight: {mst.social_cost():.3f}")
+
+    report = check_equilibrium(mst, find_all=True)
+    print(f"MST is an equilibrium without subsidies: {report.is_equilibrium}")
+    for dev in report.deviations:
+        print(
+            f"  player {dev.player} pays {dev.current_cost:.3f} but could pay "
+            f"{dev.deviation_cost:.3f} via {dev.path_nodes}"
+        )
+
+    # 1. Optimal fractional subsidies (Theorem 1, broadcast LP (3)).
+    lp = solve_sne_broadcast_lp3(mst)
+    print(f"\nLP-optimal subsidies: cost {lp.cost:.4f} "
+          f"({lp.fraction_of_target(mst.social_cost()):.1%} of wgt(T))")
+    for edge in lp.subsidies:
+        print(f"  subsidize {edge}: {lp.subsidies[edge]:.4f}")
+    assert check_equilibrium(mst, lp.subsidies, tol=1e-6).is_equilibrium
+
+    # 2. The Theorem 6 constructive assignment: always exactly wgt(T)/e.
+    constructive = theorem6_subsidies(mst)
+    print(f"\nTheorem 6 constructive: cost {constructive.cost:.4f} "
+          f"(= wgt(T)/e = {constructive.bound:.4f})")
+    assert check_equilibrium(mst, constructive.subsidies, tol=1e-7).is_equilibrium
+
+    # 3. All-or-nothing: links can only be fully funded.
+    aon = solve_aon_sne_exact(mst)
+    print(f"\nAll-or-nothing optimum: cost {aon.cost:.4f} "
+          f"(fully funds {list(aon.subsidies.subsidized_edges())})")
+    assert aon.verified
+
+    print("\nAll three assignments make the MST a Nash equilibrium.")
+
+
+if __name__ == "__main__":
+    main()

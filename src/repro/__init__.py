@@ -1,0 +1,20 @@
+"""repro — reproduction of *Enforcing efficient equilibria in network design
+games via subsidies* (Augustine, Caragiannis, Fanelli, Kalaitzis, SPAA 2012).
+
+Public API highlights
+---------------------
+- :class:`repro.graphs.Graph` and the graph substrate,
+- :class:`repro.games.NetworkDesignGame` / :class:`repro.games.BroadcastGame`,
+- SNE solvers in :mod:`repro.subsidies` (LP formulations (1)-(3) of the paper,
+  the Theorem 6 constructive ``wgt(T)/e`` algorithm, all-or-nothing solvers),
+- SND solvers and heuristics,
+- hardness-reduction constructors in :mod:`repro.hardness`,
+- lower-bound instance families and constants in :mod:`repro.bounds`,
+- the experiment harness in :mod:`repro.experiments` (CLI: ``repro-experiments``).
+"""
+
+__version__ = "1.0.0"
+
+from repro import graphs, utils
+
+__all__ = ["graphs", "utils", "__version__"]

@@ -1,0 +1,36 @@
+"""Analytic bounds, constants and lower-bound instance families.
+
+* :mod:`repro.bounds.harmonic` — harmonic numbers (exact, vectorized, and
+  asymptotic for the astronomically large Theorem 12 constants).
+* :mod:`repro.bounds.constants` — the paper's headline constants.
+* :mod:`repro.bounds.instances` — the Theorem 11 cycle family and the
+  Theorem 21 path-with-shortcuts family.
+"""
+
+from repro.bounds.harmonic import harmonic, harmonic_array, harmonic_diff
+from repro.bounds.constants import (
+    FRACTIONAL_SUBSIDY_BOUND,
+    AON_SUBSIDY_BOUND,
+    POS_INAPPROX_RATIO,
+    pos_upper_bound,
+)
+from repro.bounds.instances import (
+    theorem11_cycle_instance,
+    theorem11_optimal_fraction,
+    theorem21_path_instance,
+    theorem21_fraction_limit,
+)
+
+__all__ = [
+    "harmonic",
+    "harmonic_array",
+    "harmonic_diff",
+    "FRACTIONAL_SUBSIDY_BOUND",
+    "AON_SUBSIDY_BOUND",
+    "POS_INAPPROX_RATIO",
+    "pos_upper_bound",
+    "theorem11_cycle_instance",
+    "theorem11_optimal_fraction",
+    "theorem21_path_instance",
+    "theorem21_fraction_limit",
+]

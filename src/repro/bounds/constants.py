@@ -1,0 +1,37 @@
+"""The paper's headline constants."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds.harmonic import harmonic
+
+#: Theorem 6 / Theorem 11 — subsidies of ``wgt(T)/e`` suffice (and may be
+#: needed) to enforce an MST as an equilibrium: 1/e ~ 0.3679 ("37%").
+FRACTIONAL_SUBSIDY_BOUND: float = 1.0 / math.e
+
+#: Theorem 21 — all-or-nothing subsidies may need ``e/(2e-1)`` of the MST
+#: weight: ~0.6127 ("61%").
+AON_SUBSIDY_BOUND: float = math.e / (2.0 * math.e - 1.0)
+
+#: Theorem 5 — approximating the broadcast price of stability below this
+#: ratio is NP-hard.
+POS_INAPPROX_RATIO: float = 571.0 / 570.0
+
+
+def pos_upper_bound(n_players: int) -> float:
+    """``H_n``: the general price-of-stability upper bound of Anshelevich
+    et al. used as the reference line in the potential-descent experiment."""
+    return harmonic(n_players)
+
+
+def theorem5_yes_weight(k: float, delta: float, eps: float) -> float:
+    """Best-equilibrium weight (per ``k``) when the SAT instance is
+    satisfiable in the Theorem 5 reduction: ``570 + 140*delta + (1-delta)*eps``."""
+    return 570.0 + 140.0 * delta + (1.0 - delta) * eps
+
+
+def theorem5_no_weight(k: float, delta: float, eps: float) -> float:
+    """Best-equilibrium weight lower bound (per ``k``) when unsatisfiable:
+    ``571 + 139*delta - (1-delta)*eps``."""
+    return 571.0 + 139.0 * delta - (1.0 - delta) * eps

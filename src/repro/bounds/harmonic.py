@@ -1,0 +1,81 @@
+"""Harmonic numbers.
+
+``H_n = 1 + 1/2 + ... + 1/n`` appears everywhere in the paper: Rosenthal's
+potential, the ``PoS <= H_n`` bound, the Bypass gadget thresholds
+``H_{kappa+l} - H_kappa`` and the Theorem 11 calculation.  Small arguments
+use a cached exact cumulative sum (vectorized); huge arguments (the
+Theorem 12 constants reach ``n_1 ~ 10^368``) switch to the asymptotic
+expansion ``H_n = ln n + gamma + 1/(2n) - 1/(12 n^2) + ...`` whose error is
+far below any tolerance we use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+#: Euler-Mascheroni constant.
+EULER_GAMMA = 0.5772156649015328606
+
+_CACHE_LIMIT = 1 << 20
+_cache = np.concatenate([[0.0], np.cumsum(1.0 / np.arange(1, 4097))])
+
+
+def _extend_cache(n: int) -> None:
+    global _cache
+    size = len(_cache)
+    if n < size:
+        return
+    new_n = min(_CACHE_LIMIT, max(n + 1, 2 * size))
+    extra = np.cumsum(1.0 / np.arange(size, new_n)) + _cache[-1]
+    _cache = np.concatenate([_cache, extra])
+
+
+def harmonic(n: Union[int, float]) -> float:
+    """The n-th harmonic number ``H_n`` (``H_0 = 0``).
+
+    Exact cumulative sum for moderate ``n``; asymptotic expansion beyond
+    2^20 (absolute error < 1e-26 there).  Accepts Python bigints.
+    """
+    if n < 0:
+        raise ValueError(f"harmonic number undefined for n={n}")
+    if n == 0:
+        return 0.0
+    if n < _CACHE_LIMIT:
+        ni = int(n)
+        _extend_cache(ni)
+        return float(_cache[ni])
+    # Asymptotic expansion.  math.log handles arbitrary-precision ints
+    # natively; float(n) would overflow for the Theorem 12 bigints, so the
+    # 1/(2n) correction term is dropped once it is below double precision.
+    ln_n = math.log(n)
+    try:
+        inv = 1.0 / float(n)
+    except OverflowError:
+        inv = 0.0
+    return ln_n + EULER_GAMMA + inv / 2 - inv * inv / 12
+
+
+def harmonic_array(n_max: int) -> np.ndarray:
+    """Vector ``[H_0, H_1, ..., H_{n_max}]`` (length ``n_max + 1``)."""
+    if n_max < 0:
+        raise ValueError("n_max must be >= 0")
+    if n_max >= _CACHE_LIMIT:
+        raise ValueError("harmonic_array supports n_max < 2^20; use harmonic()")
+    _extend_cache(n_max)
+    return _cache[: n_max + 1].copy()
+
+
+def harmonic_diff(n: Union[int, float], k: Union[int, float]) -> float:
+    """``H_n - H_k`` computed stably (both exact or both asymptotic)."""
+    if k > n:
+        return -harmonic_diff(k, n)
+    if n < _CACHE_LIMIT:
+        ni, ki = int(n), int(k)
+        _extend_cache(ni)
+        return float(_cache[ni] - _cache[ki])
+    # Both huge: ln(n/k) dominates; the 1/(2n) corrections are negligible but
+    # kept for symmetry.
+    return harmonic(n) - harmonic(k)

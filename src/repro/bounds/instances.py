@@ -1,0 +1,140 @@
+"""Lower-bound instance families (Theorems 11 and 21).
+
+Both families come with closed-form optimal-subsidy formulas derived exactly
+as in the paper's proofs; the test suite cross-checks these formulas against
+the generic LP / branch-and-bound solvers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.bounds.harmonic import harmonic
+from repro.graphs.graph import Graph
+from repro.games.broadcast import BroadcastGame, TreeState
+
+
+# ---------------------------------------------------------------------------
+# Theorem 11 — unit cycle: fractional subsidies need ~ wgt(T)/e
+# ---------------------------------------------------------------------------
+
+
+def theorem11_cycle_instance(n: int) -> Tuple[BroadcastGame, TreeState]:
+    """The Theorem 11 instance: a unit-weight cycle on ``n + 1`` nodes.
+
+    Nodes are ``0..n`` with root ``0``; the target state ``T`` is the path
+    ``0-1-...-n`` (a minimum spanning tree), leaving the cycle-closing edge
+    ``(n, 0)`` as the tempting deviation for the player at node ``n``.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2 players")
+    g = Graph()
+    for i in range(n):
+        g.add_edge(i, i + 1, 1.0)
+    g.add_edge(n, 0, 1.0)
+    game = BroadcastGame(g, root=0)
+    state = game.tree_state([(i, i + 1) for i in range(n)])
+    return game, state
+
+
+def theorem11_optimal_fraction(n: int) -> float:
+    """Closed-form optimal *fractional* subsidy cost / wgt(T) for the cycle.
+
+    The single binding constraint is the far player's deviation to the
+    cycle-closing unit edge: ``sum_i (1 - b_i) / (n - i + 1) <= 1``.  Packing
+    subsidies on the least-crowded edges (the paper's Theorem 11 argument)
+    gives: fully subsidize the edges with loads ``1..k`` where ``k`` is the
+    largest integer with ``H_n - H_k >= 1``, then a fractional top-up on the
+    load-``k+1`` edge.  Total: ``k + (k+1) * (H_n - H_k - 1)``.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    if harmonic(n) <= 1.0:  # pragma: no cover - n >= 2 always has H_n > 1
+        return 0.0
+    k = 0
+    while harmonic(n) - harmonic(k + 1) >= 1.0:
+        k += 1
+    residual = harmonic(n) - harmonic(k) - 1.0
+    total = k + (k + 1) * max(0.0, residual)
+    return total / float(n)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 21 — path with shortcuts: all-or-nothing needs ~ e/(2e-1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Theorem21Analysis:
+    """Closed-form accounting of the two all-or-nothing strategies."""
+
+    x: float
+    tree_weight: float
+    #: cost of subsidizing every light path edge (heavy edge unsubsidized)
+    cost_all_light: float
+    #: cost of subsidizing the heavy edge plus k light edges
+    cost_heavy_plus_k: float
+    k: int
+
+    @property
+    def optimal_cost(self) -> float:
+        return min(self.cost_all_light, self.cost_heavy_plus_k)
+
+    @property
+    def optimal_fraction(self) -> float:
+        return self.optimal_cost / self.tree_weight
+
+
+def theorem21_path_instance(n: int) -> Tuple[BroadcastGame, TreeState]:
+    """The Theorem 21 instance on nodes ``0..n`` (root ``0``).
+
+    Tree path ``0-1-...-n``; edges ``(i, i+1)`` for ``i < n-1`` have weight
+    ``x = 1 / (n - n/e + 1)``, the last edge ``(n-1, n)`` weight 1.  Shortcut
+    edges: ``(0, n-1)`` of weight ``x`` and ``(0, n)`` of weight 1.
+    """
+    if n < 4:
+        raise ValueError("need n >= 4")
+    x = 1.0 / (n - n / math.e + 1.0)
+    g = Graph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, x)
+    g.add_edge(n - 1, n, 1.0)
+    g.add_edge(0, n - 1, x)
+    g.add_edge(0, n, 1.0)
+    game = BroadcastGame(g, root=0)
+    state = game.tree_state([(i, i + 1) for i in range(n)])
+    return game, state
+
+
+def theorem21_analysis(n: int) -> Theorem21Analysis:
+    """Exact costs of the two candidate all-or-nothing assignments.
+
+    * Leave the heavy edge alone: the player at ``n`` must then prefer her
+      path over the direct unit edge, which forces subsidies on **all**
+      ``n - 1`` light path edges — cost ``(n-1) x``.
+    * Subsidize the heavy edge (cost 1): the player at ``n-1`` must prefer
+      her light path (loads ``2..n``) over the direct ``x`` edge, requiring
+      the ``k`` least-crowded light edges where ``k`` is minimal with
+      ``H_n - H_{k+1} <= 1`` — cost ``1 + k x``.
+    """
+    if n < 4:
+        raise ValueError("need n >= 4")
+    x = 1.0 / (n - n / math.e + 1.0)
+    tree_weight = (n - 1) * x + 1.0
+    k = 0
+    while harmonic(n) - harmonic(k + 1) > 1.0:
+        k += 1
+    return Theorem21Analysis(
+        x=x,
+        tree_weight=tree_weight,
+        cost_all_light=(n - 1) * x,
+        cost_heavy_plus_k=1.0 + k * x,
+        k=k,
+    )
+
+
+def theorem21_fraction_limit() -> float:
+    """The asymptote ``e / (2e - 1) ~ 0.6127`` of the optimal fraction."""
+    return math.e / (2.0 * math.e - 1.0)

@@ -1,0 +1,20 @@
+"""Experiment harness reproducing every artefact of the paper's evaluation.
+
+Each experiment module exposes ``run(seed=...) -> ExperimentResult``; the
+registry in :mod:`repro.experiments.runner` maps the DESIGN.md experiment
+ids (E1-E12) to those functions, and the ``repro-experiments`` CLI drives
+them.  Results are plain row dicts rendered as aligned text tables so the
+paper-vs-measured comparison in EXPERIMENTS.md can be regenerated verbatim.
+"""
+
+from repro.experiments.records import ExperimentResult
+from repro.experiments.tables import render_table
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "render_table",
+    "EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+]

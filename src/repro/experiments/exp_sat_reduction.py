@@ -1,0 +1,79 @@
+"""E8 — Theorem 12: light enforcement <-> satisfiability (Corollary 20).
+
+Builds the gadget graph for satisfiable and unsatisfiable formulas and
+checks, with exact rational arithmetic, that a (cost-``3|C|``) light
+assignment enforces the target MST exactly when the formula is satisfiable
+— the engine of the any-factor inapproximability result.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.experiments.records import ExperimentResult
+from repro.hardness.sat_reduction import (
+    assignment_to_subsidized_edges,
+    build_theorem12_instance,
+    exact_light_assignment_check,
+    light_enforcement_exists,
+)
+from repro.hardness.solvers import CNFFormula, dpll_solve
+from repro.utils.timing import Timer
+
+
+def _formulas():
+    sat1 = CNFFormula.from_lists([[1, 2, 3]])
+    sat2 = CNFFormula.from_lists([[1, 2, 3], [-1, 2, 4]])
+    sat3 = CNFFormula.from_lists([[1, 2, 3], [-1, 4, 5], [2, -4, 6]])
+    unsat = CNFFormula.from_lists(
+        [[s1 * 1, s2 * 2, s3 * 3] for s1 in (1, -1) for s2 in (1, -1) for s3 in (1, -1)]
+    )
+    return [("1 clause (sat)", sat1), ("2 clauses (sat)", sat2), ("3 clauses (sat)", sat3), ("8 clauses (unsat)", unsat)]
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    rows = []
+    all_match = True
+    with Timer() as t:
+        for name, formula in _formulas():
+            inst = build_theorem12_instance(formula)
+            satisfiable = dpll_solve(formula) is not None
+            enforceable, chosen = light_enforcement_exists(inst)
+            # Count how many full truth assignments enforce (exact check).
+            n_vars = formula.n_vars
+            enforcing = 0
+            tried = 0
+            if n_vars <= 6:
+                for bits in product([False, True], repeat=n_vars):
+                    tried += 1
+                    enc = assignment_to_subsidized_edges(
+                        inst, dict(zip(range(1, n_vars + 1), bits))
+                    )
+                    ok, _ = exact_light_assignment_check(inst, enc)
+                    enforcing += ok
+            all_match &= enforceable == satisfiable
+            rows.append(
+                {
+                    "formula": name,
+                    "satisfiable": satisfiable,
+                    "light_enforcement": enforceable,
+                    "light_cost": 3 * formula.n_clauses if enforceable else None,
+                    "players": inst.game.n_players,
+                    "enforcing/total assignments": f"{enforcing}/{tried}" if tried else "-",
+                }
+            )
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Theorem 12: light (cost 3|C|) enforcement iff satisfiable",
+        headline=(
+            f"Corollary 20 equivalence held on every formula: {all_match} "
+            "(exact-rational equilibrium checks)"
+        ),
+        rows=rows,
+        notes=(
+            "Unsatisfiable formulas force subsidies on a heavy (>= K) edge, "
+            "giving the paper's unbounded approximation gap K / 3|C|."
+        ),
+    )
+    result.elapsed_seconds = t.elapsed
+    return result

@@ -1,0 +1,34 @@
+"""Result containers for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: a headline claim plus a table of rows."""
+
+    experiment_id: str
+    title: str
+    #: one-line paper-vs-measured statement
+    headline: str
+    #: table rows; all rows share a key set (column order = first row's)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    def columns(self) -> List[str]:
+        return list(self.rows[0].keys()) if self.rows else []
+
+    def to_text(self) -> str:
+        from repro.experiments.tables import render_table
+
+        parts = [f"[{self.experiment_id}] {self.title}", self.headline]
+        if self.rows:
+            parts.append(render_table(self.rows))
+        if self.notes:
+            parts.append(self.notes)
+        parts.append(f"(elapsed: {self.elapsed_seconds:.2f}s)")
+        return "\n".join(parts)

@@ -1,0 +1,54 @@
+"""Experiment registry and drivers (ids match DESIGN.md / EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.records import ExperimentResult
+from repro.experiments import (
+    exp_ablation,
+    exp_aon_lower_bound,
+    exp_binpacking,
+    exp_bypass,
+    exp_extensions,
+    exp_independent_set,
+    exp_lower_bound_cycle,
+    exp_lp_agreement,
+    exp_pos_potential,
+    exp_sat_reduction,
+    exp_snd,
+    exp_theorem6,
+    exp_virtual_cost,
+)
+
+#: experiment id -> run(seed=...) callable
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E1": exp_lp_agreement.run,
+    "E2": exp_theorem6.run,
+    "E3": exp_lower_bound_cycle.run,
+    "E4": exp_aon_lower_bound.run,
+    "E5": exp_bypass.run,
+    "E6": exp_binpacking.run,
+    "E7": exp_independent_set.run,
+    "E8": exp_sat_reduction.run,
+    "E9": exp_pos_potential.run,
+    "E10": exp_virtual_cost.run,
+    "E11": exp_snd.run,
+    "A1": exp_ablation.run,
+    "A2": exp_extensions.run,
+}
+
+
+def run_experiment(experiment_id: str, seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id (raises KeyError for unknown ids)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key](seed=seed)
+
+
+def run_all(seed: int = 0) -> List[ExperimentResult]:
+    """Run every experiment in id order."""
+    return [EXPERIMENTS[k](seed=seed) for k in EXPERIMENTS]

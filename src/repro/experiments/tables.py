@@ -1,0 +1,28 @@
+"""Minimal aligned-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _format(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.5g}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as an aligned text table with a header rule."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = list(rows[0].keys())
+    cells = [[_format(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells]
+    return "\n".join([header, rule, *body])

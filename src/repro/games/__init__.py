@@ -1,0 +1,74 @@
+"""Network design games (Section 2 of the paper).
+
+* :class:`NetworkDesignGame` — arbitrary source/destination pairs, states are
+  per-player paths with fair (Shapley) cost sharing.
+* :class:`BroadcastGame` — one player per non-root node (optionally with
+  co-located player *multiplicities*), states are spanning trees.
+* Equilibrium checking via best-response shortest-path oracles, Rosenthal's
+  potential, best-response dynamics, and exact price of stability/anarchy.
+"""
+
+from repro.games.game import NetworkDesignGame, Player, State
+from repro.games.broadcast import BroadcastGame, TreeState
+from repro.games.equilibrium import (
+    Deviation,
+    EquilibriumReport,
+    best_response,
+    check_equilibrium,
+)
+from repro.games.potential import rosenthal_potential, potential_of_tree
+from repro.games.dynamics import BRDResult, best_response_dynamics
+from repro.games.efficiency import (
+    EfficiencyReport,
+    equilibrium_spanning_trees,
+    price_of_anarchy,
+    price_of_stability,
+)
+from repro.games.multicast import MulticastGame
+from repro.games.weighted import (
+    WeightedNetworkDesignGame,
+    WeightedState,
+    check_weighted_equilibrium,
+    solve_weighted_sne,
+)
+from repro.games.coalitions import (
+    CoalitionDeviation,
+    StrongEquilibriumReport,
+    check_strong_equilibrium,
+)
+from repro.games.approx import (
+    equilibrium_stretch,
+    is_alpha_equilibrium,
+    subsidies_for_stretch,
+)
+
+__all__ = [
+    "NetworkDesignGame",
+    "Player",
+    "State",
+    "BroadcastGame",
+    "TreeState",
+    "Deviation",
+    "EquilibriumReport",
+    "best_response",
+    "check_equilibrium",
+    "rosenthal_potential",
+    "potential_of_tree",
+    "BRDResult",
+    "best_response_dynamics",
+    "EfficiencyReport",
+    "equilibrium_spanning_trees",
+    "price_of_anarchy",
+    "price_of_stability",
+    "MulticastGame",
+    "WeightedNetworkDesignGame",
+    "WeightedState",
+    "check_weighted_equilibrium",
+    "solve_weighted_sne",
+    "CoalitionDeviation",
+    "StrongEquilibriumReport",
+    "check_strong_equilibrium",
+    "equilibrium_stretch",
+    "is_alpha_equilibrium",
+    "subsidies_for_stretch",
+]

@@ -1,0 +1,124 @@
+"""Approximate equilibria (Albers & Lenzner [2] in the paper's related work).
+
+A state is an *alpha-approximate* Nash equilibrium when no player can cut
+her cost by more than a factor ``alpha``: ``cost_i(T) <= alpha * cost_i(T')``
+for every deviation.  The *stretch* of a state is the smallest such alpha —
+a complementary lens on the paper's question: subsidies buy the designer
+exact stability, approximation tolerance buys it for free, and
+:func:`subsidies_for_stretch` interpolates between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.graph import canonical_edge
+from repro.lp import LinearProgram, LPStatus, solve_lp
+from repro.games.broadcast import TreeState
+from repro.games.equilibrium import best_deviation_from_tree, best_response
+from repro.games.game import State, Subsidies
+from repro.subsidies.assignment import SubsidyAssignment
+
+AnyState = Union[State, TreeState]
+
+
+def equilibrium_stretch(state: AnyState, subsidies: Optional[Subsidies] = None) -> float:
+    """The smallest alpha making the state an alpha-approximate equilibrium.
+
+    ``max_i cost_i / best_response_i`` (1.0 at an exact equilibrium; a
+    player whose best response is free while she pays something gives
+    ``inf``).
+    """
+    worst = 1.0
+    if isinstance(state, TreeState):
+        players = state.game.player_nodes()
+
+        def get(u):
+            return best_deviation_from_tree(state, u, subsidies)
+
+    else:
+        players = range(state.game.n_players)
+
+        def get(i):
+            return best_response(state, i, subsidies)
+
+    for p in players:
+        dev = get(p)
+        if dev.current_cost <= 0:
+            continue
+        if dev.deviation_cost <= 0:
+            return float("inf")
+        worst = max(worst, dev.current_cost / dev.deviation_cost)
+    return worst
+
+
+def is_alpha_equilibrium(
+    state: AnyState, alpha: float, subsidies: Optional[Subsidies] = None, tol: float = 1e-9
+) -> bool:
+    """True when no player improves by more than a factor ``alpha`` >= 1."""
+    if alpha < 1.0:
+        raise ValueError("alpha must be >= 1")
+    return equilibrium_stretch(state, subsidies) <= alpha * (1 + tol)
+
+
+def subsidies_for_stretch(
+    state: TreeState, alpha: float, method: str = "highs"
+) -> Tuple[Optional[SubsidyAssignment], float]:
+    """Cheapest subsidies making a broadcast tree an alpha-approximate
+    equilibrium.
+
+    The LP is LP (3) with the deviation side of every constraint inflated
+    by ``alpha``:  ``sum_{a in T_u} (w-b)/n_a <= alpha * [w_uv +
+    sum_{a in T_v} (w-b)/(n_a + 1 - n^u_a)]``.  Unlike exact LP (3) the
+    shared suffix above ``lca(u, v)`` does *not* cancel when ``alpha > 1``
+    (the two sides carry different factors), so full root paths are used.
+    ``alpha = 1`` recovers exact SNE; larger alpha is monotonically cheaper.
+
+    Caveat: the constraint family covers deviations that leave the tree on
+    one edge and then follow tree paths.  For ``alpha = 1`` Lemma 2 proves
+    this family dominates all deviations; for ``alpha > 1`` it is a
+    relaxation, so callers wanting a certificate should re-check with
+    :func:`equilibrium_stretch` (the tests do).
+    """
+    if alpha < 1.0:
+        raise ValueError("alpha must be >= 1")
+    game = state.game
+    graph = game.graph
+    tree = state.tree
+    edges = state.edges
+    index = {e: i for i, e in enumerate(edges)}
+    lp = LinearProgram(
+        n_vars=len(edges),
+        c=np.ones(len(edges)),
+        upper=np.array([graph.weight(*e) for e in edges]),
+    )
+    tree_set = set(edges)
+    for u in graph.nodes:
+        if u == game.root or game.multiplicity.get(u, 1) == 0:
+            continue
+        own_path = tree.path_to_root(u)
+        own_set = set(own_path)
+        for v in graph.neighbors(u):
+            e_uv = canonical_edge(u, v)
+            if e_uv in tree_set:
+                continue
+            coeffs: Dict[int, float] = {}
+            rhs = alpha * graph.weight(u, v)
+            for e in own_path:
+                n_a = state.loads[e]
+                coeffs[index[e]] = coeffs.get(index[e], 0.0) - 1.0 / n_a
+                rhs -= graph.weight(*e) / n_a
+            for e in tree.path_to_root(v):
+                denom = state.loads[e] + 1 - (1 if e in own_set else 0)
+                coeffs[index[e]] = coeffs.get(index[e], 0.0) + alpha / denom
+                rhs += alpha * graph.weight(*e) / denom
+            coeffs = {i: c for i, c in coeffs.items() if abs(c) > 1e-15}
+            if coeffs:
+                lp.add_sparse_constraint(list(coeffs.items()), rhs)
+    res = solve_lp(lp, method=method)
+    if res.status is not LPStatus.OPTIMAL:
+        return None, float("inf")
+    sub = SubsidyAssignment.from_vector(graph, edges, res.x)
+    return sub, sub.cost

@@ -1,0 +1,127 @@
+"""Coalitional deviations (strong equilibria) — the paper's §6 direction.
+
+A coalition ``S`` has a profitable joint deviation from state ``T`` when
+there are new strategies for all members making *every* member strictly
+better off (others fixed).  A state immune to coalitions of size ≤ k is a
+k-strong equilibrium; k = 1 recovers the Nash condition.
+
+Checking is NP-hard in general; this module does exact checking on small
+instances by enumerating simple paths per member (bounded), which is
+exactly what the reduction-scale experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Edge, Node
+from repro.graphs.paths import enumerate_simple_paths
+from repro.games.game import State, Subsidies, _path_nodes_to_edges
+from repro.utils.tolerances import EQ_TOL, is_improvement
+
+
+@dataclass
+class CoalitionDeviation:
+    """A profitable joint move: members, their new paths, cost changes."""
+
+    members: Tuple[int, ...]
+    new_paths: List[List[Node]]
+    old_costs: List[float]
+    new_costs: List[float]
+
+    @property
+    def gains(self) -> List[float]:
+        return [o - n for o, n in zip(self.old_costs, self.new_costs)]
+
+
+@dataclass
+class StrongEquilibriumReport:
+    is_strong_equilibrium: bool
+    max_coalition_checked: int
+    deviation: Optional[CoalitionDeviation] = None
+    coalitions_checked: int = 0
+
+
+def _joint_costs(
+    state: State,
+    members: Sequence[int],
+    new_edge_paths: Sequence[Tuple[Edge, ...]],
+    subsidies: Optional[Subsidies],
+) -> List[float]:
+    """Member costs after the coalition jointly switches paths."""
+    game = state.game
+    usage = dict(state.usage)
+    for i in members:
+        for e in state.edge_paths[i]:
+            usage[e] -= 1
+    for edges in new_edge_paths:
+        for e in edges:
+            usage[e] = usage.get(e, 0) + 1
+    costs = []
+    for edges in new_edge_paths:
+        total = 0.0
+        for e in edges:
+            w = game.graph.weight(*e)
+            b = subsidies.get(e, 0.0) if subsidies else 0.0
+            total += max(0.0, w - b) / usage[e]
+        costs.append(total)
+    return costs
+
+
+def check_strong_equilibrium(
+    state: State,
+    max_coalition: int = 2,
+    subsidies: Optional[Subsidies] = None,
+    tol: float = EQ_TOL,
+    max_paths_per_player: int = 200,
+) -> StrongEquilibriumReport:
+    """Exact k-strong equilibrium check by joint-path enumeration.
+
+    Every coalition of size ≤ ``max_coalition`` is tested against every
+    combination of ≤ ``max_paths_per_player`` simple paths per member.
+    Exponential — use on small instances (that is where the interesting
+    examples live; see ``exp_extensions``).
+    """
+    game = state.game
+    candidate_paths: Dict[int, List[Tuple[Edge, ...]]] = {}
+    node_paths: Dict[int, List[List[Node]]] = {}
+    for i, p in enumerate(game.players):
+        node_paths[i] = [
+            nodes
+            for nodes in enumerate_simple_paths(
+                game.graph, p.source, p.target, max_paths=max_paths_per_player
+            )
+        ]
+        candidate_paths[i] = [_path_nodes_to_edges(nodes) for nodes in node_paths[i]]
+
+    checked = 0
+    for k in range(1, max_coalition + 1):
+        for members in combinations(range(game.n_players), k):
+            checked += 1
+            old_costs = [state.player_cost(i, subsidies) for i in members]
+            for pick in product(*(range(len(candidate_paths[i])) for i in members)):
+                new_edges = [candidate_paths[m][j] for m, j in zip(members, pick)]
+                if all(
+                    new_edges[idx] == state.edge_paths[m]
+                    for idx, m in enumerate(members)
+                ):
+                    continue
+                new_costs = _joint_costs(state, members, new_edges, subsidies)
+                if all(
+                    is_improvement(nc, oc, tol)
+                    for nc, oc in zip(new_costs, old_costs)
+                ):
+                    return StrongEquilibriumReport(
+                        False,
+                        max_coalition,
+                        CoalitionDeviation(
+                            members,
+                            [node_paths[m][j] for m, j in zip(members, pick)],
+                            old_costs,
+                            new_costs,
+                        ),
+                        checked,
+                    )
+    return StrongEquilibriumReport(True, max_coalition, None, checked)

@@ -1,0 +1,113 @@
+"""Exact price of stability / anarchy for broadcast games.
+
+The paper defines the price of stability as (weight of the best equilibrium)
+/ (optimal weight).  For broadcast games every equilibrium is WLOG a spanning
+tree (cycle edges in an equilibrium have zero weight, Section 2), so on small
+instances we can compute PoS/PoA *exactly* by enumerating spanning trees and
+keeping those that pass the full equilibrium check — this is the ground truth
+the Theorem 3/5 reduction experiments compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.games.broadcast import BroadcastGame, TreeState
+from repro.games.equilibrium import check_equilibrium
+from repro.games.game import Subsidies
+from repro.graphs.graph import Edge
+from repro.graphs.spanning_trees import enumerate_spanning_trees
+
+
+def equilibrium_spanning_trees(
+    game: BroadcastGame,
+    subsidies: Optional[Subsidies] = None,
+    limit: int | None = None,
+) -> Iterator[TreeState]:
+    """Yield every spanning-tree equilibrium of the (subsidized) game."""
+    for edges in enumerate_spanning_trees(game.graph, limit=limit):
+        state = game.tree_state(edges)
+        if check_equilibrium(state, subsidies).is_equilibrium:
+            yield state
+
+
+@dataclass
+class EfficiencyReport:
+    """Exact efficiency metrics of a broadcast game."""
+
+    opt_weight: float
+    best_equilibrium_weight: Optional[float]
+    worst_equilibrium_weight: Optional[float]
+    n_equilibria: int
+    n_trees: int
+
+    @property
+    def price_of_stability(self) -> Optional[float]:
+        if self.best_equilibrium_weight is None or self.opt_weight == 0:
+            return None
+        return self.best_equilibrium_weight / self.opt_weight
+
+    @property
+    def price_of_anarchy(self) -> Optional[float]:
+        if self.worst_equilibrium_weight is None or self.opt_weight == 0:
+            return None
+        return self.worst_equilibrium_weight / self.opt_weight
+
+
+def efficiency_report(
+    game: BroadcastGame,
+    subsidies: Optional[Subsidies] = None,
+) -> EfficiencyReport:
+    """Enumerate all spanning trees and measure equilibrium efficiency.
+
+    Exponential in general — intended for the small instances used in the
+    hardness-reduction experiments and tests.
+    """
+    opt = game.mst_weight()
+    best: Optional[float] = None
+    worst: Optional[float] = None
+    n_eq = 0
+    n_trees = 0
+    for edges in enumerate_spanning_trees(game.graph):
+        n_trees += 1
+        state = game.tree_state(edges)
+        if check_equilibrium(state, subsidies).is_equilibrium:
+            n_eq += 1
+            w = state.social_cost()
+            best = w if best is None else min(best, w)
+            worst = w if worst is None else max(worst, w)
+    return EfficiencyReport(opt, best, worst, n_eq, n_trees)
+
+
+def price_of_stability(game: BroadcastGame, subsidies: Optional[Subsidies] = None) -> float:
+    """Exact PoS by enumeration; raises when no tree equilibrium exists."""
+    report = efficiency_report(game, subsidies)
+    pos = report.price_of_stability
+    if pos is None:
+        raise ValueError("game has no spanning-tree equilibrium")
+    return pos
+
+
+def price_of_anarchy(game: BroadcastGame, subsidies: Optional[Subsidies] = None) -> float:
+    """Exact PoA by enumeration; raises when no tree equilibrium exists."""
+    report = efficiency_report(game, subsidies)
+    poa = report.price_of_anarchy
+    if poa is None:
+        raise ValueError("game has no spanning-tree equilibrium")
+    return poa
+
+
+def best_equilibrium_tree(
+    game: BroadcastGame,
+    subsidies: Optional[Subsidies] = None,
+) -> Tuple[Optional[List[Edge]], Optional[float]]:
+    """Minimum-weight spanning-tree equilibrium (edges, weight) or (None, None)."""
+    best_edges: Optional[List[Edge]] = None
+    best_w: Optional[float] = None
+    for state in equilibrium_spanning_trees(game, subsidies):
+        w = state.social_cost()
+        if best_w is None or w < best_w:
+            best_w = w
+            best_edges = state.edges
+    return best_edges, best_w

@@ -1,0 +1,149 @@
+"""General network design games with fair cost sharing.
+
+A game is an edge-weighted undirected graph plus one ``(source, target)``
+pair per player.  A *state* assigns every player a simple path; the weight of
+each established edge is split equally among its users, optionally after
+subtracting subsidies (the "extension of the game with subsidies b" of the
+paper): ``cost_i(T; b) = sum_{a in T_i} (w_a - b_a) / n_a(T)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+
+#: Subsidies are any mapping from canonical edge to the subsidized amount.
+Subsidies = Mapping[Edge, float]
+
+
+@dataclass(frozen=True)
+class Player:
+    """A player: an index plus the terminal pair she must connect."""
+
+    index: int
+    source: Node
+    target: Node
+
+
+def _path_nodes_to_edges(nodes: Sequence[Node]) -> Tuple[Edge, ...]:
+    """Convert a node walk to canonical edges, rejecting non-simple walks."""
+    if len(set(nodes)) != len(nodes):
+        raise ValueError(f"path visits a node twice: {list(nodes)!r}")
+    return tuple(canonical_edge(u, v) for u, v in zip(nodes, nodes[1:]))
+
+
+class State:
+    """A strategy profile: one simple path (node sequence) per player.
+
+    Exposes the quantities the paper works with: edge usage counts
+    ``n_a(T)``, the established edge set, per-player and social cost.
+    """
+
+    def __init__(self, game: "NetworkDesignGame", node_paths: Sequence[Sequence[Node]]):
+        if len(node_paths) != game.n_players:
+            raise ValueError(
+                f"expected {game.n_players} paths, got {len(node_paths)}"
+            )
+        self.game = game
+        self.node_paths: List[Tuple[Node, ...]] = []
+        self.edge_paths: List[Tuple[Edge, ...]] = []
+        usage: Dict[Edge, int] = {}
+        for player, nodes in zip(game.players, node_paths):
+            nodes = tuple(nodes)
+            if not nodes or nodes[0] != player.source or nodes[-1] != player.target:
+                raise ValueError(
+                    f"player {player.index}: path endpoints {nodes[:1]}..{nodes[-1:]} "
+                    f"do not match terminals ({player.source!r}, {player.target!r})"
+                )
+            edges = _path_nodes_to_edges(nodes)
+            for u, v in edges:
+                if not game.graph.has_edge(u, v):
+                    raise ValueError(f"path uses non-edge {(u, v)!r}")
+            self.node_paths.append(nodes)
+            self.edge_paths.append(edges)
+            for e in edges:
+                usage[e] = usage.get(e, 0) + 1
+        self.usage: Dict[Edge, int] = usage
+
+    # -- paper quantities ---------------------------------------------------
+
+    def established_edges(self) -> List[Edge]:
+        """Edges used by at least one player (the built network)."""
+        return list(self.usage)
+
+    def social_cost(self) -> float:
+        """``wgt(T)``: total weight of established edges."""
+        g = self.game.graph
+        return sum(g.weight(u, v) for u, v in self.usage)
+
+    def uses(self, player_index: int, edge: Edge) -> bool:
+        """``n_a^i(T)`` as a boolean."""
+        return edge in set(self.edge_paths[player_index])
+
+    def player_cost(self, player_index: int, subsidies: Optional[Subsidies] = None) -> float:
+        """``cost_i(T; b)`` — the player's fair share along her path."""
+        g = self.game.graph
+        total = 0.0
+        for e in self.edge_paths[player_index]:
+            w = g.weight(*e)
+            b = subsidies.get(e, 0.0) if subsidies else 0.0
+            total += max(0.0, w - b) / self.usage[e]
+        return total
+
+    def total_player_cost(self, subsidies: Optional[Subsidies] = None) -> float:
+        """Sum of all player costs (= social cost minus used subsidies)."""
+        return sum(self.player_cost(i, subsidies) for i in range(self.game.n_players))
+
+    def with_player_path(self, player_index: int, nodes: Sequence[Node]) -> "State":
+        """The state ``(T_{-i}, T'_i)`` where player i switches paths."""
+        paths = list(self.node_paths)
+        paths[player_index] = tuple(nodes)
+        return State(self.game, paths)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, State) and self.node_paths == other.node_paths
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.node_paths))
+
+
+class NetworkDesignGame:
+    """A network design game: graph + terminal pairs, fair cost sharing."""
+
+    def __init__(self, graph: Graph, terminal_pairs: Sequence[Tuple[Node, Node]]):
+        self.graph = graph
+        self.players: List[Player] = []
+        for i, (s, t) in enumerate(terminal_pairs):
+            if s not in graph or t not in graph:
+                raise ValueError(f"terminal pair {(s, t)!r} not in graph")
+            if s == t:
+                raise ValueError(f"player {i} has identical terminals {s!r}")
+            self.players.append(Player(i, s, t))
+
+    @property
+    def n_players(self) -> int:
+        return len(self.players)
+
+    def state(self, node_paths: Sequence[Sequence[Node]]) -> State:
+        """Validate and wrap a strategy profile."""
+        return State(self, node_paths)
+
+    def shortest_path_state(self) -> State:
+        """The profile where every player takes her weight-shortest path.
+
+        A natural (generally non-equilibrium) starting point for dynamics.
+        """
+        from repro.graphs.shortest_paths import dijkstra
+
+        paths = []
+        for p in self.players:
+            dist, parent = dijkstra(self.graph, p.source, target=p.target)
+            if p.target not in dist:
+                raise ValueError(f"player {p.index}: no path {p.source!r}->{p.target!r}")
+            nodes = [p.target]
+            while nodes[-1] != p.source:
+                nodes.append(parent[nodes[-1]])
+            paths.append(list(reversed(nodes)))
+        return State(self, paths)

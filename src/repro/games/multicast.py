@@ -1,0 +1,77 @@
+"""Multicast games — the paper's Section 6 generalization.
+
+A multicast game is a network design game in which a *subset* of nodes
+(the terminals) each connect to a common root; broadcast is the special
+case where every node is a terminal.  The optimal design is a minimum
+Steiner tree over ``terminals + {root}`` (computed exactly with
+Dreyfus-Wagner), and SNE is solved through the general LP (1)/(2)
+machinery, which applies verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.graphs.graph import Edge, Graph, Node
+from repro.graphs.steiner import steiner_tree
+from repro.graphs.tree import RootedTree
+from repro.games.game import NetworkDesignGame, State
+
+
+class MulticastGame:
+    """A multicast game: ``terminals`` each connect to ``root``.
+
+    Thin orchestration over :class:`NetworkDesignGame` (states/costs/
+    equilibria are inherited) plus Steiner-tree optimal designs.
+    """
+
+    def __init__(self, graph: Graph, root: Node, terminals: Sequence[Node]):
+        if root not in graph:
+            raise ValueError(f"root {root!r} not in graph")
+        terms = list(dict.fromkeys(terminals))
+        if not terms:
+            raise ValueError("a multicast game needs at least one terminal")
+        if root in terms:
+            raise ValueError("the root is not a terminal")
+        self.graph = graph
+        self.root = root
+        self.terminals: List[Node] = terms
+        self.nd_game = NetworkDesignGame(graph, [(t, root) for t in terms])
+
+    @property
+    def n_players(self) -> int:
+        return len(self.terminals)
+
+    # -- optimal designs -----------------------------------------------------
+
+    def optimal_design(self) -> Tuple[List[Edge], float]:
+        """Exact minimum Steiner tree over terminals + root."""
+        return steiner_tree(self.graph, [self.root, *self.terminals])
+
+    def state_from_tree(self, edges: Iterable[Tuple[Node, Node]]) -> State:
+        """The state where every terminal follows the given tree to the root.
+
+        ``edges`` must form a tree containing the root and all terminals
+        (extra Steiner nodes are fine).
+        """
+        tree = RootedTree(self.root, edges)
+        missing = [t for t in self.terminals if t not in tree.depth]
+        if missing:
+            raise ValueError(f"tree does not reach terminals {missing!r}")
+        paths = []
+        for t in self.terminals:
+            nodes = [t]
+            while nodes[-1] != self.root:
+                nodes.append(tree.parent[nodes[-1]])
+            paths.append(nodes)
+        return self.nd_game.state(paths)
+
+    def optimal_state(self) -> State:
+        """The Steiner-optimal design as a state."""
+        edges, _ = self.optimal_design()
+        if not edges:
+            raise ValueError("degenerate multicast instance")
+        return self.state_from_tree(edges)
+
+    def social_optimum(self) -> float:
+        return self.optimal_design()[1]

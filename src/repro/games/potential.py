@@ -1,0 +1,50 @@
+"""Rosenthal's potential function for network design games.
+
+``Phi(T; b) = sum_a (w_a - b_a) * H_{n_a(T)}`` where ``H_k`` is the k-th
+harmonic number.  Unilateral deviations change the potential by exactly the
+deviating player's cost change, so local minima of Phi are equilibria and
+best-response dynamics terminate.  The potential also sandwiches the social
+cost: ``wgt(T) <= Phi(T) <= H_n * wgt(T)`` — the engine behind the
+``PoS <= H_n`` bound of Anshelevich et al. cited throughout the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.bounds.harmonic import harmonic
+from repro.games.broadcast import TreeState
+from repro.games.game import State, Subsidies
+
+
+def rosenthal_potential(state: State, subsidies: Optional[Subsidies] = None) -> float:
+    """Potential of a general-game state."""
+    g = state.game.graph
+    total = 0.0
+    for e, n_a in state.usage.items():
+        w = g.weight(*e)
+        b = subsidies.get(e, 0.0) if subsidies else 0.0
+        total += max(0.0, w - b) * harmonic(n_a)
+    return total
+
+
+def potential_of_tree(state: TreeState, subsidies: Optional[Subsidies] = None) -> float:
+    """Potential of a broadcast tree state (multiplicity-aware)."""
+    g = state.game.graph
+    total = 0.0
+    for e, n_a in state.loads.items():
+        if n_a == 0:
+            continue
+        w = g.weight(*e)
+        b = subsidies.get(e, 0.0) if subsidies else 0.0
+        total += max(0.0, w - b) * harmonic(n_a)
+    return total
+
+
+def potential(
+    state: Union[State, TreeState], subsidies: Optional[Subsidies] = None
+) -> float:
+    """Dispatch on state type."""
+    if isinstance(state, TreeState):
+        return potential_of_tree(state, subsidies)
+    return rosenthal_potential(state, subsidies)

@@ -1,0 +1,189 @@
+"""Weighted network design games (Chen & Roughgarden; the paper's §6).
+
+Player ``i`` carries a demand ``d_i > 0`` and pays the *demand-proportional*
+share of each edge she uses:  ``cost_i = sum_a d_i (w_a - b_a) / D_a(T)``
+where ``D_a(T)`` is the total demand on ``a``.  Unweighted games are the
+``d_i = 1`` special case.  The SNE question stays a linear program in the
+subsidies (the demands only change the constants), so the cutting-plane
+solver below mirrors LP (1) with weighted denominators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+from repro.graphs.shortest_paths import dijkstra
+from repro.lp import LinearProgram, solve_with_cutting_planes
+from repro.games.game import Subsidies, _path_nodes_to_edges
+from repro.subsidies.assignment import SubsidyAssignment
+from repro.utils.tolerances import EQ_TOL, LP_TOL, is_improvement
+
+
+@dataclass(frozen=True)
+class WeightedPlayer:
+    index: int
+    source: Node
+    target: Node
+    demand: float
+
+
+class WeightedState:
+    """A strategy profile of a weighted game; tracks demand loads."""
+
+    def __init__(self, game: "WeightedNetworkDesignGame", node_paths: Sequence[Sequence[Node]]):
+        if len(node_paths) != game.n_players:
+            raise ValueError(f"expected {game.n_players} paths")
+        self.game = game
+        self.node_paths: List[Tuple[Node, ...]] = []
+        self.edge_paths: List[Tuple[Edge, ...]] = []
+        load: Dict[Edge, float] = {}
+        for player, nodes in zip(game.players, node_paths):
+            nodes = tuple(nodes)
+            if nodes[0] != player.source or nodes[-1] != player.target:
+                raise ValueError(f"path endpoints wrong for player {player.index}")
+            edges = _path_nodes_to_edges(nodes)
+            for e in edges:
+                if not game.graph.has_edge(*e):
+                    raise ValueError(f"non-edge {e!r}")
+                load[e] = load.get(e, 0.0) + player.demand
+            self.node_paths.append(nodes)
+            self.edge_paths.append(edges)
+        self.load = load
+
+    def social_cost(self) -> float:
+        return sum(self.game.graph.weight(*e) for e in self.load)
+
+    def player_cost(self, i: int, subsidies: Optional[Subsidies] = None) -> float:
+        g = self.game.graph
+        d = self.game.players[i].demand
+        total = 0.0
+        for e in self.edge_paths[i]:
+            b = subsidies.get(e, 0.0) if subsidies else 0.0
+            total += d * max(0.0, g.weight(*e) - b) / self.load[e]
+        return total
+
+    def total_player_cost(self, subsidies: Optional[Subsidies] = None) -> float:
+        return sum(self.player_cost(i, subsidies) for i in range(self.game.n_players))
+
+
+class WeightedNetworkDesignGame:
+    """Network design game with player demands and proportional sharing."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        terminal_pairs: Sequence[Tuple[Node, Node]],
+        demands: Sequence[float],
+    ):
+        if len(terminal_pairs) != len(demands):
+            raise ValueError("one demand per player required")
+        self.graph = graph
+        self.players: List[WeightedPlayer] = []
+        for i, ((s, t), d) in enumerate(zip(terminal_pairs, demands)):
+            if s not in graph or t not in graph:
+                raise ValueError(f"terminals {(s, t)!r} not in graph")
+            if s == t:
+                raise ValueError("identical terminals")
+            if d <= 0:
+                raise ValueError(f"demand must be positive, got {d}")
+            self.players.append(WeightedPlayer(i, s, t, float(d)))
+
+    @property
+    def n_players(self) -> int:
+        return len(self.players)
+
+    def state(self, node_paths: Sequence[Sequence[Node]]) -> WeightedState:
+        return WeightedState(self, node_paths)
+
+
+def weighted_best_response(
+    state: WeightedState, i: int, subsidies: Optional[Subsidies] = None
+) -> Tuple[float, List[Node]]:
+    """Best response of weighted player i: cost and node path.
+
+    Edge ``a`` costs her ``d_i (w_a - b_a) / (D_a + d_i - d_i * uses_i(a))``.
+    """
+    game = state.game
+    player = game.players[i]
+    own = set(state.edge_paths[i])
+    d = player.demand
+
+    def weight_fn(u: Node, v: Node) -> float:
+        e = canonical_edge(u, v)
+        w = game.graph.weight(u, v)
+        b = subsidies.get(e, 0.0) if subsidies else 0.0
+        denom = state.load.get(e, 0.0) + d - (d if e in own else 0.0)
+        return d * max(0.0, w - b) / denom
+
+    dist, parent = dijkstra(game.graph, player.source, weight_fn=weight_fn, target=player.target)
+    nodes = [player.target]
+    while nodes[-1] != player.source:
+        nodes.append(parent[nodes[-1]])
+    nodes.reverse()
+    return dist[player.target], nodes
+
+
+def check_weighted_equilibrium(
+    state: WeightedState, subsidies: Optional[Subsidies] = None, tol: float = EQ_TOL
+) -> bool:
+    """Pure Nash check for weighted games (weak inequality, shared tol)."""
+    for i in range(state.game.n_players):
+        current = state.player_cost(i, subsidies)
+        if current <= tol:
+            continue
+        best, _ = weighted_best_response(state, i, subsidies)
+        if is_improvement(best, current, tol):
+            return False
+    return True
+
+
+def solve_weighted_sne(
+    state: WeightedState, method: str = "highs", max_rounds: int = 200
+) -> Tuple[Optional[SubsidyAssignment], float]:
+    """Minimum subsidies enforcing a weighted state (LP (1) + oracle).
+
+    Returns ``(subsidies, cost)``; ``(None, inf)`` if the cutting-plane
+    loop fails to converge (not observed on the tested families).
+    """
+    game = state.game
+    graph = game.graph
+    all_edges = [canonical_edge(u, v) for u, v, _ in graph.edges()]
+    index = {e: k for k, e in enumerate(all_edges)}
+    n_vars = len(all_edges)
+    upper = np.array([graph.weight(*e) for e in all_edges])
+    lp = LinearProgram(n_vars=n_vars, c=np.ones(n_vars), upper=upper)
+
+    def oracle(x: np.ndarray):
+        subsidies = {e: float(x[index[e]]) for e in all_edges if x[index[e]] > 1e-12}
+        cuts = []
+        for i, player in enumerate(game.players):
+            current = state.player_cost(i, subsidies)
+            best, nodes = weighted_best_response(state, i, subsidies)
+            if not is_improvement(best, current, LP_TOL):
+                continue
+            d = player.demand
+            own = set(state.edge_paths[i])
+            row = np.zeros(n_vars)
+            rhs = 0.0
+            for e in state.edge_paths[i]:
+                share = d / state.load[e]
+                row[index[e]] -= share
+                rhs -= share * graph.weight(*e)
+            dev_edges = [canonical_edge(a, b) for a, b in zip(nodes, nodes[1:])]
+            for e in dev_edges:
+                denom = state.load.get(e, 0.0) + d - (d if e in own else 0.0)
+                share = d / denom
+                row[index[e]] += share
+                rhs += share * graph.weight(*e)
+            cuts.append((row, rhs))
+        return cuts
+
+    out = solve_with_cutting_planes(lp, oracle, method=method, max_rounds=max_rounds)
+    if not out.ok:
+        return None, float("inf")
+    subsidies = SubsidyAssignment.from_vector(graph, all_edges, out.result.x)
+    return subsidies, subsidies.cost

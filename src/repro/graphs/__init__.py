@@ -1,0 +1,41 @@
+"""Graph substrate: structures and algorithms the game layer is built on.
+
+Everything here is implemented from scratch (union-find, MSTs, Dijkstra,
+rooted-tree utilities, spanning-tree enumeration/counting, generators);
+networkx is used only in the test suite as an independent oracle.
+"""
+
+from repro.graphs.graph import Graph, canonical_edge
+from repro.graphs.unionfind import UnionFind
+from repro.graphs.mst import kruskal_mst, prim_mst, minimum_spanning_tree, is_spanning_tree
+from repro.graphs.shortest_paths import dijkstra, shortest_path, path_weight
+from repro.graphs.tree import RootedTree
+from repro.graphs.spanning_trees import (
+    count_spanning_trees,
+    enumerate_spanning_trees,
+    enumerate_minimum_spanning_trees,
+)
+from repro.graphs.paths import count_simple_paths, enumerate_simple_paths
+from repro.graphs.steiner import steiner_tree
+from repro.graphs import generators
+
+__all__ = [
+    "Graph",
+    "canonical_edge",
+    "UnionFind",
+    "kruskal_mst",
+    "prim_mst",
+    "minimum_spanning_tree",
+    "is_spanning_tree",
+    "dijkstra",
+    "shortest_path",
+    "path_weight",
+    "RootedTree",
+    "count_spanning_trees",
+    "enumerate_spanning_trees",
+    "enumerate_minimum_spanning_trees",
+    "count_simple_paths",
+    "enumerate_simple_paths",
+    "steiner_tree",
+    "generators",
+]

@@ -1,0 +1,217 @@
+"""Instance generators for experiments and tests.
+
+Conventions: nodes are integers ``0..n-1`` (gadget builders elsewhere use
+richer node labels), node ``0`` is the broadcast root unless stated
+otherwise, and every stochastic generator takes a ``seed`` handled by
+:func:`repro.utils.ensure_rng`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def path_graph(n: int, weights: Optional[Sequence[float]] = None) -> Graph:
+    """Path 0-1-...-(n-1); ``weights[i]`` is the weight of edge (i, i+1)."""
+    check_positive_int(n, "n")
+    g = Graph()
+    g.add_node(0)
+    for i in range(n - 1):
+        w = 1.0 if weights is None else float(weights[i])
+        g.add_edge(i, i + 1, w)
+    return g
+
+
+def cycle_graph(n: int, weight: float = 1.0) -> Graph:
+    """Cycle over n >= 3 nodes with uniform edge weight."""
+    check_positive_int(n, "n")
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    g = path_graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, weight)
+    g.add_edge(n - 1, 0, weight)
+    return g
+
+
+def complete_graph(n: int, weight: float = 1.0) -> Graph:
+    check_positive_int(n, "n")
+    g = Graph()
+    g.add_node(0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j, weight)
+    return g
+
+
+def star_graph(n_leaves: int, weight: float = 1.0, center: int = 0) -> Graph:
+    """Star with ``n_leaves`` leaves attached to ``center``."""
+    g = Graph()
+    g.add_node(center)
+    for i in range(1, n_leaves + 1):
+        g.add_edge(center, center + i, weight)
+    return g
+
+
+def wheel_graph(n_rim: int, spoke_weight: float = 1.0, rim_weight: float = 1.0) -> Graph:
+    """Hub node 0 plus an n_rim-cycle 1..n_rim around it."""
+    check_positive_int(n_rim, "n_rim")
+    if n_rim < 3:
+        raise ValueError("a wheel needs at least 3 rim nodes")
+    g = Graph()
+    for i in range(1, n_rim + 1):
+        g.add_edge(0, i, spoke_weight)
+    for i in range(1, n_rim):
+        g.add_edge(i, i + 1, rim_weight)
+    g.add_edge(n_rim, 1, rim_weight)
+    return g
+
+
+def grid_graph(rows: int, cols: int, weight: float = 1.0) -> Graph:
+    """rows x cols grid; node (r, c) is encoded as r*cols + c."""
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    g = Graph()
+    g.add_node(0)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(u, u + 1, weight)
+            if r + 1 < rows:
+                g.add_edge(u, u + cols, weight)
+    return g
+
+
+def random_connected_gnp(
+    n: int,
+    p: float,
+    seed: "int | np.random.Generator | None" = None,
+    weight_low: float = 0.5,
+    weight_high: float = 2.0,
+) -> Graph:
+    """Erdos-Renyi G(n, p) with uniform random weights, forced connected.
+
+    Connectivity is guaranteed by first laying down a random spanning tree
+    (random parent attachment) and then adding each remaining pair with
+    probability p.
+    """
+    check_positive_int(n, "n")
+    check_probability(p)
+    rng = ensure_rng(seed)
+
+    def draw() -> float:
+        return float(rng.uniform(weight_low, weight_high))
+
+    g = Graph()
+    g.add_node(0)
+    order = list(rng.permutation(n))
+    placed = [order[0]]
+    for u in order[1:]:
+        v = placed[int(rng.integers(len(placed)))]
+        g.add_edge(u, v, draw())
+        placed.append(u)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not g.has_edge(u, v) and rng.random() < p:
+                g.add_edge(u, v, draw())
+    return g
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    seed: "int | np.random.Generator | None" = None,
+    scale: float = 1.0,
+) -> Graph:
+    """Random points in the unit square, edges within ``radius`` at Euclidean
+    cost, plus a Euclidean spanning tree so the result is always connected.
+
+    Models the "ISP builds links between sites" scenario of the paper's intro.
+    """
+    check_positive_int(n, "n")
+    rng = ensure_rng(seed)
+    pts = rng.random((n, 2))
+    g = Graph()
+    g.add_node(0)
+    for i in range(n):
+        g.add_node(i)
+    diffs = pts[:, None, :] - pts[None, :, :]
+    dist = np.sqrt((diffs**2).sum(axis=2))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dist[i, j] <= radius:
+                g.add_edge(i, j, scale * float(dist[i, j]))
+    # Connect any leftover components through their nearest cross pair.
+    comps = g.connected_components()
+    while len(comps) > 1:
+        a, b = comps[0], comps[1]
+        best = None
+        for i in a:
+            for j in b:
+                d = float(dist[i, j])
+                if best is None or d < best[0]:
+                    best = (d, i, j)
+        assert best is not None
+        g.add_edge(best[1], best[2], scale * best[0])
+        comps = g.connected_components()
+    return g
+
+
+def random_tree_plus_chords(
+    n: int,
+    n_chords: int,
+    seed: "int | np.random.Generator | None" = None,
+    weight_low: float = 0.5,
+    weight_high: float = 2.0,
+    chord_factor: float = 1.5,
+) -> Graph:
+    """Random spanning tree plus ``n_chords`` heavier chord edges.
+
+    Useful for SNE experiments: the tree is the natural design and the chords
+    are tempting deviations at ``chord_factor`` times typical tree weights.
+    """
+    check_positive_int(n, "n")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_node(0)
+    for u in range(1, n):
+        v = int(rng.integers(u))
+        g.add_edge(u, v, float(rng.uniform(weight_low, weight_high)))
+    attempts = 0
+    added = 0
+    while added < n_chords and attempts < 50 * max(1, n_chords):
+        attempts += 1
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, chord_factor * float(rng.uniform(weight_low, weight_high)))
+            added += 1
+    return g
+
+
+def fan_graph(n: int, direct_weight: float = 1.0, rim_weight_scale: float = 1.0) -> Graph:
+    """The "fan": spokes 0-i of weight ``direct_weight`` plus a cheap rim path.
+
+    A classic family in price-of-stability discussions - the MST hugs the rim
+    while selfish players prefer the spokes.
+    """
+    check_positive_int(n, "n")
+    g = Graph()
+    g.add_node(0)
+    for i in range(1, n + 1):
+        g.add_edge(0, i, direct_weight)
+    for i in range(1, n):
+        g.add_edge(i, i + 1, rim_weight_scale * direct_weight / (2.0 * n))
+    return g
+
+
+def euclidean_distance(p: Sequence[float], q: Sequence[float]) -> float:
+    return math.dist(p, q)

@@ -1,0 +1,180 @@
+"""Undirected weighted simple graph.
+
+Nodes are arbitrary hashables (the hardness gadgets use tuples and strings);
+edges are stored once under a canonical orientation so ``(u, v)`` and
+``(v, u)`` always refer to the same edge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from repro.utils.validation import check_edge_weight
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def _sort_key(node: Node) -> Tuple[str, str]:
+    """Total order over heterogeneous hashables (type name, then repr)."""
+    return (type(node).__name__, repr(node))
+
+
+def canonical_edge(u: Node, v: Node) -> Edge:
+    """Return the canonical orientation of the undirected edge {u, v}.
+
+    Homogeneous comparable nodes use their natural order; mixed node types
+    fall back to a deterministic (type-name, repr) order.
+    """
+    if u == v:
+        raise ValueError(f"self-loops are not allowed: {u!r}")
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if _sort_key(u) <= _sort_key(v) else (v, u)
+
+
+class Graph:
+    """Undirected simple graph with nonnegative float edge weights.
+
+    The adjacency structure is a dict-of-dicts (``adj[u][v] -> weight``) so
+    neighbor iteration, used heavily by Dijkstra-based best-response oracles,
+    is a plain dict walk.
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[Node, Dict[Node, float]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[Node, Node, float]]) -> "Graph":
+        """Build a graph from an iterable of ``(u, v, weight)`` triples."""
+        g = cls()
+        for u, v, w in edges:
+            g.add_edge(u, v, w)
+        return g
+
+    def add_node(self, u: Node) -> None:
+        """Add an isolated node (no-op when already present)."""
+        self._adj.setdefault(u, {})
+
+    def add_edge(self, u: Node, v: Node, weight: float) -> None:
+        """Add (or overwrite) the edge {u, v} with the given weight."""
+        w = check_edge_weight(weight)
+        if u == v:
+            raise ValueError(f"self-loops are not allowed: {u!r}")
+        self._adj.setdefault(u, {})[v] = w
+        self._adj.setdefault(v, {})[u] = w
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge {u, v}; raises KeyError when absent."""
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, u: Node) -> bool:
+        return u in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Weight of edge {u, v}; raises KeyError when absent."""
+        return self._adj[u][v]
+
+    def neighbors(self, u: Node) -> Iterator[Node]:
+        return iter(self._adj[u])
+
+    def adjacency(self, u: Node) -> Dict[Node, float]:
+        """Read-only view (by convention) of ``{neighbor: weight}`` for u."""
+        return self._adj[u]
+
+    def degree(self, u: Node) -> int:
+        return len(self._adj[u])
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._adj)
+
+    def node_set(self) -> Set[Node]:
+        return set(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate each edge exactly once as ``(u, v, weight)`` canonically."""
+        seen: Set[Edge] = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                e = canonical_edge(u, v)
+                if e not in seen:
+                    seen.add(e)
+                    yield e[0], e[1], w
+
+    def edge_set(self) -> Set[Edge]:
+        return {canonical_edge(u, v) for u, v, _ in self.edges()}
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights (``wgt(E)`` in the paper's notation)."""
+        return sum(w for _, _, w in self.edges())
+
+    def subset_weight(self, edges: Iterable[Edge]) -> float:
+        """``wgt(A)`` for an edge subset A of this graph."""
+        return sum(self.weight(u, v) for u, v in edges)
+
+    # -- connectivity -----------------------------------------------------
+
+    def connected_components(self) -> List[Set[Node]]:
+        """All connected components as node sets (BFS)."""
+        seen: Set[Node] = set()
+        comps: List[Set[Node]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp = {start}
+            queue = deque([start])
+            while queue:
+                u = queue.popleft()
+                for v in self._adj[u]:
+                    if v not in comp:
+                        comp.add(v)
+                        queue.append(v)
+            seen |= comp
+            comps.append(comp)
+        return comps
+
+    def is_connected(self) -> bool:
+        if not self._adj:
+            return True
+        return len(self.connected_components()) == 1
+
+    # -- derived graphs ---------------------------------------------------
+
+    def copy(self) -> "Graph":
+        g = Graph()
+        for u in self._adj:
+            g.add_node(u)
+        for u, v, w in self.edges():
+            g.add_edge(u, v, w)
+        return g
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "Graph":
+        """Subgraph spanned by the given edges (keeps all nodes of self)."""
+        g = Graph()
+        for u in self._adj:
+            g.add_node(u)
+        for u, v in edges:
+            g.add_edge(u, v, self.weight(u, v))
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.num_nodes}, m={self.num_edges}, wgt={self.total_weight():g})"

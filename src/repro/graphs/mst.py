@@ -1,0 +1,93 @@
+"""Minimum spanning trees: Kruskal and Prim, plus validators.
+
+Broadcast games make MSTs the optimal designs (Section 2 of the paper), so
+these routines sit under every SNE/SND experiment.  Ties are broken
+deterministically (by canonical edge key) so repeated runs pick the same MST.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Set, Tuple
+
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge, _sort_key
+from repro.graphs.unionfind import UnionFind
+
+
+def _edge_order_key(item: Tuple[Node, Node, float]):
+    u, v, w = item
+    return (w, _sort_key(u), _sort_key(v))
+
+
+def kruskal_mst(graph: Graph) -> List[Edge]:
+    """Minimum spanning tree via Kruskal's algorithm.
+
+    Returns the tree's edges in canonical form.  Raises ``ValueError`` when
+    the graph is disconnected (a broadcast game needs all players reachable).
+    """
+    uf = UnionFind(graph.nodes)
+    tree: List[Edge] = []
+    for u, v, _w in sorted(graph.edges(), key=_edge_order_key):
+        if uf.union(u, v):
+            tree.append(canonical_edge(u, v))
+    if graph.num_nodes and len(tree) != graph.num_nodes - 1:
+        raise ValueError("graph is disconnected; no spanning tree exists")
+    return tree
+
+
+def prim_mst(graph: Graph, start: Node | None = None) -> List[Edge]:
+    """Minimum spanning tree via Prim's algorithm with a binary heap."""
+    if graph.num_nodes == 0:
+        return []
+    nodes = graph.nodes
+    root = start if start is not None else nodes[0]
+    visited: Set[Node] = {root}
+    tree: List[Edge] = []
+    counter = 0  # heap tiebreaker so heterogeneous nodes never get compared
+    heap: List[Tuple[float, int, Node, Node]] = []
+    for v, w in graph.adjacency(root).items():
+        heapq.heappush(heap, (w, counter, root, v))
+        counter += 1
+    while heap and len(visited) < graph.num_nodes:
+        w, _, u, v = heapq.heappop(heap)
+        if v in visited:
+            continue
+        visited.add(v)
+        tree.append(canonical_edge(u, v))
+        for x, wx in graph.adjacency(v).items():
+            if x not in visited:
+                heapq.heappush(heap, (wx, counter, v, x))
+                counter += 1
+    if len(visited) != graph.num_nodes:
+        raise ValueError("graph is disconnected; no spanning tree exists")
+    return tree
+
+
+def minimum_spanning_tree(graph: Graph) -> Graph:
+    """MST as a :class:`Graph` (all original nodes, tree edges only)."""
+    return graph.edge_subgraph(kruskal_mst(graph))
+
+
+def is_spanning_tree(graph: Graph, edges: Iterable[Edge]) -> bool:
+    """Check that ``edges`` form a spanning tree of ``graph``."""
+    edge_list = [canonical_edge(u, v) for u, v in edges]
+    if len(set(edge_list)) != len(edge_list):
+        return False
+    if len(edge_list) != graph.num_nodes - 1:
+        return False
+    uf = UnionFind(graph.nodes)
+    for u, v in edge_list:
+        if not graph.has_edge(u, v):
+            return False
+        if not uf.union(u, v):
+            return False  # cycle
+    return uf.n_components == 1
+
+
+def is_minimum_spanning_tree(graph: Graph, edges: Iterable[Edge], tol: float = 1e-9) -> bool:
+    """Check that ``edges`` form a spanning tree of minimum total weight."""
+    edge_list = list(edges)
+    if not is_spanning_tree(graph, edge_list):
+        return False
+    best = graph.subset_weight(kruskal_mst(graph))
+    return graph.subset_weight(edge_list) <= best + tol * max(1.0, abs(best))

@@ -1,0 +1,63 @@
+"""Simple-path enumeration.
+
+The coalitional-deviation checker (Section 6's "deviations of coalitions")
+needs every simple path between a player's terminals on small graphs; this
+module provides bounded enumeration with deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.graphs.graph import Graph, Node
+
+
+def enumerate_simple_paths(
+    graph: Graph,
+    source: Node,
+    target: Node,
+    max_paths: Optional[int] = None,
+    max_length: Optional[int] = None,
+) -> Iterator[List[Node]]:
+    """Yield every simple path (as a node list) from source to target.
+
+    Depth-first with deterministic neighbor order; ``max_paths`` caps the
+    number yielded and ``max_length`` caps the edge count per path.
+    Exponential in general — intended for the small coalition instances.
+    """
+    if source not in graph or target not in graph:
+        raise KeyError("source/target not in graph")
+    if source == target:
+        yield [source]
+        return
+    limit = max_length if max_length is not None else graph.num_nodes - 1
+    produced = 0
+    stack: List[Node] = [source]
+    on_path = {source}
+
+    def dfs() -> Iterator[List[Node]]:
+        nonlocal produced
+        if max_paths is not None and produced >= max_paths:
+            return
+        u = stack[-1]
+        if u == target:
+            produced += 1
+            yield list(stack)
+            return
+        if len(stack) - 1 >= limit:
+            return
+        for v in sorted(graph.adjacency(u), key=lambda x: (type(x).__name__, repr(x))):
+            if v in on_path:
+                continue
+            stack.append(v)
+            on_path.add(v)
+            yield from dfs()
+            stack.pop()
+            on_path.discard(v)
+
+    yield from dfs()
+
+
+def count_simple_paths(graph: Graph, source: Node, target: Node) -> int:
+    """Number of simple source->target paths (exponential; small graphs)."""
+    return sum(1 for _ in enumerate_simple_paths(graph, source, target))

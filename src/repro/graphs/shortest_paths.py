@@ -1,0 +1,97 @@
+"""Single-source shortest paths (Dijkstra) with pluggable edge costs.
+
+The equilibrium checker prices edge ``a`` at ``(w_a - b_a) / (n_a + 1 - n_a^i)``
+for the deviating player, so :func:`dijkstra` accepts a ``weight_fn`` override
+instead of always reading the stored graph weight.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+
+WeightFn = Callable[[Node, Node], float]
+
+
+def dijkstra(
+    graph: Graph,
+    source: Node,
+    weight_fn: Optional[WeightFn] = None,
+    target: Optional[Node] = None,
+) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Dijkstra from ``source``; returns ``(dist, parent)`` maps.
+
+    ``weight_fn(u, v)`` must be nonnegative; when omitted the stored graph
+    weight is used.  When ``target`` is given the search stops as soon as the
+    target is settled.
+    """
+    if source not in graph:
+        raise KeyError(f"source node {source!r} not in graph")
+    # Distances start from integer 0 so exact numeric types survive: with a
+    # Fraction-valued weight_fn, 0 + Fraction stays a Fraction, whereas a
+    # float seed would silently degrade every distance to float.
+    dist: Dict[Node, float] = {source: 0}
+    parent: Dict[Node, Node] = {}
+    settled: set = set()
+    counter = 0
+    heap: List[Tuple[float, int, Node]] = [(0, counter, source)]
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u == target:
+            break
+        for v, stored_w in graph.adjacency(u).items():
+            if v in settled:
+                continue
+            w = stored_w if weight_fn is None else weight_fn(u, v)
+            if w < 0 or math.isnan(w):
+                raise ValueError(f"negative/NaN edge cost on {(u, v)!r}: {w}")
+            nd = d + w
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                parent[v] = u
+                counter += 1
+                heapq.heappush(heap, (nd, counter, v))
+    return dist, parent
+
+
+def reconstruct_path(parent: Dict[Node, Node], source: Node, target: Node) -> List[Edge]:
+    """Edge list of the tree path source->target recorded in ``parent``."""
+    if target == source:
+        return []
+    if target not in parent:
+        raise ValueError(f"target {target!r} unreachable from {source!r}")
+    path: List[Edge] = []
+    v = target
+    while v != source:
+        u = parent[v]
+        path.append(canonical_edge(u, v))
+        v = u
+    path.reverse()
+    return path
+
+
+def shortest_path(
+    graph: Graph,
+    source: Node,
+    target: Node,
+    weight_fn: Optional[WeightFn] = None,
+) -> Tuple[float, List[Edge]]:
+    """Length and edge list of a shortest source->target path."""
+    dist, parent = dijkstra(graph, source, weight_fn=weight_fn, target=target)
+    if target not in dist:
+        raise ValueError(f"target {target!r} unreachable from {source!r}")
+    return dist[target], reconstruct_path(parent, source, target)
+
+
+def path_weight(graph: Graph, path: List[Edge], weight_fn: Optional[WeightFn] = None) -> float:
+    """Total cost of an explicit edge list under the given pricing."""
+    total = 0.0
+    for u, v in path:
+        total += graph.weight(u, v) if weight_fn is None else weight_fn(u, v)
+    return total

@@ -1,0 +1,168 @@
+"""Rooted spanning tree utilities for broadcast games.
+
+A broadcast state *is* a spanning tree rooted at the game's root; every
+quantity the paper manipulates (the path ``T_u`` from a node to the root, the
+edge usage counts ``n_a(T)``, least common ancestors for Lemma 2) is provided
+here on top of a plain edge list.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.graphs.graph import Edge, Node, canonical_edge
+
+
+class RootedTree:
+    """A tree over hashable nodes rooted at ``root``.
+
+    Parameters
+    ----------
+    root:
+        The root node (the broadcast destination ``r``).
+    edges:
+        Tree edges as unordered pairs; must form a tree containing ``root``.
+    """
+
+    def __init__(self, root: Node, edges: Iterable[Tuple[Node, Node]]) -> None:
+        adjacency: Dict[Node, List[Node]] = {root: []}
+        edge_list = [canonical_edge(u, v) for u, v in edges]
+        if len(set(edge_list)) != len(edge_list):
+            raise ValueError("duplicate edges passed to RootedTree")
+        for u, v in edge_list:
+            adjacency.setdefault(u, []).append(v)
+            adjacency.setdefault(v, []).append(u)
+        if len(edge_list) != len(adjacency) - 1:
+            raise ValueError(
+                f"{len(edge_list)} edges over {len(adjacency)} nodes do not form a tree"
+            )
+
+        self.root: Node = root
+        self.parent: Dict[Node, Node] = {}
+        self.depth: Dict[Node, int] = {root: 0}
+        self.children: Dict[Node, List[Node]] = {u: [] for u in adjacency}
+        #: nodes in BFS order from the root (root first)
+        self.bfs_order: List[Node] = [root]
+
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                if v not in self.depth:
+                    self.depth[v] = self.depth[u] + 1
+                    self.parent[v] = u
+                    self.children[u].append(v)
+                    self.bfs_order.append(v)
+                    queue.append(v)
+        if len(self.bfs_order) != len(adjacency):
+            raise ValueError("edges do not form a connected tree containing the root")
+
+        self._edges: List[Edge] = edge_list
+        self._path_cache: Dict[Node, List[Edge]] = {root: []}
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self.bfs_order)
+
+    @property
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.bfs_order)
+
+    def edge_to_parent(self, v: Node) -> Edge:
+        """Canonical tree edge connecting ``v`` to its parent."""
+        if v == self.root:
+            raise ValueError("the root has no parent edge")
+        return canonical_edge(v, self.parent[v])
+
+    def child_endpoint(self, edge: Edge) -> Node:
+        """The endpoint of a tree edge farther from the root."""
+        u, v = edge
+        if self.parent.get(u) == v:
+            return u
+        if self.parent.get(v) == u:
+            return v
+        raise ValueError(f"{edge!r} is not a tree edge")
+
+    # -- paths and ancestors -------------------------------------------------
+
+    def path_to_root(self, u: Node) -> List[Edge]:
+        """Edge list of ``T_u``, the unique tree path from u to the root.
+
+        Results are cached; paths share no list structure with the cache, so
+        callers may mutate the returned list freely.
+        """
+        if u not in self._path_cache:
+            v = u
+            suffix: List[Node] = []
+            while v not in self._path_cache:
+                suffix.append(v)
+                v = self.parent[v]
+            base = self._path_cache[v]
+            # Unwind: path(x) = [edge(x, parent)] + path(parent).
+            for x in reversed(suffix):
+                self._path_cache[x] = [self.edge_to_parent(x)] + self._path_cache[self.parent[x]]
+        return list(self._path_cache[u])
+
+    def lca(self, u: Node, v: Node) -> Node:
+        """Least common ancestor by depth walking."""
+        while self.depth[u] > self.depth[v]:
+            u = self.parent[u]
+        while self.depth[v] > self.depth[u]:
+            v = self.parent[v]
+        while u != v:
+            u = self.parent[u]
+            v = self.parent[v]
+        return u
+
+    def path_between(self, u: Node, v: Node) -> List[Edge]:
+        """Edge list of the unique tree path between two nodes."""
+        w = self.lca(u, v)
+        up: List[Edge] = []
+        x = u
+        while x != w:
+            up.append(self.edge_to_parent(x))
+            x = self.parent[x]
+        down: List[Edge] = []
+        x = v
+        while x != w:
+            down.append(self.edge_to_parent(x))
+            x = self.parent[x]
+        return up + list(reversed(down))
+
+    # -- subtree aggregates ---------------------------------------------------
+
+    def subtree_nodes(self, v: Node) -> Set[Node]:
+        """All nodes in the subtree rooted at v (including v)."""
+        out: Set[Node] = set()
+        stack = [v]
+        while stack:
+            x = stack.pop()
+            out.add(x)
+            stack.extend(self.children[x])
+        return out
+
+    def subtree_loads(self, multiplicity: Optional[Mapping[Node, int]] = None) -> Dict[Edge, int]:
+        """Usage count ``n_a(T)`` for every tree edge.
+
+        In a broadcast state the players using the edge from ``v`` to its
+        parent are exactly the players located in v's subtree.  When
+        ``multiplicity`` is given, node u hosts ``multiplicity[u]`` co-located
+        players (default 1 per non-root node); the root hosts none.
+        """
+        load: Dict[Node, int] = {}
+        for u in reversed(self.bfs_order):
+            own = 1 if u != self.root else 0
+            if multiplicity is not None and u != self.root:
+                own = int(multiplicity.get(u, 1))
+            load[u] = own + sum(load[c] for c in self.children[u])
+        return {self.edge_to_parent(v): load[v] for v in self.bfs_order if v != self.root}
+
+    def leaves(self) -> List[Node]:
+        return [u for u in self.bfs_order if not self.children[u]]

@@ -1,0 +1,61 @@
+"""Disjoint-set forest with union by rank and path compression."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+
+class UnionFind:
+    """Union-find over arbitrary hashable elements.
+
+    Elements are registered lazily by :meth:`find`, or eagerly via the
+    constructor.  ``n_components`` tracks the number of disjoint sets among
+    the registered elements.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self.n_components: int = 0
+        for x in elements:
+            self.add(x)
+
+    def add(self, x: Hashable) -> None:
+        """Register a new singleton element (no-op when present)."""
+        if x not in self._parent:
+            self._parent[x] = x
+            self._rank[x] = 0
+            self.n_components += 1
+
+    def __contains__(self, x: Hashable) -> bool:
+        return x in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: Hashable) -> Hashable:
+        """Representative of x's set (registers x when unknown)."""
+        self.add(x)
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point the whole chain at the root.
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, x: Hashable, y: Hashable) -> bool:
+        """Merge the sets of x and y; returns True when they were distinct."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._rank[rx] < self._rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if self._rank[rx] == self._rank[ry]:
+            self._rank[rx] += 1
+        self.n_components -= 1
+        return True
+
+    def connected(self, x: Hashable, y: Hashable) -> bool:
+        return self.find(x) == self.find(y)

@@ -1,0 +1,56 @@
+"""Hardness constructions of the paper (Sections 3 and 5).
+
+Every reduction is implemented as a *constructor* producing a concrete
+broadcast game plus both directions of the paper's equivalence, verified
+end-to-end against exact NP solvers from :mod:`repro.hardness.solvers`:
+
+* :mod:`repro.hardness.bypass` — the Bypass gadget (Lemma 4),
+* :mod:`repro.hardness.binpacking_reduction` — Theorem 3 (SND is NP-hard
+  even with zero budget), from BIN PACKING,
+* :mod:`repro.hardness.independent_set` — Theorem 5 (PoS is APX-hard),
+  from INDEPENDENT SET in 3-regular graphs,
+* :mod:`repro.hardness.sat_reduction` — Theorem 12 (all-or-nothing SNE is
+  inapproximable), from 3SAT-4.
+"""
+
+from repro.hardness.bypass import BypassGadget, bypass_ell, build_bypass_game
+from repro.hardness.binpacking_reduction import (
+    Theorem3Instance,
+    build_theorem3_instance,
+    packing_from_tree,
+    tree_from_packing,
+)
+from repro.hardness.independent_set import (
+    Theorem5Instance,
+    build_theorem5_instance,
+    equilibrium_weight,
+    independent_set_from_tree,
+    tree_from_independent_set,
+)
+from repro.hardness.sat_reduction import (
+    Theorem12Instance,
+    assignment_to_subsidized_edges,
+    build_theorem12_instance,
+    exact_light_assignment_check,
+    light_enforcement_exists,
+)
+
+__all__ = [
+    "BypassGadget",
+    "bypass_ell",
+    "build_bypass_game",
+    "Theorem3Instance",
+    "build_theorem3_instance",
+    "packing_from_tree",
+    "tree_from_packing",
+    "Theorem5Instance",
+    "build_theorem5_instance",
+    "equilibrium_weight",
+    "independent_set_from_tree",
+    "tree_from_independent_set",
+    "Theorem12Instance",
+    "assignment_to_subsidized_edges",
+    "build_theorem12_instance",
+    "exact_light_assignment_check",
+    "light_enforcement_exists",
+]

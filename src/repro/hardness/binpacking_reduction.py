@@ -1,0 +1,146 @@
+"""Theorem 3: broadcast SND is NP-hard even with zero budget.
+
+Reduction from strict BIN PACKING (Figure 2): one Bypass gadget of capacity
+``C`` per bin, one star of ``s_i`` nodes per item (center ``x_i`` plus
+``s_i - 1`` zero-weight leaves), and a complete bipartite layer between
+connectors and star centers of weight ``2 * (H_{C+l} - H_C)``.
+
+A minimum spanning tree picks one connector per item; it is an equilibrium
+iff the induced item-to-bin allocation fills every bin exactly — i.e. iff
+the BIN PACKING instance is solvable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bounds.harmonic import harmonic_diff
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+from repro.games.broadcast import BroadcastGame, TreeState
+from repro.games.equilibrium import check_equilibrium
+from repro.hardness.bypass import BypassGadget, add_bypass_gadget
+from repro.hardness.solvers.binpacking import BinPackingInstance, solve_bin_packing_exact
+
+
+@dataclass
+class Theorem3Instance:
+    """The constructed SND instance plus reduction bookkeeping."""
+
+    packing: BinPackingInstance
+    game: BroadcastGame
+    gadgets: List[BypassGadget]
+    item_centers: List[Node]
+    star_edges: List[Edge] = field(default_factory=list)
+    bipartite_weight: float = 0.0
+    ell: int = 0
+    #: target equilibrium weight K = k*l + 2n*(H_{C+l} - H_C)
+    K: float = 0.0
+
+    @property
+    def root(self) -> Node:
+        return self.game.root
+
+    def connector(self, bin_idx: int) -> Node:
+        return self.gadgets[bin_idx].connector
+
+
+def build_theorem3_instance(packing: BinPackingInstance) -> Theorem3Instance:
+    """Construct the Theorem 3 broadcast game from a strict instance."""
+    if not packing.is_strict():
+        raise ValueError(
+            "Theorem 3 requires the strict form: even sizes/capacity, "
+            "sum(sizes) = k*C, capacity >= max size (use to_strict_form)"
+        )
+    if any(s < 2 for s in packing.sizes):
+        raise ValueError("strict sizes are even, hence >= 2")
+
+    g = Graph()
+    root: Node = "r"
+    g.add_node(root)
+
+    gadgets = [
+        add_bypass_gadget(g, root, kappa=packing.capacity, tag=("bin", j))
+        for j in range(packing.n_bins)
+    ]
+    ell = gadgets[0].ell
+    bip_w = 2.0 * harmonic_diff(packing.capacity + ell, packing.capacity)
+
+    item_centers: List[Node] = []
+    star_edges: List[Edge] = []
+    for i, size in enumerate(packing.sizes):
+        center: Node = ("item", i)
+        g.add_node(center)
+        item_centers.append(center)
+        for t in range(size - 1):
+            leaf = ("leaf", i, t)
+            g.add_edge(center, leaf, 0.0)
+            star_edges.append(canonical_edge(center, leaf))
+        for gadget in gadgets:
+            g.add_edge(center, gadget.connector, bip_w)
+
+    game = BroadcastGame(g, root=root)
+    K = packing.n_bins * ell + 2 * len(packing.sizes) * (bip_w / 2.0)
+    return Theorem3Instance(
+        packing=packing,
+        game=game,
+        gadgets=gadgets,
+        item_centers=item_centers,
+        star_edges=star_edges,
+        bipartite_weight=bip_w,
+        ell=ell,
+        K=K,
+    )
+
+
+def tree_from_packing(
+    instance: Theorem3Instance, assignment: Sequence[int]
+) -> TreeState:
+    """The spanning tree ``T_ne`` induced by an item-to-bin assignment."""
+    if not instance.packing.check_solution(assignment):
+        raise ValueError("assignment does not solve the strict packing instance")
+    edges: List[Tuple[Node, Node]] = list(instance.star_edges)
+    for gadget in instance.gadgets:
+        edges.extend(gadget.basic_path_edges)
+    for i, b in enumerate(assignment):
+        edges.append((instance.item_centers[i], instance.gadgets[b].connector))
+    return instance.game.tree_state(edges)
+
+
+def packing_from_tree(instance: Theorem3Instance, state: TreeState) -> List[int]:
+    """Read the item-to-bin allocation off a minimum spanning tree."""
+    connector_index: Dict[Node, int] = {
+        gadget.connector: j for j, gadget in enumerate(instance.gadgets)
+    }
+    tree_set = state.edge_set()
+    out: List[int] = []
+    for i, center in enumerate(instance.item_centers):
+        bins = [
+            connector_index[c]
+            for c in connector_index
+            if canonical_edge(center, c) in tree_set
+        ]
+        if len(bins) != 1:
+            raise ValueError(f"item {i} is not connected to exactly one connector")
+        out.append(bins[0])
+    return out
+
+
+def any_mst_equilibrium(
+    instance: Theorem3Instance,
+) -> Optional[TreeState]:
+    """Search for an MST that is an equilibrium, via the reduction itself.
+
+    By Theorem 3 this succeeds iff the packing is solvable, so we invoke the
+    exact packing oracle and map its solution through
+    :func:`tree_from_packing` (then double-check with the game's own
+    equilibrium checker — the reduction's forward direction, executed).
+    """
+    solution = solve_bin_packing_exact(instance.packing)
+    if solution is None:
+        return None
+    state = tree_from_packing(instance, solution)
+    report = check_equilibrium(state)
+    if not report.is_equilibrium:  # pragma: no cover - would falsify Thm 3
+        raise AssertionError("reduction violated: packing solution not an equilibrium")
+    return state

@@ -1,0 +1,105 @@
+"""The Bypass gadget (Figure 1, Lemma 4).
+
+A Bypass gadget of capacity ``kappa`` is a basic path of ``l`` unit-weight
+edges from the root ``r`` to a *connector* node ``c``, plus a *bypass edge*
+``(c, r)`` of weight ``H_{kappa+l} - H_kappa``, where ``l`` is the minimum
+positive integer with ``H_{kappa+l} - H_kappa > 1``.
+
+Lemma 4: if a subgraph of ``beta`` player-nodes hangs off the connector,
+then in the MST (which routes everyone through the basic path) the player
+at ``c`` wants to deviate to the bypass edge iff ``beta < kappa``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.bounds.harmonic import harmonic_diff
+from repro.graphs.graph import Graph, Node
+from repro.games.broadcast import BroadcastGame, TreeState
+
+
+def bypass_ell(kappa: int) -> int:
+    """Minimum ``l >= 1`` with ``H_{kappa+l} - H_kappa > 1`` (~ (e-1)*kappa)."""
+    if kappa < 1:
+        raise ValueError("capacity must be >= 1")
+    ell = 1
+    while harmonic_diff(kappa + ell, kappa) <= 1.0:
+        ell += 1
+    return ell
+
+
+@dataclass
+class BypassGadget:
+    """Bookkeeping for one gadget added to a graph."""
+
+    root: Node
+    connector: Node
+    path_nodes: List[Node]  # from the root side toward the connector
+    basic_path_edges: List[Tuple[Node, Node]]
+    bypass_edge: Tuple[Node, Node]
+    kappa: int
+    ell: int
+    bypass_weight: float
+
+
+def add_bypass_gadget(graph: Graph, root: Node, kappa: int, tag: object) -> BypassGadget:
+    """Attach a Bypass gadget of capacity ``kappa`` to ``root`` in place.
+
+    Nodes are labeled ``("bypass", tag, i)`` for ``i = 1..l`` (``i = l`` is
+    the connector).  Returns the gadget descriptor.
+    """
+    ell = bypass_ell(kappa)
+    bypass_weight = harmonic_diff(kappa + ell, kappa)
+    nodes = [("bypass", tag, i) for i in range(1, ell + 1)]
+    graph.add_node(root)
+    prev = root
+    path_edges = []
+    for node in nodes:
+        graph.add_edge(prev, node, 1.0)
+        path_edges.append((prev, node))
+        prev = node
+    connector = nodes[-1]
+    graph.add_edge(connector, root, bypass_weight)
+    return BypassGadget(
+        root=root,
+        connector=connector,
+        path_nodes=nodes,
+        basic_path_edges=path_edges,
+        bypass_edge=(connector, root),
+        kappa=kappa,
+        ell=ell,
+        bypass_weight=bypass_weight,
+    )
+
+
+def build_bypass_game(kappa: int, beta: int) -> Tuple[BroadcastGame, TreeState, BypassGadget]:
+    """The Lemma 4 demonstration instance.
+
+    One Bypass gadget of capacity ``kappa`` plus ``beta`` player-nodes
+    attached to the connector through zero-weight edges (the simplest
+    subgraph ``S``); the target state is the MST (basic path, no bypass).
+    """
+    if beta < 0:
+        raise ValueError("beta must be >= 0")
+    g = Graph()
+    gadget = add_bypass_gadget(g, root="r", kappa=kappa, tag=0)
+    tree_edges = list(gadget.basic_path_edges)
+    for i in range(beta):
+        node = ("s", i)
+        g.add_edge(gadget.connector, node, 0.0)
+        tree_edges.append((gadget.connector, node))
+    game = BroadcastGame(g, root="r")
+    state = game.tree_state(tree_edges)
+    return game, state, gadget
+
+
+def connector_deviates(kappa: int, beta: int) -> bool:
+    """Closed-form Lemma 4 prediction: deviation iff ``beta < kappa``.
+
+    (Equivalently ``H_{kappa+l} - H_kappa < H_{beta+l} - H_beta`` since the
+    tail difference is strictly decreasing in the base.)
+    """
+    ell = bypass_ell(kappa)
+    return harmonic_diff(kappa + ell, kappa) < harmonic_diff(beta + ell, beta)

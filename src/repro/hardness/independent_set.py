@@ -1,0 +1,146 @@
+"""Theorem 5: approximating the broadcast price of stability is APX-hard.
+
+Reduction from INDEPENDENT SET in 3-regular graphs: given cubic ``H``, the
+broadcast graph ``G`` has a node per vertex (set ``U``) and per edge (set
+``V``) of ``H``, unit edges from every non-root node to the root, and
+incidence edges of weight ``(2 + delta)/3``.
+
+Equilibria of the broadcast game consist solely of branches of types A
+(direct edge) and B (a ``U`` node with its three ``V`` neighbors); the
+type-B branch roots form an independent set of ``H``, and an equilibrium
+with ``m`` type-B branches weighs exactly ``5n/2 - (1 - delta) m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.graphs.graph import Graph, Node, canonical_edge
+from repro.games.broadcast import BroadcastGame, TreeState
+from repro.games.equilibrium import check_equilibrium
+from repro.hardness.solvers.mis import is_independent_set, is_k_regular, max_independent_set
+
+
+@dataclass
+class Theorem5Instance:
+    """The constructed broadcast game plus reduction bookkeeping."""
+
+    source: Graph  # the 3-regular graph H
+    game: BroadcastGame
+    delta: float
+    u_nodes: Dict[Node, Node]  # H-vertex -> G-node
+    v_nodes: Dict[FrozenSet, Node]  # H-edge -> G-node
+
+    @property
+    def root(self) -> Node:
+        return self.game.root
+
+    @property
+    def n(self) -> int:
+        """Number of vertices of H (so G has 5n/2 + 1 nodes)."""
+        return self.source.num_nodes
+
+
+def build_theorem5_instance(h: Graph, delta: float = 1.0 / 12.0) -> Theorem5Instance:
+    """Construct the Theorem 5 broadcast game from a cubic graph ``H``."""
+    if not is_k_regular(h, 3):
+        raise ValueError("Theorem 5 requires a 3-regular source graph")
+    if not 0.0 < delta <= 1.0 / 12.0:
+        raise ValueError("delta must lie in (0, 1/12]")
+
+    g = Graph()
+    root: Node = "r"
+    g.add_node(root)
+    u_nodes: Dict[Node, Node] = {}
+    v_nodes: Dict[FrozenSet, Node] = {}
+    for v in h.nodes:
+        u_nodes[v] = ("U", v)
+        g.add_edge(root, ("U", v), 1.0)
+    incidence_w = (2.0 + delta) / 3.0
+    for a, b, _w in h.edges():
+        key = frozenset((a, b))
+        node = ("V", canonical_edge(a, b))
+        v_nodes[key] = node
+        g.add_edge(root, node, 1.0)
+        g.add_edge(node, ("U", a), incidence_w)
+        g.add_edge(node, ("U", b), incidence_w)
+
+    game = BroadcastGame(g, root=root)
+    return Theorem5Instance(source=h, game=game, delta=delta, u_nodes=u_nodes, v_nodes=v_nodes)
+
+
+def equilibrium_weight(instance: Theorem5Instance, m: int) -> float:
+    """``5n/2 - (1 - delta) m``: weight of the equilibrium with m B-branches."""
+    n = instance.n
+    return 2.5 * n - (1.0 - instance.delta) * m
+
+
+def tree_from_independent_set(
+    instance: Theorem5Instance, independent: Iterable[Node]
+) -> TreeState:
+    """Equilibrium tree with one type-B branch per independent-set vertex."""
+    chosen = set(independent)
+    if not is_independent_set(instance.source, chosen):
+        raise ValueError("input is not an independent set of H")
+    edges: List[Tuple[Node, Node]] = []
+    covered_v: Set[Node] = set()
+    for v in chosen:
+        u_node = instance.u_nodes[v]
+        edges.append((instance.root, u_node))
+        for nbr in instance.source.neighbors(v):
+            v_node = instance.v_nodes[frozenset((v, nbr))]
+            edges.append((u_node, v_node))
+            covered_v.add(v_node)
+    for v, u_node in instance.u_nodes.items():
+        if v not in chosen:
+            edges.append((instance.root, u_node))
+    for v_node in instance.v_nodes.values():
+        if v_node not in covered_v:
+            edges.append((instance.root, v_node))
+    return instance.game.tree_state(edges)
+
+
+def independent_set_from_tree(instance: Theorem5Instance, state: TreeState) -> Set[Node]:
+    """Roots of the type-B branches (must form an independent set of H)."""
+    out: Set[Node] = set()
+    tree = state.tree
+    for v, u_node in instance.u_nodes.items():
+        if tree.parent.get(u_node) == instance.root and len(tree.children[u_node]) == 3:
+            out.add(v)
+    return out
+
+
+def classify_branch(instance: Theorem5Instance, state: TreeState, top: Node) -> str:
+    """Classify the branch rooted at a depth-1 node into types A-E.
+
+    * A — a single edge to the root;
+    * B — a U node carrying its three adjacent V nodes;
+    * C — a depth-2 branch that is not B;
+    * D — depth exactly 3;
+    * E — depth at least 4.
+    """
+    tree = state.tree
+    if tree.parent.get(top) != instance.root:
+        raise ValueError(f"{top!r} is not a depth-1 node")
+    subtree = tree.subtree_nodes(top)
+    depth = max(tree.depth[x] for x in subtree)
+    if depth == 1:
+        return "A"
+    if depth == 2:
+        is_u = isinstance(top, tuple) and top[0] == "U"
+        if is_u and len(tree.children[top]) == 3:
+            return "B"
+        return "C"
+    if depth == 3:
+        return "D"
+    return "E"
+
+
+def best_equilibrium_weight_via_mis(instance: Theorem5Instance) -> float:
+    """The reduction's promise: best equilibrium weight = 5n/2 - (1-d)*MIS."""
+    mis = max_independent_set(instance.source)
+    state = tree_from_independent_set(instance, mis)
+    if not check_equilibrium(state).is_equilibrium:  # pragma: no cover
+        raise AssertionError("reduction violated: MIS tree is not an equilibrium")
+    return state.social_cost()

@@ -1,0 +1,479 @@
+"""Theorem 12: all-or-nothing SNE is inapproximable within any factor.
+
+Reduction from 3SAT (the paper uses 3SAT-4; occurrences <= 4 only bound the
+number of variable labels by 9, and our builder accepts any occurrence
+count, chaining consistency gadgets between consecutive appearances).
+
+Construction (Figures 5-7), per appearance of literal ``l`` in clause ``c``
+whose variable has label ``j`` (write ``n = n_j``):
+
+* a **literal gadget** with light chain ``l(c,l) -1- u(c,l̄) -1- u(c,l)``
+  (nodes ``mid`` / ``end`` here), heavy tree edges ``(l(c,l), v1)``,
+  ``(v1, v2)``, ``(v3, u(c,l))`` of weight ``K``, and heavy non-tree edges
+  ``(l(c,l), v3)`` of weight ``K + 1/(n-3)`` and ``(v2, u(c,l))`` of weight
+  ``3K/2 - 1/(n+1)``;
+* literal gadgets of a clause chain in increasing label order, starting at
+  the root; a **clause node** ``v(c)`` hangs off the last gadget (tree edge
+  ``K``) with a non-tree escape to the root of weight
+  ``K + 1/n_{j1} + 1/(n_{j2}-3) + 1/(n_{j3}-3)``;
+* **consistency gadgets** between consecutive appearances of a variable
+  (node pairs ``u1 / u2`` with the weights of Section 5);
+* **auxiliary players** pad the light-edge usage counts to exactly ``n_j``
+  and ``n_j - 3``.  The paper attaches them as zero-weight star leaves; we
+  attach a single zero-weight node with an integer player *multiplicity*,
+  which is game-theoretically identical (see DESIGN.md) and lets the
+  astronomical ``n_j`` counts exist as plain integers.
+
+Label constants follow the paper's recurrence ``n_{j-1} = 4 n_j^2`` with
+``n_L = 7`` for the largest used label ``L`` (a compressed relabeling of the
+paper's fixed 9-label schedule; all inequalities used in Lemmas 13-19 only
+depend on the recurrence, monotonicity and the base value 7).
+
+Because the cost gaps separating "equilibrium" from "deviation" shrink to
+``~1/n_1^2`` (below float64 resolution for 3+ labels), the module ships an
+**exact-rational equilibrium checker** over ``fractions.Fraction`` edge
+weights; the float game is still constructed for interoperability with the
+rest of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+from repro.graphs.shortest_paths import dijkstra
+from repro.games.broadcast import BroadcastGame, TreeState
+from repro.hardness.solvers.sat import CNFFormula, dpll_solve, is_3sat
+from repro.subsidies.assignment import SubsidyAssignment
+
+#: A signed literal key: (variable, sign) with sign True for positive.
+LitKey = Tuple[int, bool]
+
+
+def label_variables(formula: CNFFormula) -> Dict[int, int]:
+    """Greedy-color the variable conflict graph (co-occurrence) with labels
+    ``1..L``.  For 3SAT-4 at most 9 labels are needed (paper); in general L
+    is at most 1 + max conflict degree."""
+    conflicts: Dict[int, Set[int]] = {v: set() for v in range(1, formula.n_vars + 1)}
+    for cl in formula.clauses:
+        vs = [abs(x) for x in cl]
+        for a in vs:
+            for b in vs:
+                if a != b:
+                    conflicts[a].add(b)
+    labels: Dict[int, int] = {}
+    for v in sorted(conflicts, key=lambda u: -len(conflicts[u])):
+        used = {labels[w] for w in conflicts[v] if w in labels}
+        j = 1
+        while j in used:
+            j += 1
+        labels[v] = j
+    return labels
+
+
+def label_constants(n_labels: int, base: int = 7) -> Dict[int, int]:
+    """``n_j`` per label: ``n_L = base`` and ``n_{j-1} = 4 n_j^2``."""
+    if base < 7:
+        raise ValueError("the Lemma 17 inequalities need the base >= 7")
+    out: Dict[int, int] = {n_labels: base}
+    for j in range(n_labels - 1, 0, -1):
+        out[j] = 4 * out[j + 1] ** 2
+    return out
+
+
+@dataclass
+class LiteralGadget:
+    """Node/edge bookkeeping for one literal appearance."""
+
+    clause: int
+    position: int  # 0..2 in increasing-label order
+    literal: int  # signed
+    label: int
+    n: int  # n_{label}
+    anchor: Node  # l(c, l): the root or the previous gadget's end node
+    mid: Node  # u(c, l̄)
+    end: Node  # u(c, l)
+    v1: Node
+    v2: Node
+    v3: Node
+    first_light: Edge = None  # (anchor, mid)
+    second_light: Edge = None  # (mid, end)
+
+
+@dataclass
+class ConsistencyGadget:
+    """One u1/u2 pair between consecutive appearances of a variable."""
+
+    var: int
+    same_sign: bool
+    earlier: Tuple[int, int]  # (clause, position)
+    later: Tuple[int, int]
+    u1: Node
+    u2: Node
+
+
+@dataclass
+class Theorem12Instance:
+    """The constructed broadcast game plus everything the lemmas talk about."""
+
+    formula: CNFFormula
+    game: BroadcastGame
+    target: TreeState
+    K: Fraction
+    labels: Dict[int, int]
+    n_of_label: Dict[int, int]
+    gadgets: Dict[Tuple[int, int], LiteralGadget]
+    consistency: List[ConsistencyGadget]
+    exact_weights: Dict[Edge, Fraction]
+    #: E(l) of the paper: light edges whose subsidization encodes "l is true"
+    e_sets: Dict[LitKey, FrozenSet[Edge]]
+    aux_multiplicity: Dict[Node, int] = field(default_factory=dict)
+
+    @property
+    def root(self) -> Node:
+        return self.game.root
+
+    def light_edges(self) -> List[Edge]:
+        out = []
+        for gadget in self.gadgets.values():
+            out.extend([gadget.first_light, gadget.second_light])
+        return out
+
+    # -- structural predicates (Lemmas 14, 16/17, 19) -----------------------
+
+    def is_balanced(self, subsidized: Iterable[Edge]) -> bool:
+        """Exactly one light edge per literal gadget is subsidized."""
+        chosen = {canonical_edge(*e) for e in subsidized}
+        if not chosen <= set(self.light_edges()):
+            return False
+        return all(
+            (g.first_light in chosen) != (g.second_light in chosen)
+            for g in self.gadgets.values()
+        )
+
+    def is_consistent(self, subsidized: Iterable[Edge]) -> bool:
+        """Balanced, and per variable the choice matches E(x) or E(x̄)."""
+        chosen = {canonical_edge(*e) for e in subsidized}
+        if not self.is_balanced(chosen):
+            return False
+        for var in range(1, self.formula.n_vars + 1):
+            pos, neg = self.e_sets.get((var, True)), self.e_sets.get((var, False))
+            if pos is None:
+                continue  # variable does not occur
+            if not (pos <= chosen and not (neg & chosen)) and not (
+                neg <= chosen and not (pos & chosen)
+            ):
+                return False
+        return True
+
+    def clauses_covered(self, subsidized: Iterable[Edge]) -> bool:
+        """Every clause has some literal gadget's *second* edge subsidized."""
+        chosen = {canonical_edge(*e) for e in subsidized}
+        for ci in range(self.formula.n_clauses):
+            if not any(
+                self.gadgets[(ci, p)].second_light in chosen for p in range(3)
+            ):
+                return False
+        return True
+
+    def characterization_holds(self, subsidized: Iterable[Edge]) -> bool:
+        """Lemma 19's combinatorial criterion for light enforcement."""
+        chosen = {canonical_edge(*e) for e in subsidized}
+        return self.is_consistent(chosen) and self.clauses_covered(chosen)
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def build_theorem12_instance(
+    formula: CNFFormula,
+    K: Optional[Fraction] = None,
+    base_n: int = 7,
+) -> Theorem12Instance:
+    """Build the Theorem 12 broadcast game for a 3SAT formula."""
+    if not is_3sat(formula):
+        raise ValueError("the reduction needs exactly-3-distinct-variable clauses")
+    labels = label_variables(formula)
+    n_labels = max(labels.values())
+    if n_labels > 8:
+        raise ValueError(
+            "more than 8 labels would need player counts beyond float range; "
+            "use a formula with lower variable-conflict degree"
+        )
+    n_of = label_constants(n_labels, base=base_n)
+    if K is None:
+        K = Fraction(max(50, 30 * formula.n_clauses))
+
+    graph = Graph()
+    root: Node = "r"
+    graph.add_node(root)
+    exact: Dict[Edge, Fraction] = {}
+    tree_edges: List[Edge] = []
+    multiplicity: Dict[Node, int] = {}
+
+    def add(u: Node, v: Node, w: Fraction, in_tree: bool) -> Edge:
+        e = canonical_edge(u, v)
+        graph.add_edge(u, v, float(w))
+        exact[e] = w
+        if in_tree:
+            tree_edges.append(e)
+        return e
+
+    # --- literal gadgets, chained per clause in increasing label order ----
+    gadgets: Dict[Tuple[int, int], LiteralGadget] = {}
+    for ci, clause in enumerate(formula.clauses):
+        ordered = sorted(clause, key=lambda lit: labels[abs(lit)])
+        anchor: Node = root
+        for p, lit in enumerate(ordered):
+            j = labels[abs(lit)]
+            n = n_of[j]
+            mid: Node = ("mid", ci, p)
+            end: Node = ("end", ci, p)
+            v1: Node = ("v1", ci, p)
+            v2: Node = ("v2", ci, p)
+            v3: Node = ("v3", ci, p)
+            g = LiteralGadget(ci, p, lit, j, n, anchor, mid, end, v1, v2, v3)
+            g.first_light = add(anchor, mid, Fraction(1), in_tree=True)
+            g.second_light = add(mid, end, Fraction(1), in_tree=True)
+            add(anchor, v1, K, in_tree=True)
+            add(v1, v2, K, in_tree=True)
+            add(v3, end, K, in_tree=True)
+            add(anchor, v3, K + Fraction(1, n - 3), in_tree=False)
+            add(v2, end, Fraction(3, 2) * K - Fraction(1, n + 1), in_tree=False)
+            gadgets[(ci, p)] = g
+            anchor = end
+        # Clause node v(c) off the last gadget.
+        vc: Node = ("vc", ci)
+        add(vc, gadgets[(ci, 2)].end, K, in_tree=True)
+        j0, j1, j2 = (gadgets[(ci, p)].n for p in range(3))
+        add(
+            vc,
+            root,
+            K + Fraction(1, j0) + Fraction(1, j1 - 3) + Fraction(1, j2 - 3),
+            in_tree=False,
+        )
+
+    # --- consistency gadgets between consecutive appearances ---------------
+    consistency: List[ConsistencyGadget] = []
+    t_mid: Dict[Tuple[int, int], int] = {key: 0 for key in gadgets}
+    t_end: Dict[Tuple[int, int], int] = {key: 0 for key in gadgets}
+    occ_position: Dict[Tuple[int, int], int] = {}
+    for (ci, p), g in gadgets.items():
+        occ_position[(ci, abs(g.literal))] = p
+
+    for var in range(1, formula.n_vars + 1):
+        occs = formula.occurrences(var)
+        if len(occs) < 2:
+            continue
+        n = n_of[labels[var]]
+        for k, ((ca, lit_a), (cb, lit_b)) in enumerate(zip(occs, occs[1:])):
+            pa, pb = occ_position[(ca, var)], occ_position[(cb, var)]
+            ga, gb = gadgets[(ca, pa)], gadgets[(cb, pb)]
+            u1: Node = ("u1", var, k)
+            u2: Node = ("u2", var, k)
+            same = (lit_a > 0) == (lit_b > 0)
+            if same:
+                # l-l gadget: both u's tree-attach at the *mid* nodes.
+                add(u1, ga.mid, K, in_tree=True)
+                add(u1, gb.mid, K + Fraction(1, 2 * n), in_tree=False)
+                add(u2, gb.mid, K, in_tree=True)
+                add(u2, ga.mid, K + Fraction(1, 2 * n), in_tree=False)
+                t_mid[(ca, pa)] += 1
+                t_mid[(cb, pb)] += 1
+            else:
+                # l-l̄ gadget: u1 at the earlier *end*, u2 at the later *mid*.
+                add(u1, ga.end, K, in_tree=True)
+                add(u1, gb.mid, K + Fraction(1, n) + Fraction(1, 2 * n * n), in_tree=False)
+                add(u2, gb.mid, K, in_tree=True)
+                add(u2, ga.end, K, in_tree=False)
+                t_end[(ca, pa)] += 1
+                t_mid[(cb, pb)] += 1
+            consistency.append(
+                ConsistencyGadget(var, same, (ca, pa), (cb, pb), u1, u2)
+            )
+
+    # --- auxiliary multiplicities to pin the light-edge usage counts ------
+    aux_multiplicity: Dict[Node, int] = {}
+    for (ci, p), g in gadgets.items():
+        tm, te = t_mid[(ci, p)], t_end[(ci, p)]
+        if tm > 2 or te > 1:  # pragma: no cover - structurally impossible
+            raise AssertionError("consistency attachment counts out of range")
+        m_mid = 2 - tm
+        if p < 2:
+            n_next = gadgets[(ci, p + 1)].n
+            m_end = g.n - n_next - 7 - te
+        else:
+            m_end = g.n - 6 - te
+        if m_end < 0:  # pragma: no cover - prevented by base >= 7
+            raise AssertionError("negative auxiliary count; schedule too small")
+        if m_mid > 0:
+            node = ("auxm", ci, p)
+            add(node, g.mid, Fraction(0), in_tree=True)
+            aux_multiplicity[node] = m_mid
+        if m_end > 0:
+            node = ("auxe", ci, p)
+            add(node, g.end, Fraction(0), in_tree=True)
+            aux_multiplicity[node] = m_end
+
+    game = BroadcastGame(graph, root=root, multiplicity=aux_multiplicity)
+    target = game.tree_state(tree_edges)
+
+    # --- the E(l) sets ------------------------------------------------------
+    e_sets: Dict[LitKey, Set[Edge]] = {}
+    for g in gadgets.values():
+        var, sign = abs(g.literal), g.literal > 0
+        e_sets.setdefault((var, sign), set()).add(g.second_light)
+        e_sets.setdefault((var, not sign), set()).add(g.first_light)
+    frozen = {k: frozenset(v) for k, v in e_sets.items()}
+
+    inst = Theorem12Instance(
+        formula=formula,
+        game=game,
+        target=target,
+        K=K,
+        labels=labels,
+        n_of_label=n_of,
+        gadgets=gadgets,
+        consistency=consistency,
+        exact_weights=exact,
+        e_sets=frozen,
+        aux_multiplicity=aux_multiplicity,
+    )
+    _validate_usage_counts(inst)
+    return inst
+
+
+def _validate_usage_counts(inst: Theorem12Instance) -> None:
+    """The auxiliary padding must hit the paper's counts exactly:
+    ``n_a = n_j`` on first light edges and ``n_j - 3`` on second ones."""
+    loads = inst.target.loads
+    for g in inst.gadgets.values():
+        if loads[g.first_light] != g.n or loads[g.second_light] != g.n - 3:
+            raise AssertionError(
+                f"light-edge usage counts off for gadget {(g.clause, g.position)}: "
+                f"{loads[g.first_light]} vs n={g.n}, "
+                f"{loads[g.second_light]} vs n-3={g.n - 3}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Assignment <-> subsidy mappings (the Corollary 20 bijection)
+# ---------------------------------------------------------------------------
+
+
+def assignment_to_subsidized_edges(
+    inst: Theorem12Instance, assignment: Dict[int, bool]
+) -> Set[Edge]:
+    """The consistent balanced light assignment encoding a truth assignment:
+    subsidize ``E(x)`` when ``x`` is true, else ``E(x̄)``."""
+    chosen: Set[Edge] = set()
+    for var in range(1, inst.formula.n_vars + 1):
+        key = (var, bool(assignment.get(var, False)))
+        if key in inst.e_sets:
+            chosen |= set(inst.e_sets[key])
+    return chosen
+
+
+def subsidized_edges_to_assignment(
+    inst: Theorem12Instance, subsidized: Iterable[Edge]
+) -> Optional[Dict[int, bool]]:
+    """Inverse mapping; ``None`` when the set is not consistent balanced."""
+    chosen = {canonical_edge(*e) for e in subsidized}
+    if not inst.is_consistent(chosen):
+        return None
+    out: Dict[int, bool] = {}
+    for var in range(1, inst.formula.n_vars + 1):
+        pos = inst.e_sets.get((var, True))
+        if pos is None:
+            out[var] = False
+            continue
+        out[var] = pos <= chosen
+    return out
+
+
+def subsidies_from_edges(inst: Theorem12Instance, subsidized: Iterable[Edge]) -> SubsidyAssignment:
+    """A float :class:`SubsidyAssignment` fully subsidizing the given
+    (light, unit-weight) edges."""
+    return SubsidyAssignment.full_on(inst.game.graph, subsidized)
+
+
+# ---------------------------------------------------------------------------
+# Exact-rational equilibrium checking
+# ---------------------------------------------------------------------------
+
+
+def _exact_player_cost(
+    inst: Theorem12Instance, node: Node, b: Dict[Edge, Fraction]
+) -> Fraction:
+    total = Fraction(0)
+    for e in inst.target.tree.path_to_root(node):
+        w = inst.exact_weights[e] - b.get(e, Fraction(0))
+        total += w / inst.target.loads[e]
+    return total
+
+
+def exact_light_assignment_check(
+    inst: Theorem12Instance,
+    subsidized: Iterable[Edge],
+    find_all: bool = False,
+) -> Tuple[bool, List[Tuple[Node, Fraction, Fraction]]]:
+    """Exact equilibrium check of the target tree under a light assignment.
+
+    Runs a Fraction-weighted best-response Dijkstra for every *structural*
+    player.  Auxiliary players are skipped: each rides a single zero-weight
+    edge to its host node, so its strategies and costs coincide with the
+    host player's (Lemma 13 covers them).
+
+    Returns ``(is_equilibrium, violations)`` with exact costs.
+    """
+    chosen = {canonical_edge(*e) for e in subsidized}
+    light = set(inst.light_edges())
+    if not chosen <= light:
+        raise ValueError("only light edges may be subsidized in a light assignment")
+    b: Dict[Edge, Fraction] = {e: inst.exact_weights[e] for e in chosen}
+
+    graph = inst.game.graph
+    loads = inst.target.loads
+    tree = inst.target.tree
+    violations: List[Tuple[Node, Fraction, Fraction]] = []
+
+    for node in graph.nodes:
+        if node == inst.root or node in inst.aux_multiplicity:
+            continue
+        current = _exact_player_cost(inst, node, b)
+        if current == 0:
+            continue
+        own = set(tree.path_to_root(node))
+
+        def weight_fn(u: Node, v: Node) -> Fraction:
+            e = canonical_edge(u, v)
+            w = inst.exact_weights[e] - b.get(e, Fraction(0))
+            denom = loads.get(e, 0) + 1 - (1 if e in own else 0)
+            return w / denom
+
+        dist, _ = dijkstra(graph, node, weight_fn=weight_fn, target=inst.root)
+        best = dist[inst.root]
+        if best < current:
+            violations.append((node, current, best))
+            if not find_all:
+                return False, violations
+    return not violations, violations
+
+
+def light_enforcement_exists(
+    inst: Theorem12Instance,
+) -> Tuple[bool, Optional[Set[Edge]]]:
+    """Corollary 20, executed: a light assignment enforcing ``T`` exists iff
+    the formula is satisfiable; when it does, return one (via DPLL)."""
+    assignment = dpll_solve(inst.formula)
+    if assignment is None:
+        return False, None
+    chosen = assignment_to_subsidized_edges(inst, assignment)
+    ok, _ = exact_light_assignment_check(inst, chosen)
+    if not ok:  # pragma: no cover - would falsify Theorem 12
+        raise AssertionError("reduction violated: satisfying assignment not enforcing")
+    return True, chosen

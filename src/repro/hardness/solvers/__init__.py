@@ -1,0 +1,42 @@
+"""Exact solvers for the NP-hard source problems of the reductions.
+
+These are the ground-truth oracles the reduction experiments compare
+against: a DPLL SAT solver, an exact bin-packing backtracker (the paper's
+strict fill-to-the-brim variant) and an exact maximum-independent-set
+branch & bound.
+"""
+
+from repro.hardness.solvers.sat import CNFFormula, dpll_solve, is_3sat4, random_3sat
+from repro.hardness.solvers.binpacking import (
+    BinPackingInstance,
+    solve_bin_packing_exact,
+    to_strict_form,
+)
+from repro.hardness.solvers.mis import (
+    complete_graph_k4,
+    is_independent_set,
+    is_k_regular,
+    k33_graph,
+    max_independent_set,
+    petersen_graph,
+    prism_graph,
+    random_3_regular_graph,
+)
+
+__all__ = [
+    "CNFFormula",
+    "dpll_solve",
+    "is_3sat4",
+    "random_3sat",
+    "BinPackingInstance",
+    "solve_bin_packing_exact",
+    "to_strict_form",
+    "complete_graph_k4",
+    "is_independent_set",
+    "is_k_regular",
+    "k33_graph",
+    "max_independent_set",
+    "petersen_graph",
+    "prism_graph",
+    "random_3_regular_graph",
+]

@@ -1,0 +1,131 @@
+"""Exact BIN PACKING (the paper's strict fill-to-the-brim variant).
+
+Theorem 3 reduces from instances where all sizes and the capacity are even,
+``sum(sizes) = k * C`` and every bin must be filled *exactly* to ``C``.
+:func:`to_strict_form` performs the paper's conversion from the conventional
+problem (add unit items, double everything); :func:`solve_bin_packing_exact`
+is a backtracking oracle used to verify the reduction end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BinPackingInstance:
+    """Strict bin packing: fill each of ``n_bins`` bins to exactly
+    ``capacity`` with all items."""
+
+    sizes: Tuple[int, ...]
+    n_bins: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.n_bins <= 0 or self.capacity <= 0:
+            raise ValueError("n_bins and capacity must be positive")
+        if any(s <= 0 for s in self.sizes):
+            raise ValueError("item sizes must be positive")
+
+    def is_strict(self) -> bool:
+        """The Theorem 3 preconditions: even sizes/capacity, exact total,
+        capacity at least the largest item."""
+        return (
+            all(s % 2 == 0 for s in self.sizes)
+            and self.capacity % 2 == 0
+            and sum(self.sizes) == self.n_bins * self.capacity
+            and (not self.sizes or max(self.sizes) <= self.capacity)
+        )
+
+    def check_solution(self, assignment: Sequence[int]) -> bool:
+        """Does ``assignment[i] = bin of item i`` fill every bin exactly?"""
+        if len(assignment) != len(self.sizes):
+            return False
+        loads = [0] * self.n_bins
+        for size, b in zip(self.sizes, assignment):
+            if not 0 <= b < self.n_bins:
+                return False
+            loads[b] += size
+        return all(load == self.capacity for load in loads)
+
+
+def to_strict_form(
+    sizes: Sequence[int], capacity: int, n_bins: int
+) -> Tuple[BinPackingInstance, int]:
+    """The paper's conversion of conventional BIN PACKING to strict form.
+
+    Conventional question: do the items fit into ``n_bins`` bins of size
+    ``capacity`` (bins may be slack)?  Conversion: pad with unit items up to
+    total ``n_bins * capacity``, then double all sizes and the capacity so
+    everything is even.  Returns the strict instance and the number of unit
+    padding items added (before doubling).
+
+    The conventional instance is feasible iff the strict one is: padding
+    items are flexible enough to top every bin up to the brim.
+    """
+    if any(s <= 0 for s in sizes):
+        raise ValueError("sizes must be positive")
+    if max(sizes, default=0) > capacity:
+        raise ValueError("an item exceeds the bin capacity")
+    slack = n_bins * capacity - sum(sizes)
+    if slack < 0:
+        raise ValueError("items cannot fit even fractionally")
+    padded = list(sizes) + [1] * slack
+    strict = BinPackingInstance(
+        sizes=tuple(2 * s for s in padded),
+        n_bins=n_bins,
+        capacity=2 * capacity,
+    )
+    assert strict.is_strict()
+    return strict, slack
+
+
+def solve_bin_packing_exact(
+    instance: BinPackingInstance, max_nodes: int = 2_000_000
+) -> Optional[List[int]]:
+    """Exact strict bin packing by backtracking; ``None`` when infeasible.
+
+    Items are placed largest-first; bins are treated symmetrically (an item
+    may open at most one new bin) to kill permutation blowup.  Raises
+    ``RuntimeError`` if the node budget is exhausted (never on the instance
+    sizes used in tests/experiments).
+    """
+    if sum(instance.sizes) != instance.n_bins * instance.capacity:
+        return None
+    if instance.sizes and max(instance.sizes) > instance.capacity:
+        return None
+
+    order = sorted(range(len(instance.sizes)), key=lambda i: -instance.sizes[i])
+    loads = [0] * instance.n_bins
+    placement = [-1] * len(instance.sizes)
+    nodes = 0
+
+    def backtrack(pos: int) -> bool:
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise RuntimeError("bin packing search exceeded the node budget")
+        if pos == len(order):
+            return all(load == instance.capacity for load in loads)
+        item = order[pos]
+        size = instance.sizes[item]
+        seen_loads = set()
+        for b in range(instance.n_bins):
+            if loads[b] + size > instance.capacity:
+                continue
+            if loads[b] in seen_loads:
+                continue  # symmetric bin: identical subtree
+            seen_loads.add(loads[b])
+            loads[b] += size
+            placement[item] = b
+            if backtrack(pos + 1):
+                return True
+            loads[b] -= size
+            placement[item] = -1
+        return False
+
+    if backtrack(0):
+        assert instance.check_solution(placement)
+        return placement
+    return None

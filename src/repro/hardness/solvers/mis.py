@@ -1,0 +1,144 @@
+"""Exact maximum independent set and 3-regular graph families.
+
+Theorem 5 reduces from INDEPENDENT SET in 3-regular graphs; the branch &
+bound here provides ground truth for small instances, and the generators
+supply the cubic graphs the experiments feed through the reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+import numpy as np
+
+from repro.graphs.graph import Graph, Node
+from repro.utils.rng import ensure_rng
+
+
+def is_independent_set(graph: Graph, nodes: Iterable[Node]) -> bool:
+    """No two chosen nodes are adjacent."""
+    chosen = list(nodes)
+    chosen_set = set(chosen)
+    if len(chosen_set) != len(chosen):
+        return False
+    for u in chosen_set:
+        for v in graph.neighbors(u):
+            if v in chosen_set:
+                return False
+    return True
+
+
+def max_independent_set(graph: Graph) -> Set[Node]:
+    """Exact maximum independent set by branch & bound.
+
+    Branches on a maximum-degree vertex (in the residual graph): either it
+    is excluded, or included and its neighborhood removed.  A simple
+    residual-size upper bound prunes.  Exponential worst case; fine for the
+    reduction-sized cubic graphs (tens of nodes).
+    """
+    adjacency: Dict[Node, Set[Node]] = {u: set(graph.neighbors(u)) for u in graph.nodes}
+    best: Set[Node] = set()
+
+    def search(remaining: Set[Node], chosen: Set[Node]) -> None:
+        nonlocal best
+        if len(chosen) + len(remaining) <= len(best):
+            return
+        # Strip isolated-in-residual vertices: always take them.
+        isolated = [u for u in remaining if not (adjacency[u] & remaining)]
+        if isolated:
+            search(remaining - set(isolated), chosen | set(isolated))
+            return
+        if not remaining:
+            if len(chosen) > len(best):
+                best = set(chosen)
+            return
+        pivot = max(remaining, key=lambda u: len(adjacency[u] & remaining))
+        # Branch 1: include the pivot.
+        search(remaining - {pivot} - adjacency[pivot], chosen | {pivot})
+        # Branch 2: exclude it.
+        search(remaining - {pivot}, chosen)
+
+    search(set(graph.nodes), set())
+    assert is_independent_set(graph, best)
+    return best
+
+
+def is_k_regular(graph: Graph, k: int) -> bool:
+    return all(graph.degree(u) == k for u in graph.nodes)
+
+
+# ---------------------------------------------------------------------------
+# Cubic graph families
+# ---------------------------------------------------------------------------
+
+
+def complete_graph_k4() -> Graph:
+    """K4: the smallest 3-regular graph (MIS size 1)."""
+    g = Graph()
+    for i in range(4):
+        for j in range(i + 1, 4):
+            g.add_edge(i, j, 1.0)
+    return g
+
+
+def k33_graph() -> Graph:
+    """K3,3: bipartite cubic graph (MIS size 3)."""
+    g = Graph()
+    for i in range(3):
+        for j in range(3, 6):
+            g.add_edge(i, j, 1.0)
+    return g
+
+
+def prism_graph(n: int = 3) -> Graph:
+    """The n-prism (two n-cycles joined by a perfect matching), cubic."""
+    if n < 3:
+        raise ValueError("prism needs n >= 3")
+    g = Graph()
+    for i in range(n):
+        g.add_edge(("a", i), ("a", (i + 1) % n), 1.0)
+        g.add_edge(("b", i), ("b", (i + 1) % n), 1.0)
+        g.add_edge(("a", i), ("b", i), 1.0)
+    return g
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph (MIS size 4)."""
+    g = Graph()
+    for i in range(5):
+        g.add_edge(("outer", i), ("outer", (i + 1) % 5), 1.0)
+        g.add_edge(("inner", i), ("inner", (i + 2) % 5), 1.0)
+        g.add_edge(("outer", i), ("inner", i), 1.0)
+    return g
+
+
+def random_3_regular_graph(
+    n: int, seed: "int | np.random.Generator | None" = None, max_tries: int = 500
+) -> Graph:
+    """Random simple 3-regular graph via the configuration model.
+
+    ``n`` must be even (handshake lemma).  Pairings with self-loops or
+    multi-edges are rejected and resampled.
+    """
+    if n % 2 != 0 or n < 4:
+        raise ValueError("3-regular graphs need even n >= 4")
+    rng = ensure_rng(seed)
+    stubs = [u for u in range(n) for _ in range(3)]
+    for _ in range(max_tries):
+        perm = list(rng.permutation(len(stubs)))
+        pairs = [(stubs[perm[2 * i]], stubs[perm[2 * i + 1]]) for i in range(len(stubs) // 2)]
+        edges: Set[FrozenSet[int]] = set()
+        ok = True
+        for u, v in pairs:
+            if u == v or frozenset((u, v)) in edges:
+                ok = False
+                break
+            edges.add(frozenset((u, v)))
+        if ok:
+            g = Graph()
+            for e in edges:
+                u, v = tuple(e)
+                g.add_edge(u, v, 1.0)
+            if g.is_connected():
+                return g
+    raise RuntimeError("failed to sample a connected 3-regular graph")

@@ -1,0 +1,182 @@
+"""CNF formulas and a DPLL SAT solver.
+
+The Theorem 12 reduction consumes 3SAT formulas in which every clause has
+exactly three literals over distinct variables (the paper additionally
+bounds occurrences by four — 3SAT-4 — to get a 9-label variable coloring;
+our reduction accepts any occurrence count and simply uses more labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+#: A literal is a nonzero int: +v means variable v, -v its negation.
+Literal = int
+Clause = Tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class CNFFormula:
+    """A CNF formula over variables ``1..n_vars``."""
+
+    clauses: Tuple[Clause, ...]
+    n_vars: int
+
+    @classmethod
+    def from_lists(cls, clauses: Sequence[Sequence[int]]) -> "CNFFormula":
+        cleaned: List[Clause] = []
+        n_vars = 0
+        for cl in clauses:
+            if not cl:
+                raise ValueError("empty clause")
+            lits = tuple(int(x) for x in cl)
+            if any(x == 0 for x in lits):
+                raise ValueError("literal 0 is invalid")
+            cleaned.append(lits)
+            n_vars = max(n_vars, max(abs(x) for x in lits))
+        return cls(tuple(cleaned), n_vars)
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def variables_of(self, clause: Clause) -> FrozenSet[int]:
+        return frozenset(abs(x) for x in clause)
+
+    def occurrences(self, var: int) -> List[Tuple[int, Literal]]:
+        """All ``(clause_index, literal)`` appearances of a variable."""
+        out = []
+        for ci, cl in enumerate(self.clauses):
+            for lit in cl:
+                if abs(lit) == var:
+                    out.append((ci, lit))
+        return out
+
+    def is_satisfied_by(self, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under a (total, for the used variables) assignment."""
+        for cl in self.clauses:
+            if not any(
+                assignment.get(abs(lit), False) == (lit > 0) for lit in cl
+            ):
+                return False
+        return True
+
+
+def is_3sat(formula: CNFFormula) -> bool:
+    """Exactly three literals per clause over three distinct variables."""
+    return all(
+        len(cl) == 3 and len({abs(x) for x in cl}) == 3 for cl in formula.clauses
+    )
+
+
+def is_3sat4(formula: CNFFormula) -> bool:
+    """3SAT with every variable appearing in at most four clauses."""
+    if not is_3sat(formula):
+        return False
+    counts: Dict[int, int] = {}
+    for cl in formula.clauses:
+        for lit in cl:
+            counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+    return all(c <= 4 for c in counts.values())
+
+
+def dpll_solve(formula: CNFFormula) -> Optional[Dict[int, bool]]:
+    """DPLL with unit propagation and pure-literal elimination.
+
+    Returns a satisfying assignment (total over all variables) or ``None``.
+    """
+
+    def propagate(clauses: List[List[int]], assignment: Dict[int, bool]):
+        changed = True
+        while changed:
+            changed = False
+            new_clauses: List[List[int]] = []
+            for cl in clauses:
+                vals = []
+                satisfied = False
+                for lit in cl:
+                    var = abs(lit)
+                    if var in assignment:
+                        if assignment[var] == (lit > 0):
+                            satisfied = True
+                            break
+                    else:
+                        vals.append(lit)
+                if satisfied:
+                    continue
+                if not vals:
+                    return None  # conflict
+                if len(vals) == 1:
+                    lit = vals[0]
+                    assignment[abs(lit)] = lit > 0
+                    changed = True
+                else:
+                    new_clauses.append(vals)
+            clauses = new_clauses
+        return clauses
+
+    def pure_literals(clauses: List[List[int]], assignment: Dict[int, bool]) -> bool:
+        polarity: Dict[int, int] = {}
+        for cl in clauses:
+            for lit in cl:
+                var = abs(lit)
+                sign = 1 if lit > 0 else -1
+                if var not in polarity:
+                    polarity[var] = sign
+                elif polarity[var] != sign:
+                    polarity[var] = 0  # appears with both signs: not pure
+        assigned_any = False
+        for var, pol in polarity.items():
+            if pol != 0 and var not in assignment:
+                assignment[var] = pol > 0
+                assigned_any = True
+        return assigned_any
+
+    def search(clauses: List[List[int]], assignment: Dict[int, bool]):
+        clauses = propagate(clauses, assignment)
+        if clauses is None:
+            return None
+        if not clauses:
+            return assignment
+        if pure_literals(clauses, assignment):
+            return search(clauses, assignment)
+        # Branch on the first unassigned variable of the shortest clause.
+        shortest = min(clauses, key=len)
+        var = abs(shortest[0])
+        for value in (True, False):
+            trial = dict(assignment)
+            trial[var] = value
+            result = search([list(cl) for cl in clauses], trial)
+            if result is not None:
+                return result
+        return None
+
+    result = search([list(cl) for cl in formula.clauses], {})
+    if result is None:
+        return None
+    for v in range(1, formula.n_vars + 1):
+        result.setdefault(v, False)
+    assert formula.is_satisfied_by(result)
+    return result
+
+
+def random_3sat(
+    n_vars: int,
+    n_clauses: int,
+    seed: "int | np.random.Generator | None" = None,
+) -> CNFFormula:
+    """Random 3SAT with three distinct variables per clause."""
+    if n_vars < 3:
+        raise ValueError("need at least 3 variables")
+    rng = ensure_rng(seed)
+    clauses = []
+    for _ in range(n_clauses):
+        vars_ = rng.choice(np.arange(1, n_vars + 1), size=3, replace=False)
+        signs = rng.integers(0, 2, size=3) * 2 - 1
+        clauses.append([int(v * s) for v, s in zip(vars_, signs)])
+    return CNFFormula.from_lists(clauses)

@@ -1,0 +1,27 @@
+"""Linear programming substrate.
+
+Two interchangeable backends sit behind :func:`solve_lp`:
+
+* ``"highs"`` — scipy's HiGHS (production default),
+* ``"simplex"`` — the from-scratch dense two-phase simplex in
+  :mod:`repro.lp.simplex`, kept as an independently-tested reference.
+
+:mod:`repro.lp.cutting_plane` provides the constraint-generation driver used
+to solve the paper's exponential-size LP (1) with a shortest-path separation
+oracle (the practical stand-in for the ellipsoid method cited in Theorem 1).
+"""
+
+from repro.lp.problem import LinearProgram, LPResult, LPStatus
+from repro.lp.simplex import simplex_solve
+from repro.lp.backend import solve_lp
+from repro.lp.cutting_plane import CuttingPlaneResult, solve_with_cutting_planes
+
+__all__ = [
+    "LinearProgram",
+    "LPResult",
+    "LPStatus",
+    "simplex_solve",
+    "solve_lp",
+    "CuttingPlaneResult",
+    "solve_with_cutting_planes",
+]

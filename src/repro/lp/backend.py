@@ -1,0 +1,52 @@
+"""Unified LP solving entry point.
+
+``solve_lp(problem, method=...)`` dispatches to scipy's HiGHS (default) or
+the in-repo simplex.  Both return the same :class:`repro.lp.problem.LPResult`
+so callers and tests can swap them freely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.lp.problem import LinearProgram, LPResult, LPStatus
+from repro.lp.simplex import simplex_solve
+
+_SCIPY_STATUS = {
+    0: LPStatus.OPTIMAL,
+    1: LPStatus.ITERATION_LIMIT,
+    2: LPStatus.INFEASIBLE,
+    3: LPStatus.UNBOUNDED,
+}
+
+
+def solve_lp(problem: LinearProgram, method: str = "highs", max_iter: int = 20_000) -> LPResult:
+    """Solve a canonical-form LP with the chosen backend.
+
+    Parameters
+    ----------
+    problem:
+        The LP in ``min c.x : A x <= b, l <= x <= u`` form.
+    method:
+        ``"highs"`` (scipy) or ``"simplex"`` (from-scratch reference solver).
+    """
+    if method == "simplex":
+        return simplex_solve(problem, max_iter=max_iter)
+    if method != "highs":
+        raise ValueError(f"unknown LP method {method!r}")
+
+    A, b = problem.matrices()
+    bounds = list(zip(problem.lower, problem.upper))
+    res = linprog(
+        problem.c,
+        A_ub=A if A.size else None,
+        b_ub=b if b.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    status = _SCIPY_STATUS.get(res.status, LPStatus.INFEASIBLE)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status)
+    x = np.asarray(res.x, dtype=float)
+    return LPResult(LPStatus.OPTIMAL, x=x, objective=float(res.fun))

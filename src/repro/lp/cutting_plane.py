@@ -1,0 +1,69 @@
+"""Constraint generation ("cutting planes") for exponential-size LPs.
+
+Theorem 1 of the paper solves SNE through an LP with one constraint per
+player-deviation *path* — exponentially many — and notes it is solvable in
+polynomial time via the ellipsoid method given a separation oracle.  The
+standard practical counterpart is constraint generation: solve a relaxation
+with few rows, ask the oracle for violated constraints at the optimum, add
+them and repeat.  The oracle here is the same one the paper describes
+(a shortest-path computation per player).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lp.backend import solve_lp
+from repro.lp.problem import LinearProgram, LPResult, LPStatus
+
+#: A cut is ``(coefficient row, rhs)`` meaning ``row . x <= rhs``.
+Cut = Tuple[np.ndarray, float]
+
+#: Oracle: given the current LP optimum, return violated cuts (empty = done).
+SeparationOracle = Callable[[np.ndarray], Sequence[Cut]]
+
+
+@dataclass
+class CuttingPlaneResult:
+    """Final LP result plus convergence bookkeeping."""
+
+    result: LPResult
+    rounds: int
+    cuts_added: int
+    converged: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.converged and self.result.ok
+
+
+def solve_with_cutting_planes(
+    problem: LinearProgram,
+    oracle: SeparationOracle,
+    method: str = "highs",
+    max_rounds: int = 200,
+) -> CuttingPlaneResult:
+    """Iteratively solve ``problem``, adding oracle cuts until none violate.
+
+    The ``problem`` object is mutated (rows accumulate), which lets callers
+    inspect the final working LP.  Raises no exception on non-convergence;
+    check :attr:`CuttingPlaneResult.converged`.
+    """
+    cuts_added = 0
+    last: Optional[LPResult] = None
+    for round_idx in range(1, max_rounds + 1):
+        last = solve_lp(problem, method=method)
+        if last.status is not LPStatus.OPTIMAL:
+            return CuttingPlaneResult(last, round_idx, cuts_added, converged=False)
+        assert last.x is not None
+        violated: List[Cut] = list(oracle(last.x))
+        if not violated:
+            return CuttingPlaneResult(last, round_idx, cuts_added, converged=True)
+        for row, rhs in violated:
+            problem.add_constraint(row, rhs)
+            cuts_added += 1
+    assert last is not None
+    return CuttingPlaneResult(last, max_rounds, cuts_added, converged=False)

@@ -1,0 +1,96 @@
+"""LP problem and result containers.
+
+The canonical form used throughout the library is::
+
+    minimize    c . x
+    subject to  A_ub x <= b_ub
+                lower <= x <= upper   (elementwise, optionally infinite)
+
+which is exactly what both backends consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class LPStatus(enum.Enum):
+    """Solver outcome."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass
+class LPResult:
+    """Outcome of an LP solve: status, primal point and objective value."""
+
+    status: LPStatus
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+
+@dataclass
+class LinearProgram:
+    """A dense LP in canonical ``min c.x : A x <= b, l <= x <= u`` form.
+
+    Rows are appended incrementally (the cutting-plane driver does this), so
+    the matrix is materialized lazily via :meth:`matrices`.
+    """
+
+    n_vars: int
+    c: np.ndarray
+    rows: List[np.ndarray] = field(default_factory=list)
+    rhs: List[float] = field(default_factory=list)
+    lower: Optional[np.ndarray] = None
+    upper: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=float)
+        if self.c.shape != (self.n_vars,):
+            raise ValueError(f"objective has shape {self.c.shape}, expected ({self.n_vars},)")
+        if self.lower is None:
+            self.lower = np.zeros(self.n_vars)
+        else:
+            self.lower = np.asarray(self.lower, dtype=float)
+        if self.upper is None:
+            self.upper = np.full(self.n_vars, np.inf)
+        else:
+            self.upper = np.asarray(self.upper, dtype=float)
+        if np.any(self.lower > self.upper):
+            raise ValueError("lower bound exceeds upper bound for some variable")
+
+    def add_constraint(self, coeffs: Sequence[float] | np.ndarray, rhs: float) -> None:
+        """Append the row ``coeffs . x <= rhs``."""
+        row = np.asarray(coeffs, dtype=float)
+        if row.shape != (self.n_vars,):
+            raise ValueError(f"row has shape {row.shape}, expected ({self.n_vars},)")
+        self.rows.append(row)
+        self.rhs.append(float(rhs))
+
+    def add_sparse_constraint(self, entries: Sequence[Tuple[int, float]], rhs: float) -> None:
+        """Append a row given as (index, coefficient) pairs."""
+        row = np.zeros(self.n_vars)
+        for idx, coef in entries:
+            row[idx] += coef
+        self.add_constraint(row, rhs)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.rows)
+
+    def matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(A_ub, b_ub)``; zero-row matrix when unconstrained."""
+        if not self.rows:
+            return np.zeros((0, self.n_vars)), np.zeros(0)
+        return np.vstack(self.rows), np.asarray(self.rhs, dtype=float)

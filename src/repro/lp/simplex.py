@@ -1,0 +1,195 @@
+"""Dense two-phase primal simplex, built from scratch.
+
+This is the reference LP solver the cutting-plane driver was developed
+against; production solves go through scipy's HiGHS (see
+:mod:`repro.lp.backend`).  The implementation is a textbook tableau method:
+
+* finite lower/upper variable bounds are compiled into shift + extra rows,
+  so the core solves ``min c.x : A x <= b, x >= 0``;
+* rows with negative right-hand side get artificial variables and a phase-1
+  feasibility solve;
+* pivoting uses Dantzig's rule with an automatic switch to Bland's rule
+  (which guarantees termination) once the iteration count gets large.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.lp.problem import LinearProgram, LPResult, LPStatus
+
+_PIVOT_EPS = 1e-10
+
+
+def simplex_solve(problem: LinearProgram, max_iter: int = 20_000) -> LPResult:
+    """Solve a :class:`LinearProgram` with the two-phase tableau simplex."""
+    A, b = problem.matrices()
+    c = problem.c.copy()
+    lower = problem.lower.copy()
+    upper = problem.upper.copy()
+    n = problem.n_vars
+
+    if np.any(np.isinf(lower)):
+        raise ValueError("simplex_solve requires finite lower bounds")
+
+    # Shift x' = x - lower so all variables are >= 0.
+    shift = lower
+    b = b - A @ shift if A.size else b
+    const_obj = float(c @ shift)
+    ub_shifted = upper - lower
+
+    # Finite upper bounds become rows  x'_j <= u_j.
+    finite_ub = np.where(np.isfinite(ub_shifted))[0]
+    if finite_ub.size:
+        ub_rows = np.zeros((finite_ub.size, n))
+        ub_rows[np.arange(finite_ub.size), finite_ub] = 1.0
+        A = np.vstack([A, ub_rows]) if A.size else ub_rows
+        b = np.concatenate([b, ub_shifted[finite_ub]])
+
+    m = A.shape[0] if A.size else 0
+    if m == 0:
+        # Unconstrained besides x >= 0: optimum at 0 unless some c_j < 0.
+        if np.any(c < -_PIVOT_EPS):
+            return LPResult(LPStatus.UNBOUNDED)
+        return LPResult(LPStatus.OPTIMAL, x=shift.copy(), objective=const_obj)
+
+    status, x_shifted = _two_phase(A, b, c, max_iter)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status)
+    x = x_shifted + shift
+    return LPResult(LPStatus.OPTIMAL, x=x, objective=float(problem.c @ x))
+
+
+def _two_phase(
+    A: np.ndarray, b: np.ndarray, c: np.ndarray, max_iter: int
+) -> Tuple[LPStatus, Optional[np.ndarray]]:
+    """Solve min c.x : A x <= b, x >= 0 (b may be negative)."""
+    m, n = A.shape
+
+    # Normalize rows so every RHS is nonnegative; <=-rows keep a +1 slack,
+    # negated rows get a -1 slack (surplus) and an artificial variable.
+    A = A.copy()
+    b = b.copy()
+    neg = b < 0
+    A[neg] *= -1.0
+    b[neg] *= -1.0
+    slack_sign = np.where(neg, -1.0, 1.0)
+
+    n_art = int(neg.sum())
+    total = n + m + n_art
+    T = np.zeros((m, total))
+    T[:, :n] = A
+    T[np.arange(m), n + np.arange(m)] = slack_sign
+    art_cols = []
+    k = 0
+    basis = np.empty(m, dtype=int)
+    for i in range(m):
+        if neg[i]:
+            col = n + m + k
+            T[i, col] = 1.0
+            art_cols.append(col)
+            basis[i] = col
+            k += 1
+        else:
+            basis[i] = n + i
+
+    rhs = b.copy()
+
+    if n_art:
+        # Phase 1: minimize the sum of artificials.
+        obj1 = np.zeros(total)
+        obj1[art_cols] = 1.0
+        status, val = _run_simplex(T, rhs, obj1, basis, max_iter)
+        if status is not LPStatus.OPTIMAL:
+            return status if status is not LPStatus.UNBOUNDED else LPStatus.INFEASIBLE, None
+        if val > 1e-7:
+            return LPStatus.INFEASIBLE, None
+        # Pivot any artificial still in the basis out (or drop its row).
+        for i in range(m):
+            if basis[i] in art_cols and rhs[i] <= 1e-9:
+                pivot_col = next(
+                    (j for j in range(n + m) if abs(T[i, j]) > _PIVOT_EPS), None
+                )
+                if pivot_col is not None:
+                    _pivot(T, rhs, i, pivot_col, basis)
+        art_set = set(art_cols)
+        if any(bv in art_set for bv in basis):
+            # Degenerate rows that are all-zero outside artificials are
+            # redundant; zero them so phase 2 ignores them.
+            for i in range(m):
+                if basis[i] in art_set:
+                    T[i, :] = 0.0
+                    T[i, basis[i]] = 1.0
+                    rhs[i] = 0.0
+        # Forbid artificials from re-entering.
+        T[:, art_cols] = 0.0
+        for i in range(m):
+            if basis[i] in art_set:
+                T[i, basis[i]] = 1.0
+
+    # Phase 2.
+    obj2 = np.zeros(total)
+    obj2[:n] = c
+    status, _ = _run_simplex(T, rhs, obj2, basis, max_iter, frozen=set(art_cols) if n_art else None)
+    if status is not LPStatus.OPTIMAL:
+        return status, None
+    x = np.zeros(total)
+    x[basis] = rhs
+    return LPStatus.OPTIMAL, x[:n]
+
+
+def _pivot(T: np.ndarray, rhs: np.ndarray, row: int, col: int, basis: np.ndarray) -> None:
+    piv = T[row, col]
+    T[row] /= piv
+    rhs[row] /= piv
+    for i in range(T.shape[0]):
+        if i != row and abs(T[i, col]) > _PIVOT_EPS:
+            factor = T[i, col]
+            T[i] -= factor * T[row]
+            rhs[i] -= factor * rhs[row]
+    basis[row] = col
+
+
+def _run_simplex(
+    T: np.ndarray,
+    rhs: np.ndarray,
+    obj: np.ndarray,
+    basis: np.ndarray,
+    max_iter: int,
+    frozen: Optional[set] = None,
+) -> Tuple[LPStatus, float]:
+    """Iterate pivots in place; returns (status, objective value)."""
+    m, total = T.shape
+    bland_after = max(200, 5 * total)
+    for it in range(max_iter):
+        # Reduced costs: r = obj - obj_B . T   (computed densely).
+        y = obj[basis]
+        reduced = obj - y @ T
+        if frozen:
+            reduced = reduced.copy()
+            reduced[list(frozen)] = 0.0
+        if it < bland_after:
+            col = int(np.argmin(reduced))
+            if reduced[col] >= -1e-9:
+                return LPStatus.OPTIMAL, float(y @ rhs)
+        else:
+            candidates = np.where(reduced < -1e-9)[0]
+            if candidates.size == 0:
+                return LPStatus.OPTIMAL, float(y @ rhs)
+            col = int(candidates[0])  # Bland: lowest index
+        column = T[:, col]
+        positive = column > _PIVOT_EPS
+        if not positive.any():
+            return LPStatus.UNBOUNDED, float("nan")
+        ratios = np.full(m, np.inf)
+        ratios[positive] = rhs[positive] / column[positive]
+        row = int(np.argmin(ratios))
+        if it >= bland_after:
+            # Bland's rule also needs lowest basis index among tied rows.
+            best = ratios[row]
+            tied = np.where(np.abs(ratios - best) <= 1e-12)[0]
+            row = int(min(tied, key=lambda i: basis[i]))
+        _pivot(T, rhs, row, col, basis)
+    return LPStatus.ITERATION_LIMIT, float("nan")

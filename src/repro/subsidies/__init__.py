@@ -1,0 +1,60 @@
+"""The paper's contribution: STABLE NETWORK ENFORCEMENT and STABLE NETWORK
+DESIGN solvers.
+
+* :mod:`repro.subsidies.assignment` — validated subsidy assignments.
+* :mod:`repro.subsidies.sne_lp` — Theorem 1: LP (1) via cutting planes with
+  the shortest-path separation oracle, the polynomial LP (2), and the simple
+  broadcast LP (3) (Lemma 2).
+* :mod:`repro.subsidies.virtual_cost` — the virtual cost function of Lemma 7
+  / Claims 8 and 10 (and Figure 4).
+* :mod:`repro.subsidies.theorem6` — the constructive ``wgt(T)/e`` algorithm.
+* :mod:`repro.subsidies.aon` — all-or-nothing SNE: exact branch & bound and
+  the least-crowded greedy heuristic (Section 5).
+* :mod:`repro.subsidies.snd` — SND: exact small-instance solver and
+  budgeted heuristics (Section 3 problem statement).
+"""
+
+from repro.subsidies.assignment import SubsidyAssignment
+from repro.subsidies.sne_lp import (
+    SNEResult,
+    solve_sne,
+    solve_sne_broadcast_lp3,
+    solve_sne_cutting_plane_lp1,
+    solve_sne_polynomial_lp2,
+)
+from repro.subsidies.virtual_cost import (
+    edge_virtual_cost,
+    pack_subsidies_on_path,
+    path_virtual_cost,
+)
+from repro.subsidies.theorem6 import Theorem6Result, theorem6_subsidies
+from repro.subsidies.aon import AONResult, greedy_aon_sne, solve_aon_sne_exact
+from repro.subsidies.snd import SNDResult, snd_heuristic, solve_snd_exact
+from repro.subsidies.combinatorial import (
+    CombinatorialSNEResult,
+    combinatorial_sne,
+    waterfill_player,
+)
+
+__all__ = [
+    "SubsidyAssignment",
+    "SNEResult",
+    "solve_sne",
+    "solve_sne_broadcast_lp3",
+    "solve_sne_cutting_plane_lp1",
+    "solve_sne_polynomial_lp2",
+    "edge_virtual_cost",
+    "path_virtual_cost",
+    "pack_subsidies_on_path",
+    "Theorem6Result",
+    "theorem6_subsidies",
+    "AONResult",
+    "greedy_aon_sne",
+    "solve_aon_sne_exact",
+    "SNDResult",
+    "snd_heuristic",
+    "solve_snd_exact",
+    "CombinatorialSNEResult",
+    "combinatorial_sne",
+    "waterfill_player",
+]

@@ -1,0 +1,204 @@
+"""STABLE NETWORK DESIGN (Section 3).
+
+Given a broadcast game and a subsidy budget ``B``, find a spanning tree of
+minimum weight that some subsidy assignment of cost <= B enforces as an
+equilibrium.  Theorem 3 proves this NP-hard even for ``B = 0``, so we ship:
+
+* :func:`solve_snd_exact` — enumerate spanning trees (small instances),
+  scoring each with the LP (3) minimum enforcement cost;
+* :func:`snd_heuristic` — MST-first with a budget check, best-response
+  fallback, and an edge-swap local search that trades tree weight against
+  enforcement cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.graphs.graph import Edge, canonical_edge
+from repro.graphs.mst import kruskal_mst
+from repro.graphs.spanning_trees import enumerate_spanning_trees
+from repro.games.broadcast import BroadcastGame
+from repro.games.dynamics import equilibrium_from_optimum
+from repro.subsidies.aon import solve_aon_sne_exact
+from repro.subsidies.assignment import SubsidyAssignment
+from repro.subsidies.sne_lp import solve_sne_broadcast_lp3
+from repro.utils.tolerances import LP_TOL
+
+
+@dataclass
+class SNDResult:
+    """A feasible stable design: tree, weight and the enforcing subsidies."""
+
+    tree_edges: List[Edge]
+    weight: float
+    subsidies: SubsidyAssignment
+    subsidy_cost: float
+    optimal: bool
+    method: str
+
+    @property
+    def within_budget(self) -> bool:  # convenience for experiments
+        return True
+
+
+def _enforcement_cost(
+    game: BroadcastGame, edges: List[Edge], all_or_nothing: bool, method: str
+) -> Tuple[Optional[SubsidyAssignment], float]:
+    state = game.tree_state(edges)
+    if all_or_nothing:
+        res_aon = solve_aon_sne_exact(state, method=method)
+        return res_aon.subsidies, res_aon.cost
+    res = solve_sne_broadcast_lp3(state, method=method)
+    if not res.feasible:  # pragma: no cover - SNE is always feasible
+        return None, float("inf")
+    return res.subsidies, res.cost
+
+
+def solve_snd_exact(
+    game: BroadcastGame,
+    budget: float,
+    all_or_nothing: bool = False,
+    method: str = "highs",
+    tree_limit: Optional[int] = None,
+) -> Optional[SNDResult]:
+    """Exact SND by spanning-tree enumeration (exponential; small instances).
+
+    Returns the minimum-weight tree whose minimum enforcement cost fits the
+    budget, or ``None`` when ``tree_limit`` cut the enumeration short of any
+    feasible tree (with a full enumeration a feasible tree always exists,
+    since full subsidies cost at most ``wgt(T)``... provided the budget
+    allows; otherwise ``None`` genuinely means "no design fits").
+    """
+    best: Optional[SNDResult] = None
+    for edges in enumerate_spanning_trees(game.graph, limit=tree_limit):
+        state = game.tree_state(edges)
+        w = state.social_cost()
+        if best is not None and w >= best.weight - 1e-12:
+            continue
+        sub, cost = _enforcement_cost(game, edges, all_or_nothing, method)
+        if sub is not None and cost <= budget + LP_TOL * max(1.0, budget):
+            best = SNDResult(list(edges), w, sub, cost, optimal=True, method="exact")
+    return best
+
+
+def _tree_candidates_from_equilibrium(game: BroadcastGame) -> Optional[List[Edge]]:
+    """A spanning tree extracted from a best-response equilibrium.
+
+    BRD from the MST yields an equilibrium state; its established edges may
+    contain (zero-weight) cycles, so we take an MST of the established
+    subgraph, completing with original edges if players left some node
+    isolated (cannot happen in broadcast games, but guarded anyway).
+    """
+    if any(k > 1 for k in game.multiplicity.values()):
+        return None
+    result = equilibrium_from_optimum(game)
+    if not result.converged:
+        return None
+    used = set(result.final_state.usage)
+    sub = game.graph.edge_subgraph(used)
+    if not sub.is_connected():
+        return None
+    return kruskal_mst(sub)
+
+
+def snd_local_search(
+    game: BroadcastGame,
+    budget: float,
+    start_edges: List[Edge],
+    all_or_nothing: bool = False,
+    method: str = "highs",
+    max_iters: int = 50,
+) -> Optional[SNDResult]:
+    """Edge-swap local search: lower tree weight while staying enforceable.
+
+    Starting from a budget-feasible tree, repeatedly look for a non-tree
+    edge ``e`` and a tree edge ``f`` on the induced cycle with
+    ``w_e < w_f`` such that the swapped tree is still enforceable within
+    budget; accept the best-improving swap each round.
+    """
+    sub, cost = _enforcement_cost(game, start_edges, all_or_nothing, method)
+    if sub is None or cost > budget + LP_TOL * max(1.0, budget):
+        return None
+    graph = game.graph
+    current = list(start_edges)
+    current_w = graph.subset_weight(current)
+    current_sub, current_cost = sub, cost
+
+    for _ in range(max_iters):
+        state = game.tree_state(current)
+        tree_set: Set[Edge] = set(current)
+        best_swap: Optional[Tuple[float, List[Edge], SubsidyAssignment, float]] = None
+        for u, v, w_e in graph.edges():
+            e = canonical_edge(u, v)
+            if e in tree_set:
+                continue
+            for f in state.tree.path_between(u, v):
+                w_f = graph.weight(*f)
+                if w_e >= w_f - 1e-12:
+                    continue
+                swapped = [x for x in current if x != f] + [e]
+                sub2, cost2 = _enforcement_cost(game, swapped, all_or_nothing, method)
+                if sub2 is None or cost2 > budget + LP_TOL * max(1.0, budget):
+                    continue
+                new_w = current_w - w_f + w_e
+                if best_swap is None or new_w < best_swap[0]:
+                    best_swap = (new_w, swapped, sub2, cost2)
+        if best_swap is None:
+            break
+        current_w, current, current_sub, current_cost = best_swap
+
+    return SNDResult(
+        current, current_w, current_sub, current_cost, optimal=False, method="local_search"
+    )
+
+
+def snd_heuristic(
+    game: BroadcastGame,
+    budget: float,
+    all_or_nothing: bool = False,
+    method: str = "highs",
+) -> SNDResult:
+    """Budgeted SND heuristic.
+
+    1. If the MST itself is enforceable within budget, return it (this is
+       globally optimal: no tree is lighter).  By Theorem 6 this branch
+       always fires when ``budget >= wgt(MST)/e`` for fractional subsidies.
+    2. Otherwise run BRD from the MST: the resulting equilibrium needs no
+       subsidies, giving a feasible fallback tree.
+    3. Improve the fallback with the edge-swap local search under budget.
+    """
+    mst_edges = kruskal_mst(game.graph)
+    sub, cost = _enforcement_cost(game, mst_edges, all_or_nothing, method)
+    if sub is not None and cost <= budget + LP_TOL * max(1.0, budget):
+        w = game.graph.subset_weight(mst_edges)
+        return SNDResult(mst_edges, w, sub, cost, optimal=True, method="mst_first")
+
+    fallback = _tree_candidates_from_equilibrium(game)
+    if fallback is None:
+        # Last resort: the MST with full subsidies (only valid when the
+        # budget allows; report it regardless, flagged by its cost).
+        full = SubsidyAssignment.full_on(
+            game.graph, [e for e in mst_edges if game.graph.weight(*e) > 0]
+        )
+        return SNDResult(
+            mst_edges,
+            game.graph.subset_weight(mst_edges),
+            full,
+            full.cost,
+            optimal=False,
+            method="full_subsidy_fallback",
+        )
+
+    improved = snd_local_search(
+        game, budget, fallback, all_or_nothing=all_or_nothing, method=method
+    )
+    if improved is not None:
+        return improved
+    state = game.tree_state(fallback)
+    sub_fb, cost_fb = _enforcement_cost(game, fallback, all_or_nothing, method)
+    assert sub_fb is not None
+    return SNDResult(
+        fallback, state.social_cost(), sub_fb, cost_fb, optimal=False, method="brd_fallback"
+    )

@@ -1,0 +1,361 @@
+"""STABLE NETWORK ENFORCEMENT via linear programming (Theorem 1, Lemma 2).
+
+Three formulations, exactly as in the paper:
+
+* **LP (1)** — one constraint per player-deviation path (exponentially
+  many), solved by constraint generation with the paper's shortest-path
+  separation oracle (:func:`solve_sne_cutting_plane_lp1`).
+* **LP (2)** — the polynomial-size reformulation with shortest-path
+  potential variables ``pi_i(v)`` (:func:`solve_sne_polynomial_lp2`).
+* **LP (3)** — the broadcast-specific LP with one constraint per non-tree
+  edge incidence (:func:`solve_sne_broadcast_lp3`), whose correctness is
+  Lemma 2.
+
+All solvers minimize total subsidies enforcing the given target state and
+re-verify the result with the exact equilibrium checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+from repro.lp import LinearProgram, LPStatus, solve_lp, solve_with_cutting_planes
+from repro.games.broadcast import TreeState
+from repro.games.equilibrium import best_deviation_from_tree, best_response, check_equilibrium
+from repro.games.game import State
+from repro.subsidies.assignment import SubsidyAssignment
+from repro.utils.tolerances import LP_TOL, is_improvement
+
+AnyState = Union[State, TreeState]
+
+
+@dataclass
+class SNEResult:
+    """Outcome of an SNE solve."""
+
+    subsidies: SubsidyAssignment
+    cost: float
+    feasible: bool
+    #: True when the subsidized target passed the exact equilibrium re-check.
+    verified: bool
+    method: str
+    #: cutting-plane bookkeeping (LP (1) only)
+    rounds: int = 1
+    cuts: int = 0
+
+    def fraction_of_target(self, target_weight: float) -> float:
+        return self.subsidies.fraction_of(target_weight)
+
+
+def _infeasible(graph: Graph, method: str) -> SNEResult:
+    return SNEResult(SubsidyAssignment.zero(graph), float("inf"), False, False, method)
+
+
+# ---------------------------------------------------------------------------
+# LP (3): broadcast games, one constraint per non-tree incidence (Lemma 2)
+# ---------------------------------------------------------------------------
+
+
+def build_broadcast_lp3(state: TreeState) -> Tuple[LinearProgram, List[Edge]]:
+    """Materialize LP (3) for a broadcast tree state.
+
+    Variables: one subsidy per tree edge (in the returned edge order).  For
+    every node ``u`` and graph neighbor ``v`` with ``(u, v)`` not in ``T``
+    the constraint compares the cost of ``T_u`` against deviating along
+    ``(u, v)`` and then ``T_v``; the common suffix above ``lca(u, v)``
+    cancels (as in the Lemma 2 proof), so rows only involve the disjoint
+    subpaths.  Exposed separately because the all-or-nothing branch-and-bound
+    reuses the same rows with tightened variable bounds.
+    """
+    game = state.game
+    graph = game.graph
+    tree = state.tree
+    edges: List[Edge] = state.edges
+    index = {e: i for i, e in enumerate(edges)}
+    n_vars = len(edges)
+
+    c = np.ones(n_vars)
+    upper = np.array([graph.weight(*e) for e in edges])
+    lp = LinearProgram(n_vars=n_vars, c=c, upper=upper)
+
+    tree_edge_set = set(edges)
+    for u in graph.nodes:
+        if u == game.root:
+            continue
+        if game.multiplicity.get(u, 1) == 0:
+            continue
+        for v in graph.neighbors(u):
+            e_uv = canonical_edge(u, v)
+            if e_uv in tree_edge_set:
+                continue
+            # Disjoint subpaths u->lca and v->lca; shared suffix cancels.
+            w = tree.lca(u, v)
+            coeffs: Dict[int, float] = {}
+            rhs = graph.weight(u, v)
+            x = u
+            while x != w:
+                e = tree.edge_to_parent(x)
+                n_a = state.loads[e]
+                coeffs[index[e]] = coeffs.get(index[e], 0.0) - 1.0 / n_a
+                rhs -= graph.weight(*e) / n_a
+                x = tree.parent[x]
+            x = v
+            while x != w:
+                e = tree.edge_to_parent(x)
+                n_a = state.loads[e] + 1  # deviator joins these edges
+                coeffs[index[e]] = coeffs.get(index[e], 0.0) + 1.0 / n_a
+                rhs += graph.weight(*e) / n_a
+                x = tree.parent[x]
+            if coeffs:
+                lp.add_sparse_constraint(list(coeffs.items()), rhs)
+
+    return lp, edges
+
+
+def solve_sne_broadcast_lp3(
+    state: TreeState,
+    method: str = "highs",
+    verify: bool = True,
+) -> SNEResult:
+    """Minimum subsidies enforcing a broadcast tree state, via LP (3)."""
+    graph = state.game.graph
+    lp, edges = build_broadcast_lp3(state)
+    res = solve_lp(lp, method=method)
+    if res.status is not LPStatus.OPTIMAL:
+        return _infeasible(graph, "lp3")
+    subsidies = SubsidyAssignment.from_vector(graph, edges, res.x)
+    verified = (
+        check_equilibrium(state, subsidies, tol=LP_TOL).is_equilibrium if verify else True
+    )
+    return SNEResult(subsidies, subsidies.cost, True, verified, "lp3")
+
+
+# ---------------------------------------------------------------------------
+# LP (1): exponential LP + separation oracle, via cutting planes
+# ---------------------------------------------------------------------------
+
+
+def _deviation_cut(
+    graph: Graph,
+    index: Dict[Edge, int],
+    n_vars: int,
+    current_path: List[Edge],
+    usage: Dict[Edge, int],
+    own: set,
+    deviation_path: List[Edge],
+) -> Tuple[np.ndarray, float]:
+    """Build the LP (1) row for one player deviation.
+
+    Constraint: cost on current path <= cost on deviation path, i.e.::
+
+        sum_{a in T_i} (w_a - b_a)/n_a  -  sum_{a in T'} (w_a - b_a)/d_a <= 0
+
+    with ``d_a = n_a + 1 - n_a^i``.  Edges on both paths have ``d_a = n_a``
+    and cancel exactly.
+    """
+    row = np.zeros(n_vars)
+    rhs = 0.0
+    for e in current_path:
+        n_a = usage[e]
+        row[index[e]] -= 1.0 / n_a
+        rhs -= graph.weight(*e) / n_a
+    for e in deviation_path:
+        d = usage.get(e, 0) + 1 - (1 if e in own else 0)
+        row[index[e]] += 1.0 / d
+        rhs += graph.weight(*e) / d
+    return row, rhs
+
+
+def solve_sne_cutting_plane_lp1(
+    state: AnyState,
+    method: str = "highs",
+    max_rounds: int = 200,
+    verify: bool = True,
+) -> SNEResult:
+    """Minimum subsidies via the exponential LP (1) + separation oracle.
+
+    Works for general and broadcast states.  Variables cover *all* graph
+    edges (as in the paper's presentation); optimal solutions put nothing on
+    non-target edges, which the tests assert.
+    """
+    if isinstance(state, TreeState):
+        graph = state.game.graph
+        player_items: List[Tuple[object, List[Edge], set]] = [
+            (u, state.tree.path_to_root(u), set(state.tree.path_to_root(u)))
+            for u in state.game.player_nodes()
+        ]
+        usage: Dict[Edge, int] = dict(state.loads)
+
+        def oracle_devs(subsidies):
+            out = []
+            for u, path, own in player_items:
+                dev = best_deviation_from_tree(state, u, subsidies)
+                if is_improvement(dev.deviation_cost, dev.current_cost, LP_TOL):
+                    dev_edges = [
+                        canonical_edge(a, b)
+                        for a, b in zip(dev.path_nodes, dev.path_nodes[1:])
+                    ]
+                    out.append((path, own, dev_edges))
+            return out
+
+    else:
+        graph = state.game.graph
+        player_items = [
+            (i, list(state.edge_paths[i]), set(state.edge_paths[i]))
+            for i in range(state.game.n_players)
+        ]
+        usage = dict(state.usage)
+
+        def oracle_devs(subsidies):
+            out = []
+            for i, path, own in player_items:
+                dev = best_response(state, int(i), subsidies)
+                if is_improvement(dev.deviation_cost, dev.current_cost, LP_TOL):
+                    dev_edges = [
+                        canonical_edge(a, b)
+                        for a, b in zip(dev.path_nodes, dev.path_nodes[1:])
+                    ]
+                    out.append((path, own, dev_edges))
+            return out
+
+    all_edges = [canonical_edge(u, v) for u, v, _ in graph.edges()]
+    index = {e: i for i, e in enumerate(all_edges)}
+    n_vars = len(all_edges)
+    upper = np.array([graph.weight(*e) for e in all_edges])
+    lp = LinearProgram(n_vars=n_vars, c=np.ones(n_vars), upper=upper)
+
+    def oracle(x: np.ndarray):
+        subsidies = {e: float(x[index[e]]) for e in all_edges if x[index[e]] > 1e-12}
+        cuts = []
+        for path, own, dev_edges in oracle_devs(subsidies):
+            cuts.append(_deviation_cut(graph, index, n_vars, path, usage, own, dev_edges))
+        return cuts
+
+    out = solve_with_cutting_planes(lp, oracle, method=method, max_rounds=max_rounds)
+    if not out.ok:
+        return _infeasible(graph, "lp1")
+    subsidies = SubsidyAssignment.from_vector(graph, all_edges, out.result.x)
+    verified = (
+        check_equilibrium(state, subsidies, tol=LP_TOL).is_equilibrium if verify else True
+    )
+    return SNEResult(
+        subsidies, subsidies.cost, True, verified, "lp1", rounds=out.rounds, cuts=out.cuts_added
+    )
+
+
+# ---------------------------------------------------------------------------
+# LP (2): polynomial-size reformulation with potential variables
+# ---------------------------------------------------------------------------
+
+
+def solve_sne_polynomial_lp2(
+    state: AnyState,
+    method: str = "highs",
+    verify: bool = True,
+) -> SNEResult:
+    """Minimum subsidies via the polynomial LP (2).
+
+    Variables: ``b_a`` for every edge plus ``pi_i(v)`` for every player and
+    node.  ``pi_i`` is a certified lower bound on the deviator-priced
+    shortest-path distance from ``s_i``; requiring ``pi_i(t_i) >=
+    cost_i(T; b)`` is then exactly the equilibrium condition.
+    """
+    if isinstance(state, TreeState):
+        graph = state.game.graph
+        players = [
+            (u, state.game.root, state.tree.path_to_root(u))
+            for u in state.game.player_nodes()
+        ]
+        usage: Dict[Edge, int] = dict(state.loads)
+    else:
+        graph = state.game.graph
+        players = [
+            (p.source, p.target, list(state.edge_paths[p.index]))
+            for p in state.game.players
+        ]
+        usage = dict(state.usage)
+
+    all_edges = [canonical_edge(u, v) for u, v, _ in graph.edges()]
+    e_index = {e: i for i, e in enumerate(all_edges)}
+    m = len(all_edges)
+    nodes = graph.nodes
+    v_index = {v: i for i, v in enumerate(nodes)}
+    n_nodes = len(nodes)
+    n_players = len(players)
+    n_vars = m + n_players * n_nodes
+
+    def pi_var(i: int, v: Node) -> int:
+        return m + i * n_nodes + v_index[v]
+
+    c = np.zeros(n_vars)
+    c[:m] = 1.0
+    lower = np.zeros(n_vars)
+    upper = np.full(n_vars, np.inf)
+    upper[:m] = [graph.weight(*e) for e in all_edges]
+    for i, (s_i, _t_i, _path) in enumerate(players):
+        upper[pi_var(i, s_i)] = 0.0  # pi_i(s_i) = 0 via bounds
+
+    lp = LinearProgram(n_vars=n_vars, c=c, lower=lower, upper=upper)
+
+    for i, (s_i, t_i, path) in enumerate(players):
+        own = set(path)
+        # Edge relaxations: pi(v) <= pi(u) + (w - b)/d for every ordered pair.
+        for u, v, w in graph.edges():
+            e = canonical_edge(u, v)
+            d = usage.get(e, 0) + 1 - (1 if e in own else 0)
+            for a, bnode in ((u, v), (v, u)):
+                # pi(b) - pi(a) + b_e/d <= w/d
+                lp.add_sparse_constraint(
+                    [(pi_var(i, bnode), 1.0), (pi_var(i, a), -1.0), (e_index[e], 1.0 / d)],
+                    w / d,
+                )
+        # pi_i(t_i) >= cost_i(T; b):  -pi(t_i) - sum b_a/n_a <= -sum w_a/n_a
+        entries = [(pi_var(i, t_i), -1.0)]
+        rhs = 0.0
+        for e in path:
+            n_a = usage[e]
+            entries.append((e_index[e], -1.0 / n_a))
+            rhs -= graph.weight(*e) / n_a
+        lp.add_sparse_constraint(entries, rhs)
+
+    res = solve_lp(lp, method=method)
+    if res.status is not LPStatus.OPTIMAL:
+        return _infeasible(graph, "lp2")
+    subsidies = SubsidyAssignment.from_vector(graph, all_edges, res.x[:m])
+    verified = (
+        check_equilibrium(state, subsidies, tol=LP_TOL).is_equilibrium if verify else True
+    )
+    return SNEResult(subsidies, subsidies.cost, True, verified, "lp2")
+
+
+# ---------------------------------------------------------------------------
+# Front door
+# ---------------------------------------------------------------------------
+
+
+def solve_sne(
+    state: AnyState,
+    formulation: str = "auto",
+    method: str = "highs",
+    verify: bool = True,
+) -> SNEResult:
+    """Solve the optimization version of SNE for a target state.
+
+    ``formulation``: ``"lp3"`` (broadcast only), ``"lp2"``, ``"lp1"`` or
+    ``"auto"`` (LP (3) for broadcast states, LP (1) otherwise).
+    """
+    if formulation == "auto":
+        formulation = "lp3" if isinstance(state, TreeState) else "lp1"
+    if formulation == "lp3":
+        if not isinstance(state, TreeState):
+            raise ValueError("LP (3) applies to broadcast tree states only")
+        return solve_sne_broadcast_lp3(state, method=method, verify=verify)
+    if formulation == "lp2":
+        return solve_sne_polynomial_lp2(state, method=method, verify=verify)
+    if formulation == "lp1":
+        return solve_sne_cutting_plane_lp1(state, method=method, verify=verify)
+    raise ValueError(f"unknown formulation {formulation!r}")

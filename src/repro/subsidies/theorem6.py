@@ -1,0 +1,184 @@
+"""Theorem 6: subsidies of ``wgt(T)/e`` always suffice to enforce an MST.
+
+The constructive proof has two moving parts, both implemented here:
+
+1. **Weight-level decomposition** — the graph is peeled into copies
+   ``G_1 .. G_k`` whose edge weights are ``{0, c_j}``; the target tree
+   restricted to each copy is again an MST there.
+2. **Virtual-cost packing (Lemma 7)** — inside each uniform copy, heavy
+   edges get subsidies so that the virtual cost of every root path is capped
+   at ``c_j``: edges below the cut set ``S`` are fully subsidized, edges
+   above get nothing, and each cut edge ``a = (v, p(v))`` receives::
+
+       b_a = c_j * (1 - m_a * (1 - exp(vc(T_{p(v)}, 0)/c_j - 1)))
+
+   which makes ``vc(T_{p(v)}, 0) + vc(a, b_a) = c_j`` exactly.  The per-level
+   total always comes out to ``wgt(T_j)/e`` (the paper's path-transformation
+   argument; asserted at runtime).
+
+Composing the per-level assignments enforces the tree in the original game.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.graphs.graph import Edge, Graph
+from repro.games.broadcast import BroadcastGame, TreeState
+from repro.subsidies.assignment import SubsidyAssignment
+
+_E = math.e
+
+
+@dataclass
+class LevelReport:
+    """Per-level bookkeeping of the decomposition."""
+
+    c: float
+    n_heavy_tree_edges: int
+    subsidy_total: float
+
+    @property
+    def level_weight(self) -> float:
+        """``wgt(T_j)`` = (number of heavy tree edges) * c_j."""
+        return self.n_heavy_tree_edges * self.c
+
+
+@dataclass
+class Theorem6Result:
+    """Constructive subsidies plus the paper's accounting."""
+
+    subsidies: SubsidyAssignment
+    levels: List[LevelReport] = field(default_factory=list)
+    tree_weight: float = 0.0
+
+    @property
+    def cost(self) -> float:
+        return self.subsidies.cost
+
+    @property
+    def bound(self) -> float:
+        """The Theorem 6 guarantee ``wgt(T)/e``."""
+        return self.tree_weight / _E
+
+    @property
+    def fraction(self) -> float:
+        return self.cost / self.tree_weight if self.tree_weight > 0 else 0.0
+
+
+def weight_level_decomposition(weights: List[float]) -> List[Tuple[float, float]]:
+    """Thresholds of the peeling: ``[(threshold_j, c_j), ...]``.
+
+    ``threshold_j`` is the original-weight cutoff above which an edge is
+    heavy in copy ``j``; ``c_j`` is that copy's uniform heavy weight
+    (successive differences of the distinct positive weights).
+    """
+    distinct = sorted({w for w in weights if w > 0})
+    out: List[Tuple[float, float]] = []
+    prev = 0.0
+    for w in distinct:
+        out.append((w, w - prev))
+        prev = w
+    return out
+
+
+def _level_subsidies(
+    state: TreeState, heavy_edges: set, c: float
+) -> Tuple[Dict[Edge, float], float]:
+    """Lemma 7 subsidies for one uniform copy; returns (per-edge, total).
+
+    ``heavy_edges`` are the *tree* edges that carry weight ``c`` in this
+    copy; all other tree edges are light (weight 0) there.
+    """
+    tree = state.tree
+
+    # m_a: heavy players (nodes whose parent edge is heavy) in the subtree
+    # below each heavy edge.  Computed leaf-up in one reversed-BFS pass.
+    heavy_below: Dict[object, int] = {}
+    for u in reversed(tree.bfs_order):
+        own = 0
+        if u != tree.root and tree.edge_to_parent(u) in heavy_edges:
+            own = 1
+        heavy_below[u] = own + sum(heavy_below[ch] for ch in tree.children[u])
+
+    # vc0(u): virtual cost of the (unsubsidized) path from u to the root.
+    vc0: Dict[object, float] = {tree.root: 0.0}
+    for u in tree.bfs_order[1:]:
+        e = tree.edge_to_parent(u)
+        inc = 0.0
+        if e in heavy_edges:
+            m = heavy_below[u]
+            inc = math.inf if m == 1 else c * math.log(m / (m - 1.0))
+        vc0[u] = vc0[tree.parent[u]] + inc
+
+    out: Dict[Edge, float] = {}
+    total = 0.0
+    for e in heavy_edges:
+        v = tree.child_endpoint(e)
+        p = tree.parent[v]
+        m = heavy_below[v]
+        if vc0[v] < c:
+            continue  # root side of the cut: no subsidies
+        if vc0[p] >= c:
+            b = c  # strictly below the cut: fully subsidized
+        else:
+            # Cut edge: top up so vc0(p) + vc(e, b) = c exactly.
+            b = c * (1.0 - m * (1.0 - math.exp(vc0[p] / c - 1.0)))
+        b = min(max(b, 0.0), c)
+        if b > 0.0:
+            out[e] = b
+            total += b
+    return out, total
+
+
+def theorem6_subsidies(state: TreeState, check_level_totals: bool = True) -> Theorem6Result:
+    """Compute the Theorem 6 constructive subsidy assignment for an MST.
+
+    Parameters
+    ----------
+    state:
+        A broadcast tree state; must be a *minimum* spanning tree (the
+        decomposition argument requires it) with unit player multiplicities
+        (the paper's model).
+    check_level_totals:
+        Assert the per-level total equals ``wgt(T_j)/e`` (the paper's exact
+        accounting) — cheap and catches structural bugs early.
+
+    Raises
+    ------
+    ValueError
+        When the state is not an MST or multiplicities are not all 1.
+    """
+    game: BroadcastGame = state.game
+    if any(k != 1 for k in game.multiplicity.values()):
+        raise ValueError("Theorem 6 is stated for unit player multiplicities")
+    tree_weight = sum(game.graph.weight(*e) for e in state.edges)
+    mst_weight = game.mst_weight()
+    if tree_weight > mst_weight + 1e-9 * max(1.0, mst_weight):
+        raise ValueError(
+            f"target tree weight {tree_weight:.6g} exceeds MST weight "
+            f"{mst_weight:.6g}; Theorem 6 applies to minimum spanning trees"
+        )
+
+    graph: Graph = game.graph
+    tree_weights = {e: graph.weight(*e) for e in state.edges}
+    levels = weight_level_decomposition(list(tree_weights.values()))
+
+    combined: Dict[Edge, float] = {}
+    reports: List[LevelReport] = []
+    for threshold, c in levels:
+        heavy = {e for e, w in tree_weights.items() if w >= threshold - 1e-12}
+        per_edge, total = _level_subsidies(state, heavy, c)
+        expected = len(heavy) * c / _E
+        if check_level_totals and abs(total - expected) > 1e-6 * max(1.0, expected):
+            raise AssertionError(
+                f"level c={c}: subsidy total {total:.9g} != wgt(T_j)/e {expected:.9g}"
+            )
+        for e, b in per_edge.items():
+            combined[e] = combined.get(e, 0.0) + b
+        reports.append(LevelReport(c=c, n_heavy_tree_edges=len(heavy), subsidy_total=total))
+
+    subsidies = SubsidyAssignment(graph, combined)
+    return Theorem6Result(subsidies=subsidies, levels=reports, tree_weight=tree_weight)

@@ -1,0 +1,91 @@
+"""The virtual cost function of Lemma 7 (and Figure 4).
+
+For a heavy edge ``a`` of weight ``c`` used by ``m_a`` heavy players and
+carrying subsidies ``y_a``::
+
+    vc(a, y_a) = c * ln( m_a / (m_a - 1 + y_a / c) )
+
+Claim 8: ``vc(a, y_a) >= (c - y_a) / n_a(T)`` — the virtual cost dominates
+every player's real share of the edge.  Claim 10: on a path whose heavy-edge
+multiplicities are consecutive integers ``t - |q'| + 1 .. t``, packing a
+total ``y(q)`` of subsidies on the least crowded edges gives::
+
+    vc(q, y) = c * ln( t / (t - |q'| + y(q)/c) )
+
+Both claims are exercised directly by the test suite and the Figure 4
+experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def edge_virtual_cost(c: float, m: int, y: float = 0.0) -> float:
+    """``vc(a, y)`` for a heavy edge of weight ``c`` with multiplicity ``m``.
+
+    Returns ``inf`` for an unsubsidized edge with ``m = 1`` (the paper's
+    "virtual cost would be infinite" case that forces the cut set ``S`` to
+    hit every heavy path).
+    """
+    if c <= 0:
+        raise ValueError("virtual cost is defined for heavy edges (c > 0)")
+    if m < 1:
+        raise ValueError(f"multiplicity must be >= 1, got {m}")
+    if not 0.0 <= y <= c * (1 + 1e-12):
+        raise ValueError(f"subsidy {y} outside [0, {c}]")
+    denom = m - 1.0 + min(y, c) / c
+    if denom <= 0.0:
+        return math.inf
+    return c * math.log(m / denom)
+
+
+def path_virtual_cost(c: float, multiplicities: Sequence[int], subsidies: Sequence[float]) -> float:
+    """Sum of per-edge virtual costs along a path of heavy edges."""
+    if len(multiplicities) != len(subsidies):
+        raise ValueError("multiplicities and subsidies must align")
+    return sum(edge_virtual_cost(c, m, y) for m, y in zip(multiplicities, subsidies))
+
+
+def pack_subsidies_on_path(
+    c: float, multiplicities: Sequence[int], total: float
+) -> List[float]:
+    """Distribute ``total`` subsidies on a path, least-crowded edges first.
+
+    Implements Definition 9: an edge receives partial subsidies only when
+    every strictly-less-crowded heavy edge is already fully subsidized.
+    Ties are filled in input order.
+    """
+    if total < -1e-12 or total > c * len(multiplicities) + 1e-9:
+        raise ValueError("total subsidies outside feasible range")
+    order = sorted(range(len(multiplicities)), key=lambda i: (multiplicities[i], i))
+    out = [0.0] * len(multiplicities)
+    remaining = max(0.0, total)
+    for i in order:
+        take = min(c, remaining)
+        out[i] = take
+        remaining -= take
+        if remaining <= 0:
+            break
+    return out
+
+
+def claim10_closed_form(c: float, t: int, q_len: int, total: float) -> float:
+    """The Claim 10 closed form ``c * ln(t / (t - |q'| + y(q)/c))``."""
+    denom = t - q_len + total / c
+    if denom <= 0:
+        return math.inf
+    return c * math.log(t / denom)
+
+
+def real_cost_share(
+    c: float, multiplicities: Sequence[int], subsidies: Sequence[float]
+) -> float:
+    """Real cost ``sum (c - y_a)/m_a`` of the deepest player on a heavy path.
+
+    In the single-path game the edge loads coincide with the heavy-player
+    multiplicities, so this is the grey-line area in Figure 4.  Claim 8
+    guarantees it never exceeds the virtual cost.
+    """
+    return sum((c - y) / m for m, y in zip(multiplicities, subsidies))

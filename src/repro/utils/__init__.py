@@ -1,0 +1,36 @@
+"""Shared utilities: numeric tolerances, RNG plumbing, timing, validation.
+
+The whole library compares player costs with a single relative tolerance so
+that "no improving deviation" means the same thing in the equilibrium checker,
+the LP post-verification and the hardness-reduction experiments.
+"""
+
+from repro.utils.tolerances import (
+    EQ_TOL,
+    LP_TOL,
+    is_close,
+    is_improvement,
+    leq_with_tol,
+    nonnegative,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_edge_weight,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "EQ_TOL",
+    "LP_TOL",
+    "is_close",
+    "is_improvement",
+    "leq_with_tol",
+    "nonnegative",
+    "ensure_rng",
+    "Timer",
+    "check_edge_weight",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,17 @@
+"""Random number generator plumbing.
+
+All stochastic entry points accept ``seed`` as ``None``, an ``int`` or an
+existing :class:`numpy.random.Generator` and normalize through
+:func:`ensure_rng`, so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a numpy Generator for any accepted seed spec."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,50 @@
+"""Numeric tolerances used across the library.
+
+Equilibrium conditions in the paper are weak inequalities
+(``cost_i(T) <= cost_i(T_{-i}, T'_i)``).  With floating-point path sums the
+only robust reading is: a deviation counts as *improving* only when it beats
+the current cost by more than a tolerance.  Every module uses the helpers
+here rather than bare comparisons so the policy lives in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Tolerance for equilibrium / player-cost comparisons.
+EQ_TOL: float = 1e-9
+
+#: Looser tolerance for values that went through an LP solver.
+LP_TOL: float = 1e-7
+
+
+def is_close(a: float, b: float, tol: float = EQ_TOL) -> bool:
+    """Return True when ``a`` and ``b`` agree up to ``tol`` (rel or abs)."""
+    return math.isclose(a, b, rel_tol=tol, abs_tol=tol)
+
+
+def leq_with_tol(a: float, b: float, tol: float = EQ_TOL) -> bool:
+    """Tolerant ``a <= b``: true when ``a`` exceeds ``b`` by at most ``tol``.
+
+    The slack scales with the magnitude of the operands so that games with
+    weights around 1e6 behave like games with unit weights.
+    """
+    scale = max(1.0, abs(a), abs(b))
+    return a <= b + tol * scale
+
+
+def is_improvement(new_cost: float, old_cost: float, tol: float = EQ_TOL) -> bool:
+    """True when deviating to ``new_cost`` strictly improves on ``old_cost``.
+
+    This is the negation of :func:`leq_with_tol` applied to the equilibrium
+    inequality, so "equilibrium" and "no improving deviation" can never
+    disagree about borderline ties.
+    """
+    return not leq_with_tol(old_cost, new_cost, tol)
+
+
+def nonnegative(x: float, tol: float = EQ_TOL) -> float:
+    """Clip a tiny negative float (LP round-off) to zero; reject real negatives."""
+    if x < -tol * max(1.0, abs(x)):
+        raise ValueError(f"expected a nonnegative value, got {x!r}")
+    return max(0.0, x)

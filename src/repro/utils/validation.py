@@ -1,0 +1,32 @@
+"""Input validation helpers shared by constructors and generators."""
+
+from __future__ import annotations
+
+import math
+
+
+def check_edge_weight(weight: float) -> float:
+    """Validate an edge weight: finite-or-inf, nonnegative float."""
+    w = float(weight)
+    if math.isnan(w):
+        raise ValueError("edge weight may not be NaN")
+    if w < 0:
+        raise ValueError(f"edge weight must be nonnegative, got {w}")
+    return w
+
+
+def check_positive_int(value: int, name: str = "value") -> int:
+    """Validate a strictly positive integer parameter."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_probability(p: float, name: str = "p") -> float:
+    """Validate a probability in [0, 1]."""
+    q = float(p)
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {q}")
+    return q

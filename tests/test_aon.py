@@ -1,0 +1,100 @@
+"""Tests for all-or-nothing SNE (exact B&B and greedy)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bounds.instances import theorem21_analysis, theorem21_path_instance
+from repro.games import BroadcastGame, check_equilibrium
+from repro.graphs import Graph
+from repro.graphs.generators import random_tree_plus_chords
+from repro.subsidies import (
+    greedy_aon_sne,
+    solve_aon_sne_exact,
+    solve_sne_broadcast_lp3,
+)
+
+
+@pytest.fixture
+def shortcut_triangle():
+    g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2)])
+    game = BroadcastGame(g, root=0)
+    return game.tree_state([(0, 1), (1, 2)])
+
+
+class TestExactBranchAndBound:
+    def test_triangle_needs_one_full_edge(self, shortcut_triangle):
+        res = solve_aon_sne_exact(shortcut_triangle)
+        assert res.optimal and res.verified
+        # Fractional optimum is 0.3 but AoN must fully subsidize one edge.
+        assert res.cost == pytest.approx(1.0, abs=1e-6)
+        assert res.subsidies.is_all_or_nothing()
+
+    def test_zero_cost_when_already_equilibrium(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.0)])
+        game = BroadcastGame(g, root=0)
+        res = solve_aon_sne_exact(game.tree_state([(0, 1), (1, 2)]))
+        assert res.cost == 0.0
+        assert res.optimal
+
+    def test_exact_at_least_fractional(self, shortcut_triangle):
+        frac = solve_sne_broadcast_lp3(shortcut_triangle)
+        aon = solve_aon_sne_exact(shortcut_triangle)
+        assert aon.cost >= frac.cost - 1e-9
+
+    def test_enforces_equilibrium(self, shortcut_triangle):
+        res = solve_aon_sne_exact(shortcut_triangle)
+        assert check_equilibrium(
+            shortcut_triangle, res.subsidies, tol=1e-6
+        ).is_equilibrium
+
+    def test_node_budget_degrades_gracefully(self, shortcut_triangle):
+        res = solve_aon_sne_exact(shortcut_triangle, max_nodes=1)
+        assert res.verified  # full-baseline incumbent is always valid
+        assert not res.optimal or res.cost <= 1.0 + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 8), st.integers(0, 10_000))
+    def test_random_instances_verified_and_bounded(self, n, seed):
+        g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.1)
+        game = BroadcastGame(g, root=0)
+        state = game.mst_state()
+        frac = solve_sne_broadcast_lp3(state)
+        aon = solve_aon_sne_exact(state)
+        assert aon.optimal
+        assert aon.verified
+        assert aon.subsidies.is_all_or_nothing()
+        assert frac.cost - 1e-6 <= aon.cost <= state.social_cost() + 1e-9
+
+    def test_theorem21_small_instance_matches_closed_form(self):
+        for n in (6, 9, 12):
+            game, state = theorem21_path_instance(n)
+            analysis = theorem21_analysis(n)
+            res = solve_aon_sne_exact(state)
+            assert res.optimal and res.verified
+            assert res.cost == pytest.approx(analysis.optimal_cost, abs=1e-6)
+
+
+class TestGreedy:
+    def test_triangle(self, shortcut_triangle):
+        res = greedy_aon_sne(shortcut_triangle)
+        assert res.verified
+        assert res.subsidies.is_all_or_nothing()
+        assert res.cost == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_when_equilibrium(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.0)])
+        game = BroadcastGame(g, root=0)
+        res = greedy_aon_sne(game.tree_state([(0, 1), (1, 2)]))
+        assert res.cost == 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 9), st.integers(0, 10_000))
+    def test_greedy_upper_bounds_exact(self, n, seed):
+        g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.1)
+        game = BroadcastGame(g, root=0)
+        state = game.mst_state()
+        greedy = greedy_aon_sne(state)
+        exact = solve_aon_sne_exact(state)
+        assert greedy.verified
+        assert greedy.cost >= exact.cost - 1e-9
+        assert greedy.cost <= state.social_cost() + 1e-9

@@ -1,0 +1,108 @@
+"""Tests for approximate equilibria and the subsidies/stretch tradeoff."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bounds.instances import theorem11_cycle_instance
+from repro.games import BroadcastGame, check_equilibrium
+from repro.games.approx import (
+    equilibrium_stretch,
+    is_alpha_equilibrium,
+    subsidies_for_stretch,
+)
+from repro.graphs import Graph
+from repro.graphs.generators import random_tree_plus_chords
+from repro.subsidies import solve_sne_broadcast_lp3
+
+
+@pytest.fixture
+def shortcut_triangle():
+    g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2)])
+    return BroadcastGame(g, root=0).tree_state([(0, 1), (1, 2)])
+
+
+class TestStretch:
+    def test_exact_equilibrium_has_stretch_one(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.0)])
+        state = BroadcastGame(g, root=0).tree_state([(0, 1), (1, 2)])
+        assert equilibrium_stretch(state) == pytest.approx(1.0)
+
+    def test_triangle_stretch(self, shortcut_triangle):
+        # Player 2 pays 1.5 vs best response 1.2: stretch = 1.25.
+        assert equilibrium_stretch(shortcut_triangle) == pytest.approx(1.5 / 1.2)
+
+    def test_subsidies_reduce_stretch(self, shortcut_triangle):
+        raw = equilibrium_stretch(shortcut_triangle)
+        subsidized = equilibrium_stretch(shortcut_triangle, {(1, 2): 0.3})
+        assert subsidized < raw
+        assert subsidized == pytest.approx(1.0)
+
+    def test_infinite_stretch_on_free_bypass(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 0.0)])
+        state = BroadcastGame(g, root=0).tree_state([(0, 1), (1, 2)])
+        assert equilibrium_stretch(state) == math.inf
+
+    def test_general_game_stretch(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 3.0)])
+        game = BroadcastGame(g, root=0).to_network_design_game()
+        bc = BroadcastGame(g, root=0)
+        state = game.state(bc.tree_state_to_paths(bc.mst_state()))
+        assert equilibrium_stretch(state) == pytest.approx(1.0)
+
+
+class TestIsAlpha:
+    def test_threshold(self, shortcut_triangle):
+        assert not is_alpha_equilibrium(shortcut_triangle, 1.0)
+        assert not is_alpha_equilibrium(shortcut_triangle, 1.2)
+        assert is_alpha_equilibrium(shortcut_triangle, 1.25)
+        assert is_alpha_equilibrium(shortcut_triangle, 2.0)
+
+    def test_alpha_validation(self, shortcut_triangle):
+        with pytest.raises(ValueError):
+            is_alpha_equilibrium(shortcut_triangle, 0.5)
+
+    def test_consistent_with_exact_checker(self, shortcut_triangle):
+        assert is_alpha_equilibrium(shortcut_triangle, 1.0) == check_equilibrium(
+            shortcut_triangle
+        ).is_equilibrium
+
+
+class TestSubsidiesForStretch:
+    def test_alpha_one_matches_sne(self, shortcut_triangle):
+        sub, cost = subsidies_for_stretch(shortcut_triangle, 1.0)
+        exact = solve_sne_broadcast_lp3(shortcut_triangle)
+        assert cost == pytest.approx(exact.cost, abs=1e-6)
+
+    def test_result_achieves_stretch(self, shortcut_triangle):
+        for alpha in (1.0, 1.1, 1.2):
+            sub, _ = subsidies_for_stretch(shortcut_triangle, alpha)
+            assert sub is not None
+            assert equilibrium_stretch(shortcut_triangle, sub) <= alpha + 1e-6
+
+    def test_monotone_cheaper_with_alpha(self, shortcut_triangle):
+        costs = [subsidies_for_stretch(shortcut_triangle, a)[1] for a in (1.0, 1.1, 1.25)]
+        assert costs[0] >= costs[1] >= costs[2]
+        assert costs[2] == pytest.approx(0.0, abs=1e-8)  # already 1.25-approx
+
+    def test_alpha_validation(self, shortcut_triangle):
+        with pytest.raises(ValueError):
+            subsidies_for_stretch(shortcut_triangle, 0.9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(5, 9), st.integers(0, 5000))
+    def test_random_instances_tradeoff(self, n, seed):
+        g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.1)
+        state = BroadcastGame(g, root=0).mst_state()
+        c1 = subsidies_for_stretch(state, 1.0)[1]
+        c15 = subsidies_for_stretch(state, 1.5)[1]
+        exact = solve_sne_broadcast_lp3(state).cost
+        assert c1 == pytest.approx(exact, abs=1e-5)
+        assert c15 <= c1 + 1e-9
+
+    def test_cycle_instance_free_at_large_alpha(self):
+        _, state = theorem11_cycle_instance(12)
+        raw = equilibrium_stretch(state)
+        sub, cost = subsidies_for_stretch(state, raw + 0.01)
+        assert cost == pytest.approx(0.0, abs=1e-7)

@@ -1,0 +1,94 @@
+"""Tests for the Theorem 11 / 21 lower-bound instance families."""
+
+import math
+
+import pytest
+
+from repro.bounds import (
+    theorem11_cycle_instance,
+    theorem11_optimal_fraction,
+    theorem21_fraction_limit,
+    theorem21_path_instance,
+)
+from repro.bounds.instances import theorem21_analysis
+from repro.games import check_equilibrium
+from repro.graphs.mst import is_minimum_spanning_tree
+from repro.subsidies import solve_aon_sne_exact, solve_sne_broadcast_lp3
+
+
+class TestTheorem11Family:
+    def test_instance_structure(self):
+        game, state = theorem11_cycle_instance(8)
+        assert game.graph.num_nodes == 9
+        assert game.graph.num_edges == 9
+        assert is_minimum_spanning_tree(game.graph, state.edges)
+        assert state.social_cost() == pytest.approx(8.0)
+
+    def test_target_not_equilibrium_without_subsidies(self):
+        _, state = theorem11_cycle_instance(8)
+        assert not check_equilibrium(state).is_equilibrium
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem11_cycle_instance(1)
+
+    def test_closed_form_matches_lp(self):
+        for n in (4, 7, 12, 20):
+            _, state = theorem11_cycle_instance(n)
+            lp = solve_sne_broadcast_lp3(state)
+            assert lp.cost / n == pytest.approx(theorem11_optimal_fraction(n), abs=1e-7)
+
+    def test_fraction_converges_to_inverse_e(self):
+        fractions = [theorem11_optimal_fraction(n) for n in (10, 100, 1000, 100_000)]
+        # Monotone approach from below toward 1/e.
+        assert all(f < 1 / math.e for f in fractions)
+        assert fractions[-1] == pytest.approx(1 / math.e, abs=2e-4)
+        assert fractions[0] < fractions[-1]
+
+    def test_paper_lower_bound_inequality(self):
+        # Paper: subsidies >= (n+1)/e - 2.
+        for n in (50, 500):
+            total = theorem11_optimal_fraction(n) * n
+            assert total >= (n + 1) / math.e - 2
+
+
+class TestTheorem21Family:
+    def test_instance_structure(self):
+        game, state = theorem21_path_instance(10)
+        assert game.graph.num_nodes == 11
+        assert game.graph.num_edges == 12
+        assert is_minimum_spanning_tree(game.graph, state.edges)
+
+    def test_tree_weight_formula(self):
+        n = 12
+        _, state = theorem21_path_instance(n)
+        expected = (2 * n - n / math.e) / (n - n / math.e + 1)
+        assert state.social_cost() == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem21_path_instance(3)
+
+    def test_not_equilibrium_unsubsidized(self):
+        _, state = theorem21_path_instance(10)
+        assert not check_equilibrium(state).is_equilibrium
+
+    def test_analysis_matches_exact_solver(self):
+        for n in (6, 10, 14):
+            game, state = theorem21_path_instance(n)
+            res = solve_aon_sne_exact(state)
+            assert res.optimal
+            assert res.cost == pytest.approx(theorem21_analysis(n).optimal_cost, abs=1e-6)
+
+    def test_fraction_converges_to_limit(self):
+        limit = theorem21_fraction_limit()
+        fractions = [theorem21_analysis(n).optimal_fraction for n in (20, 200, 2000, 200_000)]
+        assert fractions[-1] == pytest.approx(limit, abs=2e-3)
+        # All near-limit fractions exceed the fractional bound 1/e.
+        assert all(f > 1 / math.e for f in fractions)
+
+    def test_aon_strictly_above_fractional(self):
+        game, state = theorem21_path_instance(12)
+        frac = solve_sne_broadcast_lp3(state)
+        aon = solve_aon_sne_exact(state)
+        assert aon.cost > frac.cost + 1e-6

@@ -1,0 +1,147 @@
+"""Tests for broadcast games and tree states."""
+
+import pytest
+
+from repro.games import BroadcastGame
+from repro.graphs import Graph
+from repro.graphs.generators import cycle_graph, fan_graph
+
+
+@pytest.fixture
+def small_game():
+    # Root 0; path 0-1-2 plus shortcut (0, 2).
+    g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)])
+    return BroadcastGame(g, root=0)
+
+
+class TestConstruction:
+    def test_basic(self, small_game):
+        assert small_game.n_players == 2
+        assert set(small_game.player_nodes()) == {1, 2}
+
+    def test_root_not_in_graph(self):
+        with pytest.raises(ValueError):
+            BroadcastGame(Graph.from_edges([(0, 1, 1.0)]), root=9)
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        g.add_node(5)
+        with pytest.raises(ValueError):
+            BroadcastGame(g, root=0)
+
+    def test_multiplicities(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 0.0)])
+        game = BroadcastGame(g, root=0, multiplicity={2: 5})
+        assert game.n_players == 6
+        assert game.multiplicity == {1: 1, 2: 5}
+
+    def test_negative_multiplicity(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            BroadcastGame(g, root=0, multiplicity={1: -1})
+
+    def test_zero_multiplicity_node_has_no_player(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        game = BroadcastGame(g, root=0, multiplicity={1: 0})
+        assert set(game.player_nodes()) == {2}
+
+
+class TestTreeState:
+    def test_loads(self, small_game):
+        st = small_game.tree_state([(0, 1), (1, 2)])
+        assert st.loads == {(0, 1): 2, (1, 2): 1}
+
+    def test_loads_with_multiplicity(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 0.0)])
+        game = BroadcastGame(g, root=0, multiplicity={2: 9})
+        st = game.tree_state([(0, 1), (1, 2)])
+        assert st.loads == {(0, 1): 10, (1, 2): 9}
+
+    def test_social_cost(self, small_game):
+        st = small_game.tree_state([(0, 1), (1, 2)])
+        assert st.social_cost() == pytest.approx(2.0)
+
+    def test_non_spanning_rejected(self, small_game):
+        with pytest.raises(ValueError):
+            small_game.tree_state([(0, 1)])
+
+    def test_non_graph_edge_rejected(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (1, 3, 1.0)])
+        game = BroadcastGame(g, root=0)
+        with pytest.raises(ValueError):
+            game.tree_state([(0, 1), (1, 2), (2, 3)])
+
+    def test_player_cost(self, small_game):
+        st = small_game.tree_state([(0, 1), (1, 2)])
+        assert st.player_cost(1) == pytest.approx(0.5)
+        assert st.player_cost(2) == pytest.approx(1.5)
+
+    def test_player_cost_with_subsidies(self, small_game):
+        st = small_game.tree_state([(0, 1), (1, 2)])
+        assert st.player_cost(2, {(1, 2): 0.5}) == pytest.approx(1.0)
+
+    def test_player_cost_root_rejected(self, small_game):
+        st = small_game.tree_state([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            st.player_cost(0)
+
+    def test_all_player_costs_match_single(self, small_game):
+        st = small_game.tree_state([(0, 1), (1, 2)])
+        costs = st.all_player_costs()
+        assert costs[1] == pytest.approx(st.player_cost(1))
+        assert costs[2] == pytest.approx(st.player_cost(2))
+
+    def test_total_player_cost_equals_weight(self, small_game):
+        st = small_game.tree_state([(0, 1), (1, 2)])
+        assert st.total_player_cost() == pytest.approx(st.social_cost())
+
+    def test_total_player_cost_multiplicity(self):
+        g = Graph.from_edges([(0, 1, 3.0), (1, 2, 0.0)])
+        game = BroadcastGame(g, root=0, multiplicity={2: 2})
+        st = game.tree_state([(0, 1), (1, 2)])
+        # Three players share the weight-3 edge; total = 3.
+        assert st.total_player_cost() == pytest.approx(3.0)
+
+    def test_usage(self, small_game):
+        st = small_game.tree_state([(0, 1), (1, 2)])
+        assert st.usage((1, 0)) == 2
+        assert st.usage((0, 2)) == 0
+
+
+class TestMST:
+    def test_mst_state(self, small_game):
+        st = small_game.mst_state()
+        assert st.edge_set() == frozenset({(0, 1), (1, 2)})
+        assert small_game.mst_weight() == pytest.approx(2.0)
+
+    def test_fan_mst_uses_rim(self):
+        game = BroadcastGame(fan_graph(5), root=0)
+        st = game.mst_state()
+        # One spoke plus the rim.
+        spokes = [e for e in st.edges if 0 in e]
+        assert len(spokes) == 1
+
+
+class TestConversion:
+    def test_to_network_design_game(self, small_game):
+        nd = small_game.to_network_design_game()
+        assert nd.n_players == 2
+        st = small_game.mst_state()
+        paths = small_game.tree_state_to_paths(st)
+        general = nd.state(paths)
+        assert general.social_cost() == pytest.approx(st.social_cost())
+        for i, p in enumerate(nd.players):
+            assert general.player_cost(i) == pytest.approx(st.player_cost(p.source))
+
+    def test_conversion_rejects_multiplicity(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        game = BroadcastGame(g, root=0, multiplicity={1: 3})
+        with pytest.raises(ValueError):
+            game.to_network_design_game()
+
+    def test_paths_respect_multiplicity(self):
+        g = cycle_graph(4)
+        game = BroadcastGame(g, root=0, multiplicity={1: 1, 2: 0, 3: 1})
+        st = game.tree_state([(0, 1), (1, 2), (2, 3)])
+        paths = game.tree_state_to_paths(st)
+        assert len(paths) == 2

@@ -1,0 +1,80 @@
+"""Tests for the Bypass gadget (Lemma 4)."""
+
+import pytest
+
+from repro.bounds.harmonic import harmonic_diff
+from repro.games import check_equilibrium
+from repro.games.equilibrium import best_deviation_from_tree
+from repro.hardness.bypass import (
+    build_bypass_game,
+    bypass_ell,
+    connector_deviates,
+)
+
+
+class TestEll:
+    def test_definition_minimal(self):
+        for kappa in (1, 4, 7, 12):
+            ell = bypass_ell(kappa)
+            assert harmonic_diff(kappa + ell, kappa) > 1.0
+            assert harmonic_diff(kappa + ell - 1, kappa) <= 1.0
+
+    def test_roughly_e_minus_one_times_kappa(self):
+        # ell/kappa -> e - 1 ~ 1.718 from above as kappa grows.
+        ratios = {kappa: bypass_ell(kappa) / kappa for kappa in (10, 200, 5000)}
+        assert all(1.65 < r < 2.0 for r in ratios.values())
+        assert ratios[5000] == pytest.approx(1.718, abs=0.01)
+        assert ratios[10] > ratios[200] > ratios[5000]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bypass_ell(0)
+
+
+class TestLemma4:
+    @pytest.mark.parametrize("kappa", [3, 5, 7])
+    def test_deviation_iff_beta_below_capacity(self, kappa):
+        """Lemma 4, executed on the actual game for beta around kappa."""
+        for beta in range(0, kappa + 3):
+            game, state, gadget = build_bypass_game(kappa, beta)
+            dev = best_deviation_from_tree(state, gadget.connector)
+            deviates = dev.deviation_cost < dev.current_cost - 1e-12
+            assert deviates == (beta < kappa)
+            assert deviates == connector_deviates(kappa, beta)
+
+    def test_connector_cost_formula(self):
+        kappa, beta = 5, 7
+        game, state, gadget = build_bypass_game(kappa, beta)
+        cost = state.player_cost(gadget.connector)
+        assert cost == pytest.approx(harmonic_diff(beta + gadget.ell, beta))
+
+    def test_full_equilibrium_when_saturated(self):
+        kappa = 4
+        game, state, gadget = build_bypass_game(kappa, beta=kappa)
+        assert check_equilibrium(state).is_equilibrium
+
+    def test_not_equilibrium_when_underfull(self):
+        kappa = 4
+        game, state, gadget = build_bypass_game(kappa, beta=kappa - 1)
+        report = check_equilibrium(state)
+        assert not report.is_equilibrium
+
+    def test_basic_path_players_stable_when_saturated(self):
+        """No basic-path player (not just the connector) wants the bypass."""
+        kappa = 5
+        game, state, gadget = build_bypass_game(kappa, beta=kappa)
+        for node in gadget.path_nodes:
+            dev = best_deviation_from_tree(state, node)
+            assert dev.deviation_cost >= dev.current_cost - 1e-12
+
+    def test_mst_excludes_bypass(self):
+        game, state, gadget = build_bypass_game(4, 2)
+        mst = game.mst_state()
+        assert gadget.bypass_edge not in mst.edge_set()
+        assert state.edge_set() == mst.edge_set() | (
+            state.edge_set() - mst.edge_set()
+        )
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            build_bypass_game(3, -1)

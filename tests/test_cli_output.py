@@ -1,0 +1,23 @@
+"""CLI --out flag and report formatting."""
+
+from repro.cli import main
+
+
+class TestOutFlag:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["run", "E10", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "[E10]" in text
+        assert "virtual_cost" in text
+        # Still printed to stdout too.
+        assert "[E10]" in capsys.readouterr().out
+
+    def test_no_file_without_flag(self, tmp_path, capsys):
+        assert main(["run", "E5"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_ablation_via_cli(self, tmp_path):
+        out = tmp_path / "a1.txt"
+        assert main(["run", "A1", "--out", str(out)]) == 0
+        assert "packing rule" in out.read_text()

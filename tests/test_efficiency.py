@@ -1,0 +1,81 @@
+"""Tests for exact PoS/PoA computation."""
+
+import pytest
+
+from repro.games import BroadcastGame
+from repro.games.efficiency import (
+    best_equilibrium_tree,
+    efficiency_report,
+    equilibrium_spanning_trees,
+    price_of_anarchy,
+    price_of_stability,
+)
+from repro.graphs import Graph
+from repro.graphs.generators import fan_graph
+
+
+class TestEfficiencyReport:
+    def test_trivial_game_pos_one(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        game = BroadcastGame(g, root=0)
+        rep = efficiency_report(game)
+        assert rep.n_trees == 1
+        assert rep.n_equilibria == 1
+        assert rep.price_of_stability == pytest.approx(1.0)
+        assert rep.price_of_anarchy == pytest.approx(1.0)
+
+    def test_fan_game_rim_is_stable(self):
+        """With uniform unit spokes the cheap rim MST is itself stable."""
+        game = BroadcastGame(fan_graph(4, rim_weight_scale=1.0), root=0)
+        rep = efficiency_report(game)
+        assert rep.price_of_stability == pytest.approx(1.0)
+
+    def test_shortcut_triangle_gap(self):
+        """MST path 0-1-2 is destabilized by the (0,2) shortcut: PoS > 1.
+
+        Trees: {01,12} (w=2, player 2 deviates: 1.5 > 1.2), {12,02} (w=2.2,
+        player 1 deviates to her direct edge: 1 < 1.6), and {01,02} (w=2.2,
+        the unique equilibrium) -> PoS = PoA = 1.1 exactly.
+        """
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2)])
+        game = BroadcastGame(g, root=0)
+        rep = efficiency_report(game)
+        assert rep.n_trees == 3
+        assert rep.n_equilibria == 1
+        assert rep.price_of_stability == pytest.approx(1.1)
+        assert rep.price_of_anarchy == pytest.approx(1.1)
+
+    def test_pos_poa_wrappers(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.6)])
+        game = BroadcastGame(g, root=0)
+        assert price_of_stability(game) == pytest.approx(1.0)
+        assert price_of_anarchy(game) >= 1.0
+
+    def test_subsidies_enlarge_equilibrium_set(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2)])
+        game = BroadcastGame(g, root=0)
+        rep_plain = efficiency_report(game)
+        rep_sub = efficiency_report(game, {(1, 2): 0.5})
+        assert rep_sub.n_equilibria >= rep_plain.n_equilibria
+        # With the subsidy the MST path becomes an equilibrium: PoS = 1.
+        assert rep_sub.price_of_stability == pytest.approx(1.0)
+
+    def test_equilibrium_iterator_consistent_with_report(self):
+        g = Graph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2), (2, 3, 1.0), (0, 3, 2.0)]
+        )
+        game = BroadcastGame(g, root=0)
+        eqs = list(equilibrium_spanning_trees(game))
+        rep = efficiency_report(game)
+        assert len(eqs) == rep.n_equilibria
+        if eqs:
+            weights = [e.social_cost() for e in eqs]
+            assert min(weights) == pytest.approx(rep.best_equilibrium_weight)
+            assert max(weights) == pytest.approx(rep.worst_equilibrium_weight)
+
+    def test_best_equilibrium_tree(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.6)])
+        game = BroadcastGame(g, root=0)
+        edges, weight = best_equilibrium_tree(game)
+        assert edges is not None
+        assert weight == pytest.approx(2.0)

@@ -1,0 +1,137 @@
+"""Tests for equilibrium checking (general and broadcast)."""
+
+import pytest
+
+from repro.games import BroadcastGame, NetworkDesignGame, check_equilibrium
+from repro.games.equilibrium import best_deviation_from_tree, best_response
+from repro.graphs import Graph
+from repro.graphs.generators import cycle_graph, fan_graph
+
+
+class TestBroadcastEquilibrium:
+    def test_unique_tree_is_equilibrium(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        game = BroadcastGame(g, root=0)
+        st = game.tree_state([(0, 1), (1, 2)])
+        assert check_equilibrium(st).is_equilibrium
+
+    def test_cheap_shortcut_breaks_equilibrium(self):
+        # Player 2 pays 1.5 on the path but the direct edge costs 1.2.
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2)])
+        game = BroadcastGame(g, root=0)
+        st = game.tree_state([(0, 1), (1, 2)])
+        report = check_equilibrium(st)
+        assert not report.is_equilibrium
+        dev = report.deviations[0]
+        assert dev.player == 2
+        assert dev.deviation_cost == pytest.approx(1.2)
+        assert dev.path_nodes == [2, 0]
+
+    def test_expensive_shortcut_keeps_equilibrium(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.6)])
+        game = BroadcastGame(g, root=0)
+        st = game.tree_state([(0, 1), (1, 2)])
+        assert check_equilibrium(st).is_equilibrium
+
+    def test_subsidies_restore_equilibrium(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2)])
+        game = BroadcastGame(g, root=0)
+        st = game.tree_state([(0, 1), (1, 2)])
+        # Subsidize the leaf edge so player 2 pays 0.5 + 0.5 = 1.0 <= 1.2.
+        assert check_equilibrium(st, {(1, 2): 0.5}).is_equilibrium
+
+    def test_exact_tie_is_equilibrium(self):
+        # Deviation cost exactly equals current cost: weak inequality holds.
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)])
+        game = BroadcastGame(g, root=0)
+        st = game.tree_state([(0, 1), (1, 2)])
+        assert st.player_cost(2) == pytest.approx(1.5)
+        assert check_equilibrium(st).is_equilibrium
+
+    def test_fan_spokes_equilibrium(self):
+        # All players on direct spokes: each pays 1 alone; any rim deviation
+        # via a neighbor's spoke costs rim + spoke/2 = 0.1 + 0.5 < 1 -> not eq.
+        game = BroadcastGame(fan_graph(5, rim_weight_scale=1.0), root=0)
+        st = game.tree_state([(0, i) for i in range(1, 6)])
+        assert not check_equilibrium(st).is_equilibrium
+
+    def test_find_all_deviations(self):
+        g = Graph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2), (1, 3, 1.0), (0, 3, 1.2)]
+        )
+        game = BroadcastGame(g, root=0)
+        st = game.tree_state([(0, 1), (1, 2), (1, 3)])
+        report = check_equilibrium(st, find_all=True)
+        assert len(report.deviations) == 2
+
+    def test_multiplicity_shifts_equilibrium(self):
+        # Heavy co-location on node 2 makes the shared path cheap enough.
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2)])
+        plain = BroadcastGame(g, root=0)
+        crowded = BroadcastGame(g, root=0, multiplicity={2: 10})
+        st_plain = plain.tree_state([(0, 1), (1, 2)])
+        st_crowd = crowded.tree_state([(0, 1), (1, 2)])
+        assert not check_equilibrium(st_plain).is_equilibrium
+        # Each of the 10 players at node 2 pays 1/11 + 1/10 << 1.2.
+        assert check_equilibrium(st_crowd).is_equilibrium
+
+    def test_best_deviation_includes_path(self):
+        g = cycle_graph(5)
+        game = BroadcastGame(g, root=0)
+        st = game.tree_state([(0, 1), (1, 2), (2, 3), (3, 4)])
+        dev = best_deviation_from_tree(st, 4)
+        assert dev.path_nodes == [4, 0]
+        assert dev.deviation_cost == pytest.approx(1.0)
+        assert dev.current_cost == pytest.approx(1 + 1 / 2 + 1 / 3 + 1 / 4)
+        assert dev.gain == pytest.approx(dev.current_cost - 1.0)
+
+
+class TestGeneralEquilibrium:
+    def test_single_player_takes_shortest_path(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 3.0)])
+        game = NetworkDesignGame(g, [(0, 2)])
+        good = game.state([[0, 1, 2]])
+        bad = game.state([[0, 2]])
+        assert check_equilibrium(good).is_equilibrium
+        assert not check_equilibrium(bad).is_equilibrium
+
+    def test_sharing_makes_expensive_edge_stable(self):
+        # Two players both cross a weight-3 edge: each pays 1.5; alternative
+        # solo edges cost 2 each -> staying is an equilibrium.
+        g = Graph.from_edges([(0, 1, 3.0), (0, 2, 2.0), (1, 2, 2.0)])
+        game = NetworkDesignGame(g, [(0, 1), (0, 1)])
+        st = game.state([[0, 1], [0, 1]])
+        assert check_equilibrium(st).is_equilibrium
+
+    def test_best_response_accounts_for_sharing(self):
+        g = Graph.from_edges([(0, 1, 3.0), (0, 2, 2.0), (1, 2, 2.0)])
+        game = NetworkDesignGame(g, [(0, 1), (0, 1)])
+        st = game.state([[0, 1], [0, 2, 1]])
+        dev = best_response(st, 1)
+        # Joining player 0 on (0,1) splits 3 two ways: 1.5 < 4.
+        assert dev.deviation_cost == pytest.approx(1.5)
+        assert dev.path_nodes == [0, 1]
+
+    def test_broadcast_and_general_checkers_agree(self):
+        g = Graph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2), (2, 3, 0.7), (0, 3, 2.5)]
+        )
+        game = BroadcastGame(g, root=0)
+        nd = game.to_network_design_game()
+        for tree in [
+            [(0, 1), (1, 2), (2, 3)],
+            [(0, 1), (0, 2), (2, 3)],
+            [(0, 1), (0, 2), (0, 3)],
+        ]:
+            st = game.tree_state(tree)
+            general = nd.state(game.tree_state_to_paths(st))
+            assert (
+                check_equilibrium(st).is_equilibrium
+                == check_equilibrium(general).is_equilibrium
+            )
+
+    def test_zero_cost_players_skipped(self):
+        g = Graph.from_edges([(0, 1, 0.0), (1, 2, 0.0), (0, 2, 1.0)])
+        game = BroadcastGame(g, root=0)
+        st = game.tree_state([(0, 1), (1, 2)])
+        assert check_equilibrium(st).is_equilibrium

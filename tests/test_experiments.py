@@ -1,0 +1,155 @@
+"""Integration tests: every experiment runs and reports the paper's shape."""
+
+import math
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.records import ExperimentResult
+from repro.experiments.tables import render_table
+
+
+class TestHarness:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 12)} | {"A1", "A2"}
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_case_insensitive(self):
+        res = run_experiment("e10")
+        assert res.experiment_id == "E10"
+
+    def test_render_table(self):
+        text = render_table([{"a": 1, "b": 2.5}, {"a": 10, "b": True}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "yes" in lines[3]
+
+    def test_render_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_to_text(self):
+        res = ExperimentResult("EX", "t", "h", rows=[{"x": 1}], notes="n")
+        text = res.to_text()
+        assert "[EX]" in text and "h" in text and "n" in text
+
+
+class TestShapes:
+    """Each experiment's headline claim, asserted on its actual rows."""
+
+    def test_e1_agreement(self):
+        res = run_experiment("E1")
+        for row in res.rows:
+            assert row["lp3_cost"] == pytest.approx(row["lp2_cost"], abs=1e-5)
+            assert row["lp3_cost"] == pytest.approx(row["lp1_cost"], abs=1e-5)
+            assert row["all_verified"]
+
+    def test_e2_fraction_is_inverse_e(self):
+        res = run_experiment("E2")
+        for row in res.rows:
+            assert row["fraction"] == pytest.approx(1 / math.e, rel=1e-6)
+            assert row["lp_fraction"] <= row["fraction"] + 1e-6
+            assert row["enforced"]
+
+    def test_e3_monotone_toward_inverse_e(self):
+        res = run_experiment("E3")
+        fracs = [row["subsidy_fraction"] for row in res.rows]
+        assert all(b >= a - 1e-12 for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] == pytest.approx(1 / math.e, abs=1e-4)
+
+    def test_e4_aon_between_lp_and_limit(self):
+        res = run_experiment("E4")
+        limit = math.e / (2 * math.e - 1)
+        for row in res.rows:
+            if row["method"] == "exact B&B":
+                assert row["aon_fraction"] == pytest.approx(row["closed_form"], abs=1e-6)
+                assert row["aon_fraction"] > row["fractional_lp"]
+        assert res.rows[-1]["aon_fraction"] == pytest.approx(limit, abs=1e-2)
+
+    def test_e5_lemma4(self):
+        res = run_experiment("E5")
+        for row in res.rows:
+            assert row["deviates"] == row["lemma4_predicts"]
+            assert row["deviates"] == (row["beta"] < row["kappa"])
+
+    def test_e6_equivalence(self):
+        res = run_experiment("E6")
+        assert all(row["matches_thm3"] for row in res.rows)
+        assert any(not row["packing_solvable"] for row in res.rows)
+
+    def test_e7_formula(self):
+        res = run_experiment("E7")
+        for row in res.rows:
+            assert row["equilibrium"]
+            assert row["weight"] == pytest.approx(row["5n/2-(1-d)m"])
+
+    def test_e8_corollary20(self):
+        res = run_experiment("E8")
+        for row in res.rows:
+            assert row["satisfiable"] == row["light_enforcement"]
+        assert any(not row["satisfiable"] for row in res.rows)
+
+    def test_e9_harmonic_bound(self):
+        res = run_experiment("E9")
+        for row in res.rows:
+            assert row["converged"]
+            assert row["ratio"] <= row["H_n"] + 1e-9
+
+    def test_e10_claims(self):
+        res = run_experiment("E10")
+        for row in res.rows:
+            assert row["claim8_holds"]
+            if math.isfinite(row["virtual_cost"]):
+                assert row["virtual_cost"] == pytest.approx(row["closed_form"])
+
+    def test_a1_ablation_orderings(self):
+        res = run_experiment("A1")
+        for row in res.rows:
+            if row["ablation"] == "packing rule":
+                assert row["least_crowded"] < row["uniform"] < row["most_crowded"]
+            else:
+                assert row["penalty_most/least"] > 1.0
+
+    def test_a2_extensions_all_ok(self):
+        res = run_experiment("A2")
+        assert all(row["ok"] for row in res.rows)
+        weighted = [r["value"] for r in res.rows if r["extension"] == "weighted players"]
+        assert weighted == sorted(weighted)  # subsidy bill grows with demand
+
+    def test_e11_budget_monotonicity(self):
+        res = run_experiment("E11")
+        weights = [row["exact_weight"] for row in res.rows]
+        assert all(b <= a + 1e-9 for a, b in zip(weights, weights[1:]))
+        assert res.rows[-1]["mst_reached"]
+        # The sweep must actually exercise the tradeoff.
+        assert weights[0] > weights[-1]
+        for row in res.rows:
+            assert row["heuristic_weight"] >= row["exact_weight"] - 1e-9
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E11" in out
+
+    def test_run_single(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "E10"]) == 0
+        out = capsys.readouterr().out
+        assert "[E10]" in out and "virtual" in out.lower()
+
+    def test_run_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "E99"]) == 2
+
+    def test_seed_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "E5", "--seed", "3"]) == 0

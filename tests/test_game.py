@@ -1,0 +1,114 @@
+"""Tests for the general network design game model."""
+
+import pytest
+
+from repro.games import NetworkDesignGame
+from repro.graphs import Graph
+
+
+@pytest.fixture
+def diamond():
+    #   0 --1-- 1
+    #   |       |
+    #   4       1
+    #   |       |
+    #   2 --1-- 3
+    return Graph.from_edges([(0, 1, 1.0), (1, 3, 1.0), (0, 2, 4.0), (2, 3, 1.0)])
+
+
+class TestGameConstruction:
+    def test_basic(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3), (2, 3)])
+        assert game.n_players == 2
+        assert game.players[0].source == 0
+
+    def test_bad_terminal(self, diamond):
+        with pytest.raises(ValueError):
+            NetworkDesignGame(diamond, [(0, 99)])
+
+    def test_identical_terminals(self, diamond):
+        with pytest.raises(ValueError):
+            NetworkDesignGame(diamond, [(1, 1)])
+
+
+class TestState:
+    def test_usage_counts(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3), (2, 3)])
+        st = game.state([[0, 1, 3], [2, 3]])
+        assert st.usage == {(0, 1): 1, (1, 3): 1, (2, 3): 1}
+
+    def test_shared_edge_usage(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3), (1, 3)])
+        st = game.state([[0, 1, 3], [1, 3]])
+        assert st.usage[(1, 3)] == 2
+
+    def test_wrong_number_of_paths(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3)])
+        with pytest.raises(ValueError):
+            game.state([[0, 1, 3], [2, 3]])
+
+    def test_wrong_endpoints(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3)])
+        with pytest.raises(ValueError):
+            game.state([[0, 1]])
+
+    def test_non_simple_path_rejected(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        game = NetworkDesignGame(g, [(0, 2)])
+        with pytest.raises(ValueError):
+            game.state([[0, 1, 0, 1, 2]])
+
+    def test_non_edge_rejected(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3)])
+        with pytest.raises(ValueError):
+            game.state([[0, 3]])
+
+    def test_social_cost(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3), (2, 3)])
+        st = game.state([[0, 1, 3], [2, 3]])
+        assert st.social_cost() == pytest.approx(3.0)
+
+    def test_player_cost_fair_sharing(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3), (1, 3)])
+        st = game.state([[0, 1, 3], [1, 3]])
+        # Edge (1,3) shared by both: each pays 0.5 there.
+        assert st.player_cost(0) == pytest.approx(1.0 + 0.5)
+        assert st.player_cost(1) == pytest.approx(0.5)
+
+    def test_player_cost_with_subsidies(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3)])
+        st = game.state([[0, 1, 3]])
+        assert st.player_cost(0, {(0, 1): 1.0}) == pytest.approx(1.0)
+
+    def test_total_player_cost_equals_social_cost(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3), (2, 3), (1, 3)])
+        st = game.state([[0, 1, 3], [2, 3], [1, 3]])
+        assert st.total_player_cost() == pytest.approx(st.social_cost())
+
+    def test_subsidies_reduce_total_cost(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3), (2, 3)])
+        st = game.state([[0, 1, 3], [2, 3]])
+        b = {(2, 3): 0.5}
+        assert st.total_player_cost(b) == pytest.approx(st.social_cost() - 0.5)
+
+    def test_with_player_path(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3)])
+        st = game.state([[0, 1, 3]])
+        st2 = st.with_player_path(0, [0, 2, 3])
+        assert st2.usage == {(0, 2): 1, (2, 3): 1}
+        assert st.usage == {(0, 1): 1, (1, 3): 1}  # original untouched
+
+    def test_state_equality_and_hash(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3)])
+        a = game.state([[0, 1, 3]])
+        b = game.state([[0, 1, 3]])
+        c = game.state([[0, 2, 3]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_shortest_path_state(self, diamond):
+        game = NetworkDesignGame(diamond, [(0, 3), (2, 3)])
+        st = game.shortest_path_state()
+        assert st.node_paths[0] == (0, 1, 3)
+        assert st.node_paths[1] == (2, 3)

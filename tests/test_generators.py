@@ -1,0 +1,96 @@
+"""Tests for instance generators."""
+
+import pytest
+
+from repro.graphs import generators as gen
+
+
+class TestDeterministicFamilies:
+    def test_path_graph(self):
+        g = gen.path_graph(4, weights=[1.0, 2.0, 3.0])
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+        assert g.weight(1, 2) == 2.0
+
+    def test_path_graph_single_node(self):
+        g = gen.path_graph(1)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_cycle_graph(self):
+        g = gen.cycle_graph(5, weight=2.0)
+        assert g.num_edges == 5
+        assert all(w == 2.0 for _, _, w in g.edges())
+        assert all(g.degree(u) == 2 for u in g.nodes)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            gen.cycle_graph(2)
+
+    def test_complete_graph(self):
+        g = gen.complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_star_graph(self):
+        g = gen.star_graph(7)
+        assert g.degree(0) == 7
+        assert g.num_nodes == 8
+
+    def test_wheel_graph(self):
+        g = gen.wheel_graph(5, spoke_weight=3.0, rim_weight=1.0)
+        assert g.degree(0) == 5
+        assert g.num_edges == 10
+        assert g.weight(0, 1) == 3.0
+        assert g.weight(1, 2) == 1.0
+
+    def test_grid_graph(self):
+        g = gen.grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.is_connected()
+
+    def test_fan_graph(self):
+        g = gen.fan_graph(5)
+        assert g.num_nodes == 6
+        assert g.degree(0) == 5
+        # Rim edges are much cheaper than spokes.
+        assert g.weight(1, 2) < g.weight(0, 1)
+
+
+class TestRandomFamilies:
+    def test_gnp_connected_and_seeded(self):
+        g1 = gen.random_connected_gnp(20, 0.15, seed=5)
+        g2 = gen.random_connected_gnp(20, 0.15, seed=5)
+        assert g1.is_connected()
+        assert g1.edge_set() == g2.edge_set()
+
+    def test_gnp_different_seeds_differ(self):
+        g1 = gen.random_connected_gnp(20, 0.3, seed=1)
+        g2 = gen.random_connected_gnp(20, 0.3, seed=2)
+        assert g1.edge_set() != g2.edge_set()
+
+    def test_gnp_weights_in_range(self):
+        g = gen.random_connected_gnp(15, 0.4, seed=9, weight_low=1.0, weight_high=2.0)
+        for _, _, w in g.edges():
+            assert 1.0 <= w <= 2.0
+
+    def test_gnp_p_validation(self):
+        with pytest.raises(ValueError):
+            gen.random_connected_gnp(5, 1.5)
+
+    def test_geometric_connected(self):
+        g = gen.random_geometric_graph(25, radius=0.2, seed=3)
+        assert g.is_connected()
+        assert g.num_nodes == 25
+
+    def test_geometric_triangle_inequality_ish(self):
+        # All weights are Euclidean distances within the unit square.
+        g = gen.random_geometric_graph(20, radius=0.5, seed=4)
+        for _, _, w in g.edges():
+            assert 0.0 <= w <= 2.0**0.5 + 1e-12
+
+    def test_tree_plus_chords(self):
+        g = gen.random_tree_plus_chords(15, 5, seed=8)
+        assert g.is_connected()
+        assert g.num_edges >= 14
+        assert g.num_edges <= 19

@@ -1,0 +1,135 @@
+"""Unit tests for repro.graphs.graph."""
+
+import pytest
+
+from repro.graphs import Graph, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_comparable_nodes(self):
+        assert canonical_edge(2, 1) == (1, 2)
+        assert canonical_edge(1, 2) == (1, 2)
+
+    def test_strings(self):
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_mixed_types_deterministic(self):
+        e1 = canonical_edge("r", (1, 2))
+        e2 = canonical_edge((1, 2), "r")
+        assert e1 == e2
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            canonical_edge(3, 3)
+
+
+class TestGraphBasics:
+    def test_from_edges_roundtrip(self):
+        g = Graph.from_edges([(0, 1, 1.5), (1, 2, 2.0)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.weight(0, 1) == 1.5
+        assert g.weight(1, 0) == 1.5
+
+    def test_add_node_isolated(self):
+        g = Graph()
+        g.add_node("x")
+        assert "x" in g
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_add_edge_overwrites(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        g.add_edge(1, 0, 3.0)
+        assert g.weight(0, 1) == 3.0
+        assert g.num_edges == 1
+
+    def test_zero_weight_allowed(self):
+        g = Graph.from_edges([(0, 1, 0.0)])
+        assert g.weight(0, 1) == 0.0
+
+    def test_negative_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_nan_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, float("nan"))
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(5, 5, 1.0)
+
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_degree_and_neighbors(self):
+        g = Graph.from_edges([(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)])
+        assert g.degree(0) == 3
+        assert set(g.neighbors(0)) == {1, 2, 3}
+        assert g.degree(1) == 1
+
+    def test_edges_iterates_once_each(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        es = list(g.edges())
+        assert len(es) == 3
+        assert {(u, v) for u, v, _ in es} == {(0, 1), (1, 2), (0, 2)}
+
+    def test_total_and_subset_weight(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        assert g.total_weight() == pytest.approx(6.0)
+        assert g.subset_weight([(0, 1), (0, 2)]) == pytest.approx(4.0)
+
+
+class TestConnectivity:
+    def test_connected_path(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        assert g.is_connected()
+
+    def test_disconnected(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        g.add_node(7)
+        assert not g.is_connected()
+        comps = g.connected_components()
+        assert sorted(len(c) for c in comps) == [1, 2]
+
+    def test_empty_graph_connected(self):
+        assert Graph().is_connected()
+
+    def test_components_partition_nodes(self):
+        g = Graph.from_edges([(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        comps = g.connected_components()
+        assert sorted(len(c) for c in comps) == [2, 3]
+        union = set()
+        for c in comps:
+            union |= c
+        assert union == g.node_set()
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        h = g.copy()
+        h.add_edge(1, 2, 2.0)
+        assert g.num_nodes == 2
+        assert h.num_nodes == 3
+
+    def test_edge_subgraph_keeps_nodes(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        sub = g.edge_subgraph([(0, 1)])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 1
+        assert sub.weight(0, 1) == 1.0
+
+    def test_heterogeneous_nodes(self):
+        g = Graph.from_edges([("r", ("lit", 1), 1.0), (("lit", 1), ("lit", 2), 0.0)])
+        assert g.num_nodes == 3
+        assert g.has_edge(("lit", 2), ("lit", 1))

@@ -1,0 +1,83 @@
+"""Tests for harmonic numbers and bound constants."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bounds import harmonic, harmonic_array, harmonic_diff
+from repro.bounds.constants import (
+    AON_SUBSIDY_BOUND,
+    FRACTIONAL_SUBSIDY_BOUND,
+    POS_INAPPROX_RATIO,
+    pos_upper_bound,
+)
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+    def test_monotone(self):
+        values = [harmonic(n) for n in range(50)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_asymptotic_matches_exact_at_boundary(self):
+        # Just below the cache limit vs. the expansion formula.
+        n = (1 << 20) - 1
+        exact = harmonic(n)
+        approx = math.log(n) + 0.5772156649015329 + 1 / (2 * n)
+        assert exact == pytest.approx(approx, abs=1e-9)
+
+    def test_huge_argument(self):
+        # The Theorem 12 constant n_1 = 28^256 / 4.
+        n1 = 28**256 // 4
+        h = harmonic(n1)
+        assert h == pytest.approx(math.log(28) * 256 - math.log(4) + 0.5772156649, abs=1e-6)
+
+    def test_cache_growth(self):
+        assert harmonic(10_000) == pytest.approx(
+            math.log(10_000) + 0.5772156649 + 1 / 20_000, abs=1e-8
+        )
+
+    def test_array(self):
+        arr = harmonic_array(5)
+        assert len(arr) == 6
+        assert arr[0] == 0.0
+        assert arr[5] == pytest.approx(harmonic(5))
+
+    def test_array_validation(self):
+        with pytest.raises(ValueError):
+            harmonic_array(-1)
+        with pytest.raises(ValueError):
+            harmonic_array(1 << 21)
+
+    @given(st.integers(0, 5000), st.integers(0, 5000))
+    def test_diff_antisymmetric(self, n, k):
+        assert harmonic_diff(n, k) == pytest.approx(-harmonic_diff(k, n))
+
+    @given(st.integers(1, 5000))
+    def test_diff_telescopes(self, n):
+        assert harmonic_diff(n, n - 1) == pytest.approx(1.0 / n)
+
+
+class TestConstants:
+    def test_fractional_bound(self):
+        assert FRACTIONAL_SUBSIDY_BOUND == pytest.approx(0.367879441, abs=1e-8)
+
+    def test_aon_bound(self):
+        assert AON_SUBSIDY_BOUND == pytest.approx(0.612699837, abs=1e-8)
+        assert AON_SUBSIDY_BOUND > FRACTIONAL_SUBSIDY_BOUND
+
+    def test_pos_ratio(self):
+        assert POS_INAPPROX_RATIO == pytest.approx(571 / 570)
+
+    def test_pos_upper_bound_is_harmonic(self):
+        assert pos_upper_bound(4) == pytest.approx(harmonic(4))

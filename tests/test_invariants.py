@@ -1,0 +1,153 @@
+"""Cross-module property tests: invariants that tie the library together."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.games import BroadcastGame, check_equilibrium, equilibrium_stretch
+from repro.games.potential import potential_of_tree
+from repro.graphs import Graph
+from repro.graphs.generators import random_connected_gnp, random_tree_plus_chords
+from repro.graphs.spanning_trees import (
+    _enumerate_weight_bounded,
+    enumerate_spanning_trees,
+)
+from repro.subsidies import (
+    SubsidyAssignment,
+    greedy_aon_sne,
+    solve_aon_sne_exact,
+    solve_sne_broadcast_lp3,
+    theorem6_subsidies,
+)
+
+
+def _scaled(graph: Graph, factor: float) -> Graph:
+    out = Graph()
+    for u in graph.nodes:
+        out.add_node(u)
+    for u, v, w in graph.edges():
+        out.add_edge(u, v, w * factor)
+    return out
+
+
+class TestScalingInvariance:
+    """Multiplying all weights by lambda scales costs linearly and leaves
+    every strategic fact unchanged."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(5, 9), st.integers(0, 5000), st.floats(0.1, 50.0))
+    def test_equilibrium_status_invariant(self, n, seed, factor):
+        g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.1)
+        state1 = BroadcastGame(g, root=0).mst_state()
+        state2 = BroadcastGame(_scaled(g, factor), root=0).mst_state()
+        assert state1.edge_set() == state2.edge_set()
+        assert (
+            check_equilibrium(state1).is_equilibrium
+            == check_equilibrium(state2).is_equilibrium
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(5, 8), st.integers(0, 5000), st.floats(0.5, 20.0))
+    def test_lp_cost_scales_linearly(self, n, seed, factor):
+        g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.1)
+        c1 = solve_sne_broadcast_lp3(BroadcastGame(g, root=0).mst_state()).cost
+        c2 = solve_sne_broadcast_lp3(
+            BroadcastGame(_scaled(g, factor), root=0).mst_state()
+        ).cost
+        assert c2 == pytest.approx(factor * c1, rel=1e-5, abs=1e-7)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(5, 8), st.integers(0, 5000), st.floats(0.5, 20.0))
+    def test_theorem6_scales_and_stretch_invariant(self, n, seed, factor):
+        g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.1)
+        s1 = BroadcastGame(g, root=0).mst_state()
+        s2 = BroadcastGame(_scaled(g, factor), root=0).mst_state()
+        assert theorem6_subsidies(s2).cost == pytest.approx(
+            factor * theorem6_subsidies(s1).cost, rel=1e-6
+        )
+        st1, st2 = equilibrium_stretch(s1), equilibrium_stretch(s2)
+        if math.isfinite(st1):
+            assert st2 == pytest.approx(st1, rel=1e-9)
+
+
+class TestAccountingIdentities:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 9), st.floats(0.3, 0.8), st.integers(0, 5000))
+    def test_player_costs_sum_to_unsubsidized_weight(self, n, p, seed):
+        g = random_connected_gnp(n, p, seed=seed)
+        state = BroadcastGame(g, root=0).mst_state()
+        res = solve_sne_broadcast_lp3(state)
+        # Total player payments = wgt(T) - subsidies placed on used edges.
+        used_subsidy = res.subsidies.cost_on(state.edges)
+        assert state.total_player_cost(res.subsidies) == pytest.approx(
+            state.social_cost() - used_subsidy, abs=1e-7
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 9), st.floats(0.3, 0.8), st.integers(0, 5000))
+    def test_lp_zero_iff_equilibrium(self, n, p, seed):
+        g = random_connected_gnp(n, p, seed=seed)
+        state = BroadcastGame(g, root=0).mst_state()
+        cost = solve_sne_broadcast_lp3(state).cost
+        assert (cost <= 1e-7) == check_equilibrium(state, tol=1e-7).is_equilibrium
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 8), st.integers(0, 5000))
+    def test_solver_cost_ordering(self, n, seed):
+        """LP optimum <= exact AoN <= greedy AoN <= full subsidies, and
+        LP <= Theorem 6 = wgt/e."""
+        g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.15)
+        state = BroadcastGame(g, root=0).mst_state()
+        lp = solve_sne_broadcast_lp3(state).cost
+        aon = solve_aon_sne_exact(state).cost
+        greedy = greedy_aon_sne(state).cost
+        thm6 = theorem6_subsidies(state).cost
+        full = sum(g.weight(*e) for e in state.edges)
+        assert lp <= aon + 1e-7
+        assert aon <= greedy + 1e-7
+        assert greedy <= full + 1e-9
+        assert lp <= thm6 + 1e-7
+        assert thm6 == pytest.approx(full / math.e, rel=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 8), st.floats(0.3, 0.8), st.integers(0, 5000))
+    def test_potential_drops_with_subsidies(self, n, p, seed):
+        g = random_connected_gnp(n, p, seed=seed)
+        state = BroadcastGame(g, root=0).mst_state()
+        sub = theorem6_subsidies(state).subsidies
+        assert potential_of_tree(state, sub) <= potential_of_tree(state) + 1e-9
+
+
+class TestEnumerationConsistency:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 7), st.floats(0.4, 0.9), st.integers(0, 5000))
+    def test_weight_bounded_enumeration_is_a_filter(self, n, p, seed):
+        g = random_connected_gnp(n, p, seed=seed)
+        all_trees = {frozenset(t) for t in enumerate_spanning_trees(g)}
+        budget = sorted(g.subset_weight(t) for t in all_trees)[len(all_trees) // 2]
+        bounded = {frozenset(t) for t in _enumerate_weight_bounded(g, budget + 1e-9)}
+        expected = {t for t in all_trees if g.subset_weight(t) <= budget + 1e-9}
+        assert bounded == expected
+
+
+class TestSubsidyValidity:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 9), st.floats(0.3, 0.8), st.integers(0, 5000))
+    def test_all_solvers_respect_bounds(self, n, p, seed):
+        g = random_connected_gnp(n, p, seed=seed)
+        state = BroadcastGame(g, root=0).mst_state()
+        for sub in (
+            solve_sne_broadcast_lp3(state).subsidies,
+            theorem6_subsidies(state).subsidies,
+            solve_aon_sne_exact(state).subsidies,
+        ):
+            for e in sub:
+                assert 0.0 <= sub[e] <= g.weight(*e) + 1e-9
+
+    def test_assignment_rejects_cross_graph_reuse(self):
+        g1 = Graph.from_edges([(0, 1, 1.0)])
+        g2 = Graph.from_edges([(0, 1, 0.5)])
+        sub = SubsidyAssignment(g1, {(0, 1): 1.0})
+        with pytest.raises(ValueError):
+            SubsidyAssignment(g2, dict(sub))

@@ -1,0 +1,111 @@
+"""Tests for MST algorithms, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph, kruskal_mst, prim_mst, minimum_spanning_tree, is_spanning_tree
+from repro.graphs.mst import is_minimum_spanning_tree
+from repro.graphs.generators import cycle_graph, grid_graph, random_connected_gnp
+
+
+def _to_nx(g: Graph) -> nx.Graph:
+    h = nx.Graph()
+    h.add_nodes_from(g.nodes)
+    for u, v, w in g.edges():
+        h.add_edge(u, v, weight=w)
+    return h
+
+
+class TestKruskal:
+    def test_triangle(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0)])
+        tree = kruskal_mst(g)
+        assert set(tree) == {(0, 1), (1, 2)}
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node(0)
+        assert kruskal_mst(g) == []
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        g.add_node(9)
+        with pytest.raises(ValueError):
+            kruskal_mst(g)
+
+    def test_deterministic_under_ties(self):
+        g = cycle_graph(6)
+        assert kruskal_mst(g) == kruskal_mst(g.copy())
+
+    def test_zero_weight_edges(self):
+        g = Graph.from_edges([(0, 1, 0.0), (1, 2, 0.0), (0, 2, 1.0)])
+        tree = kruskal_mst(g)
+        assert g.subset_weight(tree) == 0.0
+
+
+class TestPrim:
+    def test_matches_kruskal_weight_on_grid(self):
+        g = grid_graph(4, 5)
+        assert g.subset_weight(prim_mst(g)) == pytest.approx(g.subset_weight(kruskal_mst(g)))
+
+    def test_start_node_irrelevant_for_weight(self):
+        g = random_connected_gnp(12, 0.4, seed=3)
+        w0 = g.subset_weight(prim_mst(g, start=0))
+        w7 = g.subset_weight(prim_mst(g, start=7))
+        assert w0 == pytest.approx(w7)
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        g.add_node(5)
+        with pytest.raises(ValueError):
+            prim_mst(g)
+
+
+class TestValidators:
+    def test_is_spanning_tree_accepts_mst(self):
+        g = random_connected_gnp(10, 0.5, seed=1)
+        assert is_spanning_tree(g, kruskal_mst(g))
+
+    def test_rejects_cycle(self):
+        g = cycle_graph(4)
+        assert not is_spanning_tree(g, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+    def test_rejects_too_few_edges(self):
+        g = cycle_graph(4)
+        assert not is_spanning_tree(g, [(0, 1), (1, 2)])
+
+    def test_rejects_non_edges(self):
+        g = cycle_graph(5)
+        assert not is_spanning_tree(g, [(0, 1), (1, 2), (2, 3), (0, 2)])
+
+    def test_rejects_duplicates(self):
+        g = cycle_graph(4)
+        assert not is_spanning_tree(g, [(0, 1), (0, 1), (2, 3)])
+
+    def test_is_minimum_spanning_tree(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        assert is_minimum_spanning_tree(g, [(0, 1), (1, 2)])
+        assert is_minimum_spanning_tree(g, [(0, 1), (0, 2)])
+        g2 = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 9.0)])
+        assert not is_minimum_spanning_tree(g2, [(0, 1), (0, 2)])
+
+    def test_minimum_spanning_tree_graph(self):
+        g = random_connected_gnp(8, 0.6, seed=2)
+        t = minimum_spanning_tree(g)
+        assert t.num_nodes == g.num_nodes
+        assert t.num_edges == g.num_nodes - 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(5, 14), st.floats(0.15, 0.9), st.integers(0, 10_000))
+def test_mst_weight_matches_networkx(n, p, seed):
+    """Kruskal and Prim must both match networkx's MST weight exactly."""
+    g = random_connected_gnp(n, p, seed=seed)
+    expected = _to_nx(g).size(weight="weight") if g.num_edges == g.num_nodes - 1 else None
+    nx_tree = nx.minimum_spanning_tree(_to_nx(g))
+    nx_weight = nx_tree.size(weight="weight")
+    assert g.subset_weight(kruskal_mst(g)) == pytest.approx(nx_weight)
+    assert g.subset_weight(prim_mst(g)) == pytest.approx(nx_weight)
+    if expected is not None:
+        assert nx_weight == pytest.approx(expected)

@@ -1,0 +1,113 @@
+"""Tests for simple-path enumeration and the Steiner tree substrate."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph
+from repro.graphs.generators import complete_graph, cycle_graph, grid_graph, random_connected_gnp
+from repro.graphs.paths import count_simple_paths, enumerate_simple_paths
+from repro.graphs.steiner import steiner_tree, steiner_tree_brute_force
+from repro.graphs.unionfind import UnionFind
+
+
+class TestSimplePaths:
+    def test_path_graph_single(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        assert list(enumerate_simple_paths(g, 0, 2)) == [[0, 1, 2]]
+
+    def test_cycle_two_paths(self):
+        g = cycle_graph(5)
+        paths = list(enumerate_simple_paths(g, 0, 2))
+        assert sorted(paths) == [[0, 1, 2], [0, 4, 3, 2]]
+
+    def test_trivial(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        assert list(enumerate_simple_paths(g, 0, 0)) == [[0]]
+
+    def test_missing_node(self):
+        with pytest.raises(KeyError):
+            list(enumerate_simple_paths(Graph(), 0, 1))
+
+    def test_max_paths(self):
+        g = complete_graph(6)
+        assert len(list(enumerate_simple_paths(g, 0, 1, max_paths=7))) == 7
+
+    def test_max_length(self):
+        # In the 7-cycle, 0 -> 3 is 3 hops one way and 4 the other.
+        g = cycle_graph(7)
+        paths = list(enumerate_simple_paths(g, 0, 3, max_length=3))
+        assert paths == [[0, 1, 2, 3]]
+        both = list(enumerate_simple_paths(g, 0, 3, max_length=4))
+        assert sorted(both) == [[0, 1, 2, 3], [0, 6, 5, 4, 3]]
+
+    def test_count_complete_graph(self):
+        # K4: paths 0->1: direct (1), via one other (2), via both (2) = 5.
+        assert count_simple_paths(complete_graph(4), 0, 1) == 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 7), st.integers(0, 5000))
+    def test_count_matches_networkx(self, n, seed):
+        g = random_connected_gnp(n, 0.5, seed=seed)
+        h = nx.Graph()
+        for u, v, w in g.edges():
+            h.add_edge(u, v)
+        ours = count_simple_paths(g, 0, n - 1)
+        theirs = sum(1 for _ in nx.all_simple_paths(h, 0, n - 1))
+        assert ours == theirs
+
+
+class TestSteiner:
+    def test_two_terminals_is_shortest_path(self):
+        g = grid_graph(3, 3)
+        edges, w = steiner_tree(g, [0, 8])
+        assert w == pytest.approx(4.0)
+        assert len(edges) == 4
+
+    def test_single_terminal(self):
+        g = cycle_graph(4)
+        assert steiner_tree(g, [2]) == ([], 0.0)
+
+    def test_unknown_terminal(self):
+        with pytest.raises(KeyError):
+            steiner_tree(cycle_graph(4), [0, 99])
+
+    def test_star_center_used(self):
+        # Terminals on 3 leaves of a star: tree must pass through the hub.
+        g = Graph.from_edges([(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (1, 2, 5.0)])
+        edges, w = steiner_tree(g, [1, 2, 3])
+        assert w == pytest.approx(3.0)
+        assert set(edges) == {(0, 1), (0, 2), (0, 3)}
+
+    def test_tree_connects_terminals(self):
+        g = random_connected_gnp(10, 0.4, seed=5)
+        edges, _ = steiner_tree(g, [0, 4, 9])
+        uf = UnionFind()
+        for u, v in edges:
+            uf.union(u, v)
+        assert uf.connected(0, 4) and uf.connected(0, 9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(6, 9), st.integers(0, 5000))
+    def test_matches_brute_force(self, n, seed):
+        g = random_connected_gnp(n, 0.4, seed=seed)
+        terminals = [0, n // 2, n - 1]
+        _, w_dw = steiner_tree(g, terminals)
+        _, w_bf = steiner_tree_brute_force(g, terminals)
+        assert w_dw == pytest.approx(w_bf, abs=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_four_terminals_match_brute_force(self, seed):
+        g = random_connected_gnp(8, 0.45, seed=seed)
+        terminals = [0, 2, 5, 7]
+        _, w_dw = steiner_tree(g, terminals)
+        _, w_bf = steiner_tree_brute_force(g, terminals)
+        assert w_dw == pytest.approx(w_bf, abs=1e-9)
+
+    def test_all_nodes_terminals_gives_mst(self):
+        from repro.graphs.mst import kruskal_mst
+
+        g = random_connected_gnp(7, 0.5, seed=3)
+        _, w = steiner_tree(g, g.nodes)
+        assert w == pytest.approx(g.subset_weight(kruskal_mst(g)))

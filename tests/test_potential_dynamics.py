@@ -1,0 +1,124 @@
+"""Tests for Rosenthal potential and best-response dynamics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bounds.harmonic import harmonic
+from repro.games import (
+    BroadcastGame,
+    NetworkDesignGame,
+    best_response_dynamics,
+    check_equilibrium,
+    rosenthal_potential,
+)
+from repro.games.dynamics import equilibrium_from_optimum
+from repro.games.potential import potential_of_tree
+from repro.graphs import Graph
+from repro.graphs.generators import fan_graph, random_connected_gnp
+
+
+class TestPotential:
+    def test_single_user_edges(self):
+        g = Graph.from_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        game = NetworkDesignGame(g, [(0, 2)])
+        st = game.state([[0, 1, 2]])
+        assert rosenthal_potential(st) == pytest.approx(5.0)
+
+    def test_shared_edge_harmonic(self):
+        g = Graph.from_edges([(0, 1, 6.0)])
+        game = NetworkDesignGame(g, [(0, 1), (0, 1), (0, 1)])
+        st = game.state([[0, 1]] * 3)
+        assert rosenthal_potential(st) == pytest.approx(6.0 * harmonic(3))
+
+    def test_subsidies_lower_potential(self):
+        g = Graph.from_edges([(0, 1, 6.0)])
+        game = NetworkDesignGame(g, [(0, 1)])
+        st = game.state([[0, 1]])
+        assert rosenthal_potential(st, {(0, 1): 2.0}) == pytest.approx(4.0)
+
+    def test_tree_potential_matches_general(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        game = BroadcastGame(g, root=0)
+        tree = game.tree_state([(0, 1), (1, 2)])
+        nd = game.to_network_design_game()
+        general = nd.state(game.tree_state_to_paths(tree))
+        assert potential_of_tree(tree) == pytest.approx(rosenthal_potential(general))
+
+    def test_deviation_changes_potential_by_cost_delta(self):
+        """The defining property of an exact potential function."""
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.3)])
+        game = NetworkDesignGame(g, [(0, 2), (1, 2)])
+        st = game.state([[0, 1, 2], [1, 2]])
+        st2 = st.with_player_path(0, [0, 2])
+        delta_phi = rosenthal_potential(st2) - rosenthal_potential(st)
+        delta_cost = st2.player_cost(0) - st.player_cost(0)
+        assert delta_phi == pytest.approx(delta_cost)
+
+    def test_potential_sandwiches_social_cost(self):
+        g = random_connected_gnp(10, 0.4, seed=7)
+        game = BroadcastGame(g, root=0)
+        st = game.mst_state()
+        phi = potential_of_tree(st)
+        w = st.social_cost()
+        assert w <= phi + 1e-9
+        assert phi <= harmonic(game.n_players) * w + 1e-9
+
+
+class TestDynamics:
+    def test_converges_to_equilibrium(self):
+        game = BroadcastGame(fan_graph(4, rim_weight_scale=1.0), root=0)
+        nd = game.to_network_design_game()
+        start = nd.state(game.tree_state_to_paths(game.mst_state()))
+        result = best_response_dynamics(start)
+        assert result.converged
+        assert check_equilibrium(result.final_state).is_equilibrium
+
+    def test_potential_trace_strictly_decreasing(self):
+        game = BroadcastGame(fan_graph(6, rim_weight_scale=1.0), root=0)
+        nd = game.to_network_design_game()
+        start = nd.state([[i, 0] for i in range(1, 7)])
+        result = best_response_dynamics(start)
+        trace = result.potential_trace
+        assert all(trace[i + 1] < trace[i] + 1e-12 for i in range(len(trace) - 1))
+
+    def test_already_equilibrium_zero_moves(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        game = BroadcastGame(g, root=0)
+        nd = game.to_network_design_game()
+        start = nd.state(game.tree_state_to_paths(game.mst_state()))
+        result = best_response_dynamics(start)
+        assert result.converged
+        assert result.n_moves == 0
+        assert result.n_rounds == 1
+
+    @pytest.mark.parametrize("scheduler", ["round_robin", "random", "max_gain"])
+    def test_all_schedulers_reach_equilibria(self, scheduler):
+        g = random_connected_gnp(8, 0.45, seed=13)
+        game = BroadcastGame(g, root=0)
+        nd = game.to_network_design_game()
+        start = nd.shortest_path_state()
+        result = best_response_dynamics(start, scheduler=scheduler, seed=5)
+        assert result.converged
+        assert check_equilibrium(result.final_state).is_equilibrium
+
+    def test_unknown_scheduler(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        game = NetworkDesignGame(g, [(0, 1)])
+        with pytest.raises(ValueError):
+            best_response_dynamics(game.state([[0, 1]]), scheduler="chaotic")
+
+
+class TestPotentialDescentBound:
+    """Experiment E9's core claim: BRD from OPT stays within H_n of OPT."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(5, 10), st.integers(0, 1000))
+    def test_equilibrium_from_optimum_within_harmonic_bound(self, n, seed):
+        g = random_connected_gnp(n, 0.5, seed=seed)
+        game = BroadcastGame(g, root=0)
+        result = equilibrium_from_optimum(game)
+        assert result.converged
+        opt = game.mst_weight()
+        bound = harmonic(game.n_players) * opt
+        assert result.final_social_cost <= bound + 1e-9
+        assert check_equilibrium(result.final_state).is_equilibrium

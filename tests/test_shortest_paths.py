@@ -1,0 +1,91 @@
+"""Tests for Dijkstra and path helpers, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph, dijkstra, shortest_path, path_weight
+from repro.graphs.shortest_paths import reconstruct_path
+from repro.graphs.generators import cycle_graph, grid_graph, random_connected_gnp
+
+
+class TestDijkstraBasics:
+    def test_path_graph_distances(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        dist, _ = dijkstra(g, 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 3.0, 3: 6.0}
+
+    def test_unreachable_absent_from_dist(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        g.add_node(9)
+        dist, _ = dijkstra(g, 0)
+        assert 9 not in dist
+
+    def test_source_not_in_graph(self):
+        with pytest.raises(KeyError):
+            dijkstra(Graph(), 0)
+
+    def test_weight_fn_override(self):
+        g = Graph.from_edges([(0, 1, 10.0), (1, 2, 10.0), (0, 2, 10.0)])
+        dist, _ = dijkstra(g, 0, weight_fn=lambda u, v: 1.0)
+        assert dist[2] == 1.0
+
+    def test_negative_weight_fn_rejected(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            dijkstra(g, 0, weight_fn=lambda u, v: -1.0)
+
+    def test_target_early_exit_correct(self):
+        g = grid_graph(5, 5)
+        full, _ = dijkstra(g, 0)
+        dist, _ = dijkstra(g, 0, target=24)
+        assert dist[24] == full[24]
+
+    def test_zero_weight_edges(self):
+        g = Graph.from_edges([(0, 1, 0.0), (1, 2, 0.0)])
+        dist, _ = dijkstra(g, 0)
+        assert dist[2] == 0.0
+
+
+class TestPathReconstruction:
+    def test_shortest_path_edges(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        length, path = shortest_path(g, 0, 2)
+        assert length == 2.0
+        assert path == [(0, 1), (1, 2)]
+
+    def test_trivial_path(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        length, path = shortest_path(g, 0, 0)
+        assert length == 0.0
+        assert path == []
+
+    def test_unreachable_target_raises(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        g.add_node(5)
+        with pytest.raises(ValueError):
+            shortest_path(g, 0, 5)
+
+    def test_reconstruct_unreachable(self):
+        with pytest.raises(ValueError):
+            reconstruct_path({}, 0, 1)
+
+    def test_path_weight_with_override(self):
+        g = cycle_graph(5)
+        _, path = shortest_path(g, 0, 2)
+        assert path_weight(g, path) == pytest.approx(2.0)
+        assert path_weight(g, path, weight_fn=lambda u, v: 0.5) == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(4, 14), st.floats(0.2, 0.9), st.integers(0, 10_000))
+def test_dijkstra_matches_networkx(n, p, seed):
+    g = random_connected_gnp(n, p, seed=seed)
+    h = nx.Graph()
+    for u, v, w in g.edges():
+        h.add_edge(u, v, weight=w)
+    expected = nx.single_source_dijkstra_path_length(h, 0)
+    dist, _ = dijkstra(g, 0)
+    assert set(dist) == set(expected)
+    for node, d in expected.items():
+        assert dist[node] == pytest.approx(d)

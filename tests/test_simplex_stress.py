@@ -1,0 +1,117 @@
+"""Stress and edge-case tests for the from-scratch simplex solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import LinearProgram, LPStatus, simplex_solve, solve_lp
+
+
+def _lp(c, rows, rhs, lower=None, upper=None):
+    lp = LinearProgram(n_vars=len(c), c=np.array(c, float), lower=lower, upper=upper)
+    for row, b in zip(rows, rhs):
+        lp.add_constraint(np.array(row, float), b)
+    return lp
+
+
+class TestDegenerateAndCycling:
+    def test_beale_cycling_example(self):
+        """Beale's classic cycling LP; Bland's-rule fallback must terminate."""
+        # min -0.75 x4 + 150 x5 - 0.02 x6 + 6 x7  (standard form rows)
+        c = [-0.75, 150.0, -0.02, 6.0]
+        rows = [
+            [0.25, -60.0, -0.04, 9.0],
+            [0.5, -90.0, -0.02, 3.0],
+            [0.0, 0.0, 1.0, 0.0],
+        ]
+        rhs = [0.0, 0.0, 1.0]
+        res = simplex_solve(_lp(c, rows, rhs))
+        assert res.status is LPStatus.OPTIMAL
+        ref = solve_lp(_lp(c, rows, rhs), "highs")
+        assert res.objective == pytest.approx(ref.objective, abs=1e-7)
+
+    def test_highly_degenerate_vertex(self):
+        # Many redundant constraints through the same optimum.
+        c = [-1.0, -1.0]
+        rows = [[1, 1]] * 6 + [[1, 0], [0, 1]]
+        rhs = [2.0] * 6 + [1.0, 1.0]
+        res = simplex_solve(_lp(c, rows, rhs))
+        assert res.ok
+        assert res.objective == pytest.approx(-2.0)
+
+    def test_redundant_equalities(self):
+        # x + y = 1 stated three times (as pairs of inequalities).
+        rows = [[1, 1], [-1, -1]] * 3
+        rhs = [1.0, -1.0] * 3
+        res = simplex_solve(_lp([1.0, 2.0], rows, rhs))
+        assert res.ok
+        assert res.objective == pytest.approx(1.0)  # all weight on x
+
+
+class TestScale:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(3, 10), st.integers(3, 16))
+    def test_random_feasible_bounded(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(m, n))
+        x0 = rng.uniform(0.1, 1.5, size=n)
+        b = A @ x0 + rng.uniform(0.05, 0.5, size=m)
+        c = rng.normal(size=n)
+        upper = np.full(n, 4.0)
+        r1 = simplex_solve(_lp(c, A, b, upper=upper))
+        r2 = solve_lp(_lp(c, A, b, upper=upper), "highs")
+        assert r1.ok and r2.ok
+        assert r1.objective == pytest.approx(r2.objective, abs=1e-6)
+        # The returned point must actually be feasible.
+        assert np.all(A @ r1.x <= b + 1e-7)
+        assert np.all(r1.x >= -1e-9) and np.all(r1.x <= 4.0 + 1e-9)
+
+    def test_moderately_large_dense(self):
+        rng = np.random.default_rng(7)
+        n, m = 30, 60
+        A = rng.normal(size=(m, n))
+        b = A @ rng.uniform(0.2, 1.0, size=n) + 0.5
+        c = rng.normal(size=n)
+        lp1 = _lp(c, A, b, upper=np.full(n, 3.0))
+        lp2 = _lp(c, A, b, upper=np.full(n, 3.0))
+        r1 = simplex_solve(lp1)
+        r2 = solve_lp(lp2, "highs")
+        assert r1.ok
+        assert r1.objective == pytest.approx(r2.objective, abs=1e-5)
+
+    def test_iteration_limit_reported(self):
+        rng = np.random.default_rng(3)
+        n, m = 12, 24
+        A = rng.normal(size=(m, n))
+        b = A @ rng.uniform(0.2, 1.0, size=n) + 0.5
+        lp = _lp(rng.normal(size=n), A, b, upper=np.full(n, 3.0))
+        res = simplex_solve(lp, max_iter=1)
+        assert res.status in (LPStatus.ITERATION_LIMIT, LPStatus.OPTIMAL)
+
+
+class TestBoundsHandling:
+    def test_infinite_lower_rejected(self):
+        lp = LinearProgram(
+            n_vars=1, c=np.ones(1), lower=np.array([-np.inf]), upper=np.array([1.0])
+        )
+        with pytest.raises(ValueError):
+            simplex_solve(lp)
+
+    def test_fixed_variable(self):
+        lp = _lp(
+            [1.0, 1.0],
+            [[-1.0, -1.0]],
+            [-3.0],
+            lower=np.array([2.0, 0.0]),
+            upper=np.array([2.0, 10.0]),
+        )
+        res = simplex_solve(lp)
+        assert res.ok
+        assert res.x[0] == pytest.approx(2.0)
+        assert res.objective == pytest.approx(3.0)
+
+    def test_zero_objective_feasibility_only(self):
+        lp = _lp([0.0], [[-1.0]], [-2.0], upper=np.array([5.0]))
+        res = simplex_solve(lp)
+        assert res.ok
+        assert 2.0 - 1e-9 <= res.x[0] <= 5.0 + 1e-9

@@ -1,0 +1,116 @@
+"""Tests for STABLE NETWORK DESIGN solvers."""
+
+import math
+
+import pytest
+
+from repro.games import BroadcastGame, check_equilibrium
+from repro.graphs import Graph
+from repro.graphs.generators import random_tree_plus_chords
+from repro.subsidies import snd_heuristic, solve_snd_exact
+from repro.subsidies.snd import snd_local_search
+
+
+@pytest.fixture
+def shortcut_triangle_game():
+    g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2)])
+    return BroadcastGame(g, root=0)
+
+
+class TestExactSND:
+    def test_zero_budget_picks_stable_tree(self, shortcut_triangle_game):
+        # With budget 0 the MST (weight 2) is not enforceable; the only
+        # equilibrium tree is {01, 02} of weight 2.2.
+        res = solve_snd_exact(shortcut_triangle_game, budget=0.0)
+        assert res is not None
+        assert res.weight == pytest.approx(2.2)
+        assert res.subsidy_cost == pytest.approx(0.0, abs=1e-8)
+
+    def test_sufficient_budget_picks_mst(self, shortcut_triangle_game):
+        res = solve_snd_exact(shortcut_triangle_game, budget=0.5)
+        assert res is not None
+        assert res.weight == pytest.approx(2.0)
+        assert res.subsidy_cost == pytest.approx(0.3, abs=1e-6)
+
+    def test_monotone_in_budget(self, shortcut_triangle_game):
+        budgets = [0.0, 0.1, 0.3, 1.0]
+        weights = [
+            solve_snd_exact(shortcut_triangle_game, budget=b).weight for b in budgets
+        ]
+        assert all(w2 <= w1 + 1e-12 for w1, w2 in zip(weights, weights[1:]))
+
+    def test_result_is_enforced_equilibrium(self, shortcut_triangle_game):
+        res = solve_snd_exact(shortcut_triangle_game, budget=0.3)
+        state = shortcut_triangle_game.tree_state(res.tree_edges)
+        assert check_equilibrium(state, res.subsidies, tol=1e-6).is_equilibrium
+
+    def test_all_or_nothing_variant_needs_more(self, shortcut_triangle_game):
+        frac = solve_snd_exact(shortcut_triangle_game, budget=0.3)
+        aon = solve_snd_exact(shortcut_triangle_game, budget=0.3, all_or_nothing=True)
+        assert frac.weight == pytest.approx(2.0)
+        # 0.3 cannot fully subsidize any unit edge: AoN must pick the stable tree.
+        assert aon.weight == pytest.approx(2.2)
+
+    def test_theorem6_budget_always_enough_for_mst(self):
+        for seed in (0, 1, 2):
+            g = random_tree_plus_chords(7, 4, seed=seed, chord_factor=1.1)
+            game = BroadcastGame(g, root=0)
+            budget = game.mst_weight() / math.e
+            res = solve_snd_exact(game, budget=budget)
+            assert res is not None
+            assert res.weight == pytest.approx(game.mst_weight())
+
+
+class TestHeuristic:
+    def test_mst_first_fires_with_big_budget(self, shortcut_triangle_game):
+        res = snd_heuristic(shortcut_triangle_game, budget=1.0)
+        assert res.method == "mst_first"
+        assert res.weight == pytest.approx(2.0)
+        assert res.optimal
+
+    def test_fallback_with_zero_budget(self, shortcut_triangle_game):
+        res = snd_heuristic(shortcut_triangle_game, budget=0.0)
+        assert res.subsidy_cost <= 1e-8
+        state = shortcut_triangle_game.tree_state(res.tree_edges)
+        assert check_equilibrium(state, res.subsidies, tol=1e-6).is_equilibrium
+
+    def test_heuristic_never_beats_exact(self):
+        for seed in (3, 4, 5):
+            g = random_tree_plus_chords(6, 3, seed=seed, chord_factor=1.2)
+            game = BroadcastGame(g, root=0)
+            for budget in (0.0, 0.2 * game.mst_weight(), game.mst_weight()):
+                exact = solve_snd_exact(game, budget=budget)
+                heur = snd_heuristic(game, budget=budget)
+                assert exact is not None
+                assert heur.weight >= exact.weight - 1e-9
+
+    def test_heuristic_respects_budget(self):
+        g = random_tree_plus_chords(8, 4, seed=9, chord_factor=1.2)
+        game = BroadcastGame(g, root=0)
+        budget = 0.1 * game.mst_weight()
+        res = snd_heuristic(game, budget=budget)
+        if res.method != "full_subsidy_fallback":
+            assert res.subsidy_cost <= budget + 1e-6
+
+
+class TestLocalSearch:
+    def test_local_search_improves_or_keeps(self, shortcut_triangle_game):
+        start = [(0, 1), (0, 2)]  # the stable (heavier) tree
+        res = snd_local_search(shortcut_triangle_game, budget=0.5, start_edges=start)
+        assert res is not None
+        # Budget 0.5 affords the MST swap (needs 0.3).
+        assert res.weight == pytest.approx(2.0)
+
+    def test_local_search_none_when_start_infeasible(self, shortcut_triangle_game):
+        start = [(0, 1), (1, 2)]  # MST needs 0.3 > 0 budget
+        assert (
+            snd_local_search(shortcut_triangle_game, budget=0.0, start_edges=start)
+            is None
+        )
+
+    def test_local_search_stays_within_budget(self, shortcut_triangle_game):
+        start = [(0, 1), (0, 2)]
+        res = snd_local_search(shortcut_triangle_game, budget=0.1, start_edges=start)
+        assert res is not None
+        assert res.subsidy_cost <= 0.1 + 1e-6
+        assert res.weight == pytest.approx(2.2)  # swap unaffordable

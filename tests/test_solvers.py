@@ -1,0 +1,204 @@
+"""Tests for the NP-solver substrates (DPLL, bin packing, MIS)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardness.solvers import (
+    BinPackingInstance,
+    CNFFormula,
+    complete_graph_k4,
+    dpll_solve,
+    is_3sat4,
+    is_independent_set,
+    k33_graph,
+    max_independent_set,
+    petersen_graph,
+    prism_graph,
+    random_3_regular_graph,
+    random_3sat,
+    solve_bin_packing_exact,
+    to_strict_form,
+)
+from repro.hardness.solvers.mis import is_k_regular
+from repro.hardness.solvers.sat import is_3sat
+
+
+class TestCNF:
+    def test_from_lists(self):
+        f = CNFFormula.from_lists([[1, -2, 3], [2, 3, -4]])
+        assert f.n_vars == 4
+        assert f.n_clauses == 2
+
+    def test_rejects_empty_clause(self):
+        with pytest.raises(ValueError):
+            CNFFormula.from_lists([[]])
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError):
+            CNFFormula.from_lists([[0, 1, 2]])
+
+    def test_satisfaction(self):
+        f = CNFFormula.from_lists([[1, -2, 3]])
+        assert f.is_satisfied_by({1: True, 2: True, 3: False})
+        assert not f.is_satisfied_by({1: False, 2: True, 3: False})
+
+    def test_occurrences(self):
+        f = CNFFormula.from_lists([[1, 2, 3], [-1, 2, 4]])
+        assert f.occurrences(1) == [(0, 1), (1, -1)]
+
+    def test_is_3sat_checks(self):
+        good = CNFFormula.from_lists([[1, 2, 3]])
+        assert is_3sat(good) and is_3sat4(good)
+        dup_var = CNFFormula.from_lists([[1, -1, 2]])
+        assert not is_3sat(dup_var)
+        # Variable 1 appears five times: 3SAT but not 3SAT-4.
+        many = CNFFormula.from_lists([[1, 2, 3]] * 5)
+        assert is_3sat(many) and not is_3sat4(many)
+
+
+class TestDPLL:
+    def test_simple_sat(self):
+        f = CNFFormula.from_lists([[1, 2, 3], [-1, 2, 3]])
+        model = dpll_solve(f)
+        assert model is not None
+        assert f.is_satisfied_by(model)
+
+    def test_unit_chain(self):
+        f = CNFFormula.from_lists([[1], [-1, 2], [-2, 3]])
+        model = dpll_solve(f)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_full_unsat_cube(self):
+        clauses = [
+            [s1 * 1, s2 * 2, s3 * 3]
+            for s1 in (1, -1)
+            for s2 in (1, -1)
+            for s3 in (1, -1)
+        ]
+        assert dpll_solve(CNFFormula.from_lists(clauses)) is None
+
+    def test_small_unsat(self):
+        f = CNFFormula.from_lists([[1], [-1]])
+        assert dpll_solve(f) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(3, 8), st.integers(1, 20), st.integers(0, 10_000))
+    def test_agrees_with_brute_force(self, n_vars, n_clauses, seed):
+        from itertools import product
+
+        f = random_3sat(n_vars, n_clauses, seed=seed)
+        brute = any(
+            f.is_satisfied_by(dict(zip(range(1, n_vars + 1), bits)))
+            for bits in product([False, True], repeat=n_vars)
+        )
+        model = dpll_solve(f)
+        assert (model is not None) == brute
+        if model:
+            assert f.is_satisfied_by(model)
+
+
+class TestBinPacking:
+    def test_strict_predicate(self):
+        assert BinPackingInstance((2, 2, 2, 2), 2, 4).is_strict()
+        assert not BinPackingInstance((2, 2, 3, 1), 2, 4).is_strict()  # odd sizes
+        assert not BinPackingInstance((2, 2), 2, 4).is_strict()  # wrong total
+
+    def test_solvable(self):
+        inst = BinPackingInstance((2, 2, 2, 2), 2, 4)
+        sol = solve_bin_packing_exact(inst)
+        assert sol is not None
+        assert inst.check_solution(sol)
+
+    def test_unsolvable(self):
+        # Three 4s cannot fill two bins of 6 exactly.
+        inst = BinPackingInstance((4, 4, 4), 2, 6)
+        assert inst.is_strict()
+        assert solve_bin_packing_exact(inst) is None
+
+    def test_larger_solvable(self):
+        inst = BinPackingInstance((6, 4, 2, 2, 2, 8), 3, 8)
+        assert inst.is_strict()
+        sol = solve_bin_packing_exact(inst)
+        assert sol is not None and inst.check_solution(sol)
+
+    def test_check_solution_rejects_bad(self):
+        inst = BinPackingInstance((2, 2, 2, 2), 2, 4)
+        assert not inst.check_solution([0, 0, 0, 0])
+        assert not inst.check_solution([0, 0, 1])
+        assert not inst.check_solution([0, 0, 5, 1])
+
+    def test_to_strict_form(self):
+        strict, padding = to_strict_form([3, 3, 2], capacity=4, n_bins=2)
+        assert padding == 0
+        assert strict.sizes == (6, 6, 4)
+        assert strict.capacity == 8
+        assert strict.is_strict()
+
+    def test_to_strict_form_with_padding(self):
+        strict, padding = to_strict_form([3], capacity=4, n_bins=2)
+        assert padding == 5
+        assert sum(strict.sizes) == strict.n_bins * strict.capacity
+
+    def test_strict_equivalence(self):
+        # Conventional feasible <-> strict feasible, on a hand example.
+        strict, _ = to_strict_form([3, 3, 2, 2, 2], capacity=6, n_bins=2)
+        assert solve_bin_packing_exact(strict) is not None
+        strict_bad, _ = to_strict_form([4, 4, 4], capacity=6, n_bins=2)
+        assert solve_bin_packing_exact(strict_bad) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinPackingInstance((0,), 1, 4)
+        with pytest.raises(ValueError):
+            to_strict_form([9], capacity=4, n_bins=2)
+
+
+class TestMIS:
+    def test_known_sizes(self):
+        assert len(max_independent_set(complete_graph_k4())) == 1
+        assert len(max_independent_set(k33_graph())) == 3
+        assert len(max_independent_set(petersen_graph())) == 4
+        assert len(max_independent_set(prism_graph(3))) == 2
+
+    def test_result_is_independent(self):
+        for g in (complete_graph_k4(), petersen_graph(), prism_graph(4)):
+            assert is_independent_set(g, max_independent_set(g))
+
+    def test_is_independent_set_rejects(self):
+        g = complete_graph_k4()
+        assert not is_independent_set(g, [0, 1])
+        assert not is_independent_set(g, [0, 0])
+        assert is_independent_set(g, [0])
+
+    def test_families_are_cubic(self):
+        for g in (
+            complete_graph_k4(),
+            k33_graph(),
+            petersen_graph(),
+            prism_graph(5),
+        ):
+            assert is_k_regular(g, 3)
+
+    def test_random_3_regular(self):
+        g = random_3_regular_graph(10, seed=3)
+        assert is_k_regular(g, 3)
+        assert g.is_connected()
+
+    def test_random_3_regular_validation(self):
+        with pytest.raises(ValueError):
+            random_3_regular_graph(5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_mis_matches_brute_force(self, seed):
+        from itertools import combinations
+
+        g = random_3_regular_graph(8, seed=seed)
+        best = len(max_independent_set(g))
+        brute = 0
+        nodes = g.nodes
+        for r in range(len(nodes), 0, -1):
+            if any(is_independent_set(g, c) for c in combinations(nodes, r)):
+                brute = r
+                break
+        assert best == brute

@@ -1,0 +1,113 @@
+"""Tests for spanning tree enumeration/counting (Matrix-Tree cross-check)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    count_spanning_trees,
+    enumerate_spanning_trees,
+    enumerate_minimum_spanning_trees,
+    is_spanning_tree,
+    kruskal_mst,
+)
+from repro.graphs.generators import complete_graph, cycle_graph, random_connected_gnp
+
+
+class TestCounting:
+    def test_tree_has_one(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        assert count_spanning_trees(g) == 1
+
+    def test_cycle_has_n(self):
+        for n in (3, 4, 7):
+            assert count_spanning_trees(cycle_graph(n)) == n
+
+    def test_cayley_formula(self):
+        # K_n has n^(n-2) spanning trees.
+        for n in (3, 4, 5, 6):
+            assert count_spanning_trees(complete_graph(n)) == n ** (n - 2)
+
+    def test_disconnected_zero(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        g.add_node(5)
+        assert count_spanning_trees(g) == 0
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node(0)
+        assert count_spanning_trees(g) == 1
+
+
+class TestEnumeration:
+    def test_cycle_enumeration(self):
+        g = cycle_graph(5)
+        trees = list(enumerate_spanning_trees(g))
+        assert len(trees) == 5
+        assert len({frozenset(t) for t in trees}) == 5
+        for t in trees:
+            assert is_spanning_tree(g, t)
+
+    def test_matches_matrix_tree_count(self):
+        g = complete_graph(5)
+        trees = list(enumerate_spanning_trees(g))
+        assert len(trees) == count_spanning_trees(g) == 125
+
+    def test_limit(self):
+        g = complete_graph(6)
+        trees = list(enumerate_spanning_trees(g, limit=10))
+        assert len(trees) == 10
+
+    def test_empty_graph(self):
+        assert list(enumerate_spanning_trees(Graph())) == []
+
+    def test_disconnected_yields_nothing(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        g.add_node(3)
+        assert list(enumerate_spanning_trees(g)) == []
+
+
+class TestMSTEnumeration:
+    def test_unique_mst(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0)])
+        msts = list(enumerate_minimum_spanning_trees(g))
+        assert len(msts) == 1
+        assert set(msts[0]) == set(kruskal_mst(g))
+
+    def test_uniform_cycle_all_msts(self):
+        g = cycle_graph(6)
+        msts = list(enumerate_minimum_spanning_trees(g))
+        assert len(msts) == 6
+
+    def test_mixed_weights(self):
+        # Square with one heavy diagonal pair: two MSTs drop one unit edge.
+        g = Graph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 9.0)]
+        )
+        msts = list(enumerate_minimum_spanning_trees(g))
+        assert len(msts) == 4  # the 4-cycle part gives 4, heavy edge never used
+        for t in msts:
+            assert (0, 2) not in t
+
+    def test_all_msts_have_optimal_weight(self):
+        g = random_connected_gnp(8, 0.5, seed=11)
+        best = g.subset_weight(kruskal_mst(g))
+        for t in enumerate_minimum_spanning_trees(g):
+            assert g.subset_weight(t) == pytest.approx(best)
+
+    def test_limit_respected(self):
+        g = cycle_graph(8)
+        assert len(list(enumerate_minimum_spanning_trees(g, limit=3))) == 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(4, 8), st.floats(0.3, 0.9), st.integers(0, 10_000))
+def test_enumeration_matches_networkx_count(n, p, seed):
+    g = random_connected_gnp(n, p, seed=seed)
+    h = nx.Graph()
+    for u, v, w in g.edges():
+        h.add_edge(u, v)
+    expected = round(nx.number_of_spanning_trees(h))
+    ours = len(list(enumerate_spanning_trees(g)))
+    assert ours == expected == count_spanning_trees(g)

@@ -1,0 +1,209 @@
+"""Tests for the Theorem 12 reduction (3SAT -> all-or-nothing SNE)."""
+
+from itertools import product
+
+import pytest
+
+from repro.games import check_equilibrium
+from repro.graphs.mst import is_minimum_spanning_tree
+from repro.hardness.sat_reduction import (
+    assignment_to_subsidized_edges,
+    build_theorem12_instance,
+    exact_light_assignment_check,
+    label_constants,
+    label_variables,
+    light_enforcement_exists,
+    subsidies_from_edges,
+    subsidized_edges_to_assignment,
+)
+from repro.hardness.solvers import CNFFormula, dpll_solve
+
+
+@pytest.fixture(scope="module")
+def one_clause():
+    return build_theorem12_instance(CNFFormula.from_lists([[1, 2, 3]]))
+
+
+@pytest.fixture(scope="module")
+def two_clause():
+    # Shares x (sign flip) and y (same sign): both consistency gadget types.
+    return build_theorem12_instance(CNFFormula.from_lists([[1, 2, 3], [-1, 2, 4]]))
+
+
+@pytest.fixture(scope="module")
+def unsat_instance():
+    clauses = [
+        [s1 * 1, s2 * 2, s3 * 3] for s1 in (1, -1) for s2 in (1, -1) for s3 in (1, -1)
+    ]
+    return build_theorem12_instance(CNFFormula.from_lists(clauses))
+
+
+class TestLabels:
+    def test_labels_distinct_within_clause(self):
+        f = CNFFormula.from_lists([[1, 2, 3], [-1, 2, 4], [3, 4, 5]])
+        labels = label_variables(f)
+        for cl in f.clauses:
+            assert len({labels[abs(x)] for x in cl}) == 3
+
+    def test_label_constants_recurrence(self):
+        n = label_constants(3)
+        assert n == {3: 7, 2: 196, 1: 153664}
+        assert all(n[j - 1] == 4 * n[j] ** 2 for j in (2, 3))
+
+    def test_base_validation(self):
+        with pytest.raises(ValueError):
+            label_constants(2, base=5)
+
+
+class TestConstruction:
+    def test_counts(self, one_clause):
+        inst = one_clause
+        # Per gadget: mid, end, v1, v2, v3 (+ aux nodes) plus vc and root.
+        assert len(inst.gadgets) == 3
+        assert inst.game.graph.num_nodes == 23
+        # Total players include the astronomical auxiliaries.
+        assert inst.game.n_players == 153_664 + 2
+
+    def test_rejects_non_3sat(self):
+        with pytest.raises(ValueError):
+            build_theorem12_instance(CNFFormula.from_lists([[1, -1, 2]]))
+
+    def test_target_is_mst(self, one_clause):
+        inst = one_clause
+        assert is_minimum_spanning_tree(inst.game.graph, inst.target.edges)
+
+    def test_usage_counts_pinned(self, two_clause):
+        """The auxiliary padding hits n_j / n_j - 3 exactly (validated at
+        build time; re-asserted here)."""
+        inst = two_clause
+        loads = inst.target.loads
+        for g in inst.gadgets.values():
+            assert loads[g.first_light] == g.n
+            assert loads[g.second_light] == g.n - 3
+
+    def test_consistency_gadget_types(self, two_clause):
+        kinds = {(c.var, c.same_sign) for c in two_clause.consistency}
+        assert kinds == {(1, False), (2, True)}
+
+    def test_too_many_labels_rejected(self):
+        # A clique of 9 mutually-conflicting variables needs 9 labels.
+        clauses = []
+        vars_ = list(range(1, 10))
+        for i in range(0, 9, 3):
+            clauses.append(vars_[i : i + 3])
+        # Chain conflicts so all 9 pairwise conflict: add covering clauses.
+        for i in range(1, 8):
+            clauses.append([vars_[i - 1], vars_[i], vars_[i + 1]])
+        import itertools
+
+        extra = [list(c) for c in itertools.combinations(vars_, 3)]
+        f = CNFFormula.from_lists(clauses + extra)
+        with pytest.raises(ValueError):
+            build_theorem12_instance(f)
+
+
+class TestStructuralPredicates:
+    def test_balanced(self, one_clause):
+        inst = one_clause
+        gadgets = list(inst.gadgets.values())
+        balanced = {g.second_light for g in gadgets}
+        assert inst.is_balanced(balanced)
+        assert not inst.is_balanced(set())
+        both = balanced | {gadgets[0].first_light}
+        assert not inst.is_balanced(both)
+
+    def test_consistent_requires_uniform_choice(self, two_clause):
+        inst = two_clause
+        # Assignment-derived sets are always consistent.
+        chosen = assignment_to_subsidized_edges(inst, {1: True, 2: False, 3: True, 4: False})
+        assert inst.is_consistent(chosen)
+        # Flip one gadget of the shared variable x: balanced but inconsistent.
+        g_pos = next(g for g in inst.gadgets.values() if g.literal == 1)
+        tampered = set(chosen)
+        tampered.symmetric_difference_update({g_pos.first_light, g_pos.second_light})
+        assert inst.is_balanced(tampered)
+        assert not inst.is_consistent(tampered)
+
+    def test_assignment_roundtrip(self, two_clause):
+        inst = two_clause
+        assignment = {1: True, 2: False, 3: False, 4: True}
+        chosen = assignment_to_subsidized_edges(inst, assignment)
+        back = subsidized_edges_to_assignment(inst, chosen)
+        assert back == assignment
+
+    def test_inconsistent_has_no_assignment(self, two_clause):
+        inst = two_clause
+        assert subsidized_edges_to_assignment(inst, set()) is None
+
+
+class TestCorollary20:
+    """Light enforcement exists iff the formula is satisfiable."""
+
+    def test_satisfiable_enforces(self, one_clause):
+        ok, chosen = light_enforcement_exists(one_clause)
+        assert ok
+        # Cross-check with the float game engine (gaps are representable
+        # for the positive direction).
+        sub = subsidies_from_edges(one_clause, chosen)
+        assert check_equilibrium(one_clause.target, sub).is_equilibrium
+        # The light assignment costs 3|C| = 3.
+        assert sub.cost == pytest.approx(3.0)
+
+    def test_unsatisfiable_never_enforces(self, unsat_instance):
+        inst = unsat_instance
+        ok, chosen = light_enforcement_exists(inst)
+        assert not ok and chosen is None
+        # Every truth assignment's encoding fails the exact check.
+        for bits in product([False, True], repeat=3):
+            enc = assignment_to_subsidized_edges(inst, dict(zip((1, 2, 3), bits)))
+            good, violations = exact_light_assignment_check(inst, enc)
+            assert not good
+            assert violations
+
+    def test_assignment_enforces_iff_satisfies(self, two_clause):
+        inst = two_clause
+        f = inst.formula
+        for bits in product([False, True], repeat=4):
+            assignment = dict(zip((1, 2, 3, 4), bits))
+            enc = assignment_to_subsidized_edges(inst, assignment)
+            good, _ = exact_light_assignment_check(inst, enc)
+            assert good == f.is_satisfied_by(assignment)
+
+    def test_characterization_matches_exact_check_exhaustively(self, one_clause):
+        """Lemma 19's criterion == the exact game check, over all balanced
+        assignments of the single-clause instance."""
+        inst = one_clause
+        gadgets = list(inst.gadgets.values())
+        for bits in product([0, 1], repeat=3):
+            chosen = {
+                (g.second_light if b else g.first_light)
+                for g, b in zip(gadgets, bits)
+            }
+            good, _ = exact_light_assignment_check(inst, chosen)
+            assert good == inst.characterization_holds(chosen)
+
+    def test_unbalanced_assignments_fail(self, one_clause):
+        """Lemma 14: zero or two subsidized light edges in a gadget break T."""
+        inst = one_clause
+        g = next(iter(inst.gadgets.values()))
+        others = [x for x in inst.gadgets.values() if x is not g]
+        base = {x.second_light for x in others}
+        neither, _ = exact_light_assignment_check(inst, base)
+        both, _ = exact_light_assignment_check(
+            inst, base | {g.first_light, g.second_light}
+        )
+        assert not neither and not both
+
+    def test_non_light_subsidy_rejected(self, one_clause):
+        inst = one_clause
+        heavy = next(
+            e
+            for e in inst.target.edges
+            if inst.game.graph.weight(*e) > 1.5
+        )
+        with pytest.raises(ValueError):
+            exact_light_assignment_check(inst, {heavy})
+
+    def test_dpll_agreement(self, unsat_instance, two_clause):
+        assert dpll_solve(unsat_instance.formula) is None
+        assert dpll_solve(two_clause.formula) is not None

@@ -1,0 +1,111 @@
+"""Tests for the Theorem 3 reduction (BIN PACKING -> zero-budget SND)."""
+
+import pytest
+
+from repro.games import check_equilibrium
+from repro.graphs.mst import is_minimum_spanning_tree
+from repro.graphs.spanning_trees import enumerate_minimum_spanning_trees
+from repro.hardness.binpacking_reduction import (
+    any_mst_equilibrium,
+    build_theorem3_instance,
+    packing_from_tree,
+    tree_from_packing,
+)
+from repro.hardness.solvers import BinPackingInstance, solve_bin_packing_exact
+
+
+@pytest.fixture(scope="module")
+def solvable():
+    return build_theorem3_instance(BinPackingInstance((2, 2, 2, 2), 2, 4))
+
+
+@pytest.fixture(scope="module")
+def unsolvable():
+    return build_theorem3_instance(BinPackingInstance((4, 4, 4), 2, 6))
+
+
+class TestConstruction:
+    def test_structure(self, solvable):
+        inst = solvable
+        k, n = inst.packing.n_bins, len(inst.packing.sizes)
+        # Nodes: root + k gadgets of ell + per item (center + size-1 leaves).
+        expected_nodes = 1 + k * inst.ell + sum(inst.packing.sizes)
+        assert inst.game.graph.num_nodes == expected_nodes
+        assert len(inst.gadgets) == k
+        assert len(inst.item_centers) == n
+
+    def test_rejects_non_strict(self):
+        with pytest.raises(ValueError):
+            build_theorem3_instance(BinPackingInstance((3, 3), 2, 3))
+
+    def test_target_weight_K(self, solvable):
+        inst = solvable
+        mst = inst.game.mst_state()
+        assert mst.social_cost() == pytest.approx(inst.K)
+
+    def test_tree_from_packing_is_mst(self, solvable):
+        inst = solvable
+        sol = solve_bin_packing_exact(inst.packing)
+        state = tree_from_packing(inst, sol)
+        assert is_minimum_spanning_tree(inst.game.graph, state.edges)
+        assert state.social_cost() == pytest.approx(inst.K)
+
+    def test_tree_from_bad_assignment_rejected(self, solvable):
+        with pytest.raises(ValueError):
+            tree_from_packing(solvable, [0, 0, 0, 0])
+
+    def test_roundtrip(self, solvable):
+        inst = solvable
+        sol = solve_bin_packing_exact(inst.packing)
+        state = tree_from_packing(inst, sol)
+        assert packing_from_tree(inst, state) == sol
+
+
+class TestEquivalence:
+    """Theorem 3's equivalence, executed in both directions."""
+
+    def test_solvable_packing_gives_equilibrium_mst(self, solvable):
+        state = any_mst_equilibrium(solvable)
+        assert state is not None
+        assert check_equilibrium(state).is_equilibrium
+
+    def test_unsolvable_packing_has_no_equilibrium_mst(self, unsolvable):
+        """Exhaustive: NO minimum spanning tree is an equilibrium."""
+        inst = unsolvable
+        found = False
+        count = 0
+        for edges in enumerate_minimum_spanning_trees(inst.game.graph):
+            count += 1
+            state = inst.game.tree_state(edges)
+            if check_equilibrium(state).is_equilibrium:
+                found = True
+                break
+        # k^n item-to-bin choices = 2^3 MSTs.
+        assert count == 8
+        assert not found
+        assert any_mst_equilibrium(inst) is None
+
+    def test_solvable_exhaustive_agreement(self, solvable):
+        """Every MST is an equilibrium exactly when its allocation packs."""
+        inst = solvable
+        for edges in enumerate_minimum_spanning_trees(inst.game.graph):
+            state = inst.game.tree_state(edges)
+            allocation = packing_from_tree(inst, state)
+            packs = inst.packing.check_solution(allocation)
+            assert check_equilibrium(state).is_equilibrium == packs
+
+    def test_underfull_bin_connector_deviates(self, solvable):
+        """Putting three items in one bin leaves the other underfull: the
+        starved connector grabs its bypass edge (Lemma 4)."""
+        inst = solvable
+        edges = list(inst.star_edges)
+        for gadget in inst.gadgets:
+            edges.extend(gadget.basic_path_edges)
+        lopsided = [0, 0, 0, 1]
+        for i, b in enumerate(lopsided):
+            edges.append((inst.item_centers[i], inst.gadgets[b].connector))
+        state = inst.game.tree_state(edges)
+        report = check_equilibrium(state, find_all=True)
+        assert not report.is_equilibrium
+        deviators = {d.player for d in report.deviations}
+        assert inst.gadgets[1].connector in deviators

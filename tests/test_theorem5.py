@@ -1,0 +1,195 @@
+"""Tests for the Theorem 5 reduction (3-regular IS -> PoS hardness)."""
+
+import pytest
+
+from repro.bounds.constants import theorem5_no_weight, theorem5_yes_weight
+from repro.games import check_equilibrium
+from repro.games.equilibrium import best_deviation_from_tree
+from repro.hardness.independent_set import (
+    build_theorem5_instance,
+    classify_branch,
+    equilibrium_weight,
+    best_equilibrium_weight_via_mis,
+    independent_set_from_tree,
+    tree_from_independent_set,
+)
+from repro.hardness.solvers import (
+    complete_graph_k4,
+    k33_graph,
+    max_independent_set,
+    petersen_graph,
+    prism_graph,
+)
+from repro.graphs import Graph
+
+
+@pytest.fixture(scope="module")
+def k4_instance():
+    return build_theorem5_instance(complete_graph_k4())
+
+
+class TestConstruction:
+    def test_structure(self, k4_instance):
+        inst = k4_instance
+        # 1 root + n U-nodes + 3n/2 V-nodes.
+        assert inst.game.graph.num_nodes == 1 + 4 + 6
+        # n + 3n/2 unit edges + 2 * 3n/2 incidence edges.
+        assert inst.game.graph.num_edges == 10 + 12
+
+    def test_rejects_non_cubic(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        with pytest.raises(ValueError):
+            build_theorem5_instance(g)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            build_theorem5_instance(complete_graph_k4(), delta=0.2)
+
+    def test_incidence_weight(self, k4_instance):
+        inst = k4_instance
+        v_node = next(iter(inst.v_nodes.values()))
+        u_neighbors = [u for u in inst.game.graph.neighbors(v_node) if u != "r"]
+        w = inst.game.graph.weight(v_node, u_neighbors[0])
+        assert w == pytest.approx((2 + inst.delta) / 3)
+
+
+class TestForwardDirection:
+    """Independent set -> equilibrium of weight 5n/2 - (1-delta)m."""
+
+    @pytest.mark.parametrize(
+        "make_h", [complete_graph_k4, k33_graph, petersen_graph, prism_graph]
+    )
+    def test_mis_tree_is_equilibrium_with_formula_weight(self, make_h):
+        inst = build_theorem5_instance(make_h())
+        mis = max_independent_set(inst.source)
+        state = tree_from_independent_set(inst, mis)
+        assert check_equilibrium(state).is_equilibrium
+        assert state.social_cost() == pytest.approx(
+            equilibrium_weight(inst, len(mis))
+        )
+
+    def test_every_subset_of_mis_also_works(self, k4_instance):
+        inst = k4_instance
+        # m = 0 (all type-A branches) and m = 1.
+        for m_set in ([], [0]):
+            state = tree_from_independent_set(inst, m_set)
+            assert check_equilibrium(state).is_equilibrium
+            assert state.social_cost() == pytest.approx(
+                equilibrium_weight(inst, len(m_set))
+            )
+
+    def test_rejects_dependent_set(self, k4_instance):
+        with pytest.raises(ValueError):
+            tree_from_independent_set(k4_instance, [0, 1])  # adjacent in K4
+
+    def test_roundtrip(self, k4_instance):
+        state = tree_from_independent_set(k4_instance, [2])
+        assert independent_set_from_tree(k4_instance, state) == {2}
+
+
+class TestBackwardDirection:
+    """Non-A/B branches are never stable (the C/D/E case analysis)."""
+
+    def test_type_c_branch_unstable(self, k4_instance):
+        inst = k4_instance
+        # U0 connected to only ONE of its V neighbors: a type-C branch.
+        h_edges = list(inst.source.edges())
+        u0 = inst.u_nodes[0]
+        v_first = inst.v_nodes[frozenset((0, 1))]
+        edges = [("r", u0), (u0, v_first)]
+        for v, u_node in inst.u_nodes.items():
+            if v != 0:
+                edges.append(("r", u_node))
+        for key, v_node in inst.v_nodes.items():
+            if v_node != v_first:
+                edges.append(("r", v_node))
+        state = inst.game.tree_state(edges)
+        assert classify_branch(inst, state, u0) == "C"
+        # The leaf of the C branch prefers its direct unit edge.
+        dev = best_deviation_from_tree(state, v_first)
+        assert dev.deviation_cost < dev.current_cost - 1e-12
+
+    def test_type_d_branch_unstable(self, k4_instance):
+        inst = k4_instance
+        # r - V(0,1) - U0 - V(0,2): depth 3, type D.
+        v01 = inst.v_nodes[frozenset((0, 1))]
+        v02 = inst.v_nodes[frozenset((0, 2))]
+        u0 = inst.u_nodes[0]
+        edges = [("r", v01), (v01, u0), (u0, v02)]
+        for v, u_node in inst.u_nodes.items():
+            if v != 0:
+                edges.append(("r", u_node))
+        for key, v_node in inst.v_nodes.items():
+            if v_node not in (v01, v02):
+                edges.append(("r", v_node))
+        state = inst.game.tree_state(edges)
+        assert classify_branch(inst, state, v01) == "D"
+        assert not check_equilibrium(state).is_equilibrium
+
+    def test_branch_classifier_a_and_b(self, k4_instance):
+        inst = k4_instance
+        state = tree_from_independent_set(inst, [3])
+        assert classify_branch(inst, state, inst.u_nodes[3]) == "B"
+        assert classify_branch(inst, state, inst.u_nodes[0]) == "A"
+
+
+class TestExhaustiveK4:
+    def test_all_54000_trees(self, k4_instance):
+        """Ground truth for Theorem 5 on K4: enumerate *every* spanning tree
+        of the reduction graph (54,000) and verify the paper's structure:
+
+        * exactly 5 equilibria — one per independent set of K4 (the empty
+          set and the four singletons; K4 has MIS = 1);
+        * every equilibrium consists solely of type-A/B branches;
+        * the best equilibrium weight matches 5n/2 - (1-delta)*MIS.
+
+        ~20 s; this is the single most expensive test in the suite and the
+        strongest evidence the reduction is implemented correctly.
+        """
+        from repro.graphs.spanning_trees import enumerate_spanning_trees
+
+        inst = k4_instance
+        equilibria = []
+        for edges in enumerate_spanning_trees(inst.game.graph):
+            state = inst.game.tree_state(edges)
+            if check_equilibrium(state).is_equilibrium:
+                equilibria.append(state)
+        assert len(equilibria) == 5
+        weights = sorted(s.social_cost() for s in equilibria)
+        assert weights[0] == pytest.approx(equilibrium_weight(inst, 1))
+        assert weights[-1] == pytest.approx(equilibrium_weight(inst, 0))
+        for state in equilibria:
+            for top in state.tree.children[inst.root]:
+                assert classify_branch(inst, state, top) in ("A", "B")
+            m_set = independent_set_from_tree(inst, state)
+            assert state.social_cost() == pytest.approx(
+                equilibrium_weight(inst, len(m_set))
+            )
+
+
+class TestPoSNumbers:
+    def test_best_equilibrium_via_mis(self):
+        for make_h in (complete_graph_k4, k33_graph, prism_graph):
+            inst = build_theorem5_instance(make_h())
+            best = best_equilibrium_weight_via_mis(inst)
+            mis = len(max_independent_set(inst.source))
+            assert best == pytest.approx(equilibrium_weight(inst, mis))
+
+    def test_gap_constants(self):
+        """The Berman-Karpinski YES/NO weights per k are separated."""
+        for eps in (0.01, 0.1):
+            for delta in (0.01, 1 / 12):
+                yes = theorem5_yes_weight(1, delta, eps)
+                no = theorem5_no_weight(1, delta, eps)
+                assert yes < no
+        # Ratio tends to 571/570 as eps, delta -> 0.
+        assert theorem5_no_weight(1, 1e-9, 1e-9) / theorem5_yes_weight(
+            1, 1e-9, 1e-9
+        ) == pytest.approx(571 / 570, abs=1e-6)
+
+    def test_formula_matches_construction(self, k4_instance):
+        inst = k4_instance
+        n = inst.n
+        for m in (0, 1):
+            state = tree_from_independent_set(inst, list(range(m)))
+            assert state.social_cost() == pytest.approx(2.5 * n - (1 - inst.delta) * m)

@@ -1,0 +1,150 @@
+"""Tests for the Theorem 6 constructive wgt(T)/e algorithm."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bounds.instances import theorem11_cycle_instance
+from repro.games import BroadcastGame, check_equilibrium
+from repro.graphs import Graph
+from repro.graphs.generators import (
+    grid_graph,
+    random_connected_gnp,
+    random_tree_plus_chords,
+)
+from repro.subsidies import solve_sne_broadcast_lp3, theorem6_subsidies
+from repro.subsidies.theorem6 import weight_level_decomposition
+
+E = math.e
+
+
+class TestDecomposition:
+    def test_single_weight(self):
+        assert weight_level_decomposition([2.0, 2.0]) == [(2.0, 2.0)]
+
+    def test_two_levels(self):
+        assert weight_level_decomposition([1.0, 3.0]) == [(1.0, 1.0), (3.0, 2.0)]
+
+    def test_zero_weights_skipped(self):
+        assert weight_level_decomposition([0.0, 1.0]) == [(1.0, 1.0)]
+
+    def test_levels_sum_to_max(self):
+        weights = [0.5, 1.25, 4.0, 4.0, 7.5]
+        levels = weight_level_decomposition(weights)
+        assert sum(c for _, c in levels) == pytest.approx(max(weights))
+
+    def test_empty(self):
+        assert weight_level_decomposition([0.0, 0.0]) == []
+
+
+class TestUniformInstances:
+    """Uniform weights: one level, hand-checkable subsidy totals."""
+
+    def test_single_edge(self):
+        g = Graph.from_edges([(0, 1, 1.0)])
+        game = BroadcastGame(g, root=0)
+        res = theorem6_subsidies(game.mst_state())
+        # One heavy edge with m=1: subsidy c/e.
+        assert res.cost == pytest.approx(1 / E)
+        assert res.fraction == pytest.approx(1 / E)
+
+    def test_unit_path(self):
+        # Path 0-1-2: edge loads {2, 1}; total must be 2/e.
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        game = BroadcastGame(g, root=0)
+        res = theorem6_subsidies(game.mst_state())
+        assert res.cost == pytest.approx(2 / E)
+
+    def test_star_below_heavy_trunk(self):
+        # Root - u (trunk), u - {l1, l2}: m = 3 on the trunk, 1 on leaves.
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (1, 3, 1.0)])
+        game = BroadcastGame(g, root=0)
+        res = theorem6_subsidies(game.mst_state())
+        assert res.cost == pytest.approx(3 / E)
+        # The trunk sits above the cut (vc = ln(3/2) < 1): zero subsidies.
+        assert res.subsidies.get((0, 1)) == 0.0
+        # Each leaf edge gets c * 3/(2e).
+        assert res.subsidies.get((1, 2)) == pytest.approx(3 / (2 * E))
+
+    def test_unit_cycle_matches_theory(self):
+        for n in (4, 9, 17):
+            game, state = theorem11_cycle_instance(n)
+            res = theorem6_subsidies(state)
+            assert res.cost == pytest.approx(n / E)
+            assert check_equilibrium(state, res.subsidies, tol=1e-7).is_equilibrium
+
+
+class TestGuarantees:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 12), st.floats(0.25, 0.8), st.integers(0, 10_000))
+    def test_bound_and_enforcement_random_graphs(self, n, p, seed):
+        g = random_connected_gnp(n, p, seed=seed)
+        game = BroadcastGame(g, root=0)
+        state = game.mst_state()
+        res = theorem6_subsidies(state)
+        # (a) never exceeds wgt(T)/e; the accounting is exactly wgt(T)/e.
+        assert res.cost <= res.bound + 1e-9
+        assert res.cost == pytest.approx(res.bound, rel=1e-6)
+        # (b) enforces the MST as an equilibrium.
+        assert check_equilibrium(state, res.subsidies, tol=1e-7).is_equilibrium
+        # (c) per-level totals match the Lemma 7 accounting.
+        for lvl in res.levels:
+            assert lvl.subsidy_total == pytest.approx(lvl.level_weight / E, rel=1e-9)
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(4, 10), st.integers(0, 10_000))
+    def test_lp_optimum_never_exceeds_constructive(self, n, seed):
+        g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.1)
+        game = BroadcastGame(g, root=0)
+        state = game.mst_state()
+        lp = solve_sne_broadcast_lp3(state)
+        constructive = theorem6_subsidies(state)
+        assert lp.cost <= constructive.cost + 1e-6
+
+    def test_grid(self):
+        game = BroadcastGame(grid_graph(3, 4), root=0)
+        state = game.mst_state()
+        res = theorem6_subsidies(state)
+        assert check_equilibrium(state, res.subsidies, tol=1e-7).is_equilibrium
+        assert res.fraction == pytest.approx(1 / E, rel=1e-9)
+
+    def test_multilevel_weights(self):
+        g = Graph.from_edges(
+            [(0, 1, 1.0), (1, 2, 2.5), (2, 3, 1.0), (0, 3, 3.0), (1, 3, 4.0)]
+        )
+        game = BroadcastGame(g, root=0)
+        state = game.mst_state()
+        res = theorem6_subsidies(state)
+        assert len(res.levels) >= 2
+        assert res.cost == pytest.approx(res.bound, rel=1e-9)
+        assert check_equilibrium(state, res.subsidies, tol=1e-7).is_equilibrium
+
+    def test_zero_weight_edges_get_nothing(self):
+        g = Graph.from_edges([(0, 1, 0.0), (1, 2, 1.0), (0, 2, 1.5)])
+        game = BroadcastGame(g, root=0)
+        res = theorem6_subsidies(game.mst_state())
+        assert res.subsidies.get((0, 1)) == 0.0
+
+
+class TestValidation:
+    def test_rejects_non_mst(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        game = BroadcastGame(g, root=0)
+        heavy_tree = game.tree_state([(0, 1), (0, 2)])
+        with pytest.raises(ValueError):
+            theorem6_subsidies(heavy_tree)
+
+    def test_rejects_multiplicities(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        game = BroadcastGame(g, root=0, multiplicity={2: 3})
+        with pytest.raises(ValueError):
+            theorem6_subsidies(game.tree_state([(0, 1), (1, 2)]))
+
+    def test_alternative_mst_accepted(self):
+        # Uniform square: any spanning path is an MST.
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+        game = BroadcastGame(g, root=0)
+        alt = game.tree_state([(0, 1), (1, 2), (3, 0)])
+        res = theorem6_subsidies(alt)
+        assert check_equilibrium(alt, res.subsidies, tol=1e-7).is_equilibrium

@@ -1,0 +1,130 @@
+"""Tests for RootedTree utilities."""
+
+import pytest
+
+from repro.graphs import RootedTree
+from repro.graphs.graph import canonical_edge
+
+
+@pytest.fixture
+def caterpillar():
+    #      r
+    #      |
+    #      a
+    #     / \
+    #    b   c
+    #    |
+    #    d
+    return RootedTree("r", [("r", "a"), ("a", "b"), ("a", "c"), ("b", "d")])
+
+
+class TestStructure:
+    def test_parents(self, caterpillar):
+        t = caterpillar
+        assert t.parent["a"] == "r"
+        assert t.parent["d"] == "b"
+        assert t.root == "r"
+
+    def test_depths(self, caterpillar):
+        t = caterpillar
+        assert t.depth == {"r": 0, "a": 1, "b": 2, "c": 2, "d": 3}
+
+    def test_num_nodes_and_edges(self, caterpillar):
+        assert caterpillar.num_nodes == 5
+        assert len(caterpillar.edges) == 4
+
+    def test_leaves(self, caterpillar):
+        assert set(caterpillar.leaves()) == {"c", "d"}
+
+    def test_edge_to_parent(self, caterpillar):
+        assert caterpillar.edge_to_parent("d") == canonical_edge("d", "b")
+        with pytest.raises(ValueError):
+            caterpillar.edge_to_parent("r")
+
+    def test_child_endpoint(self, caterpillar):
+        e = caterpillar.edge_to_parent("b")
+        assert caterpillar.child_endpoint(e) == "b"
+        with pytest.raises(ValueError):
+            caterpillar.child_endpoint(("r", "d"))
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            RootedTree(0, [(0, 1), (1, 2), (2, 0)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            RootedTree(0, [(0, 1), (2, 3)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError):
+            RootedTree(0, [(0, 1), (1, 0)])
+
+    def test_single_node_tree(self):
+        t = RootedTree("r", [])
+        assert t.nodes == ["r"]
+        assert t.path_to_root("r") == []
+
+
+class TestPaths:
+    def test_path_to_root(self, caterpillar):
+        t = caterpillar
+        path = t.path_to_root("d")
+        assert path == [
+            canonical_edge("d", "b"),
+            canonical_edge("b", "a"),
+            canonical_edge("a", "r"),
+        ]
+
+    def test_path_cache_returns_fresh_lists(self, caterpillar):
+        t = caterpillar
+        p1 = t.path_to_root("d")
+        p1.append(("x", "y"))
+        assert len(t.path_to_root("d")) == 3
+
+    def test_lca(self, caterpillar):
+        t = caterpillar
+        assert t.lca("d", "c") == "a"
+        assert t.lca("b", "d") == "b"
+        assert t.lca("r", "d") == "r"
+        assert t.lca("c", "c") == "c"
+
+    def test_path_between(self, caterpillar):
+        t = caterpillar
+        path = t.path_between("d", "c")
+        assert path == [
+            canonical_edge("d", "b"),
+            canonical_edge("b", "a"),
+            canonical_edge("a", "c"),
+        ]
+        assert t.path_between("c", "c") == []
+
+
+class TestSubtrees:
+    def test_subtree_nodes(self, caterpillar):
+        t = caterpillar
+        assert t.subtree_nodes("a") == {"a", "b", "c", "d"}
+        assert t.subtree_nodes("d") == {"d"}
+
+    def test_subtree_loads_unit(self, caterpillar):
+        t = caterpillar
+        loads = t.subtree_loads()
+        assert loads[canonical_edge("a", "r")] == 4
+        assert loads[canonical_edge("b", "a")] == 2
+        assert loads[canonical_edge("c", "a")] == 1
+        assert loads[canonical_edge("d", "b")] == 1
+
+    def test_subtree_loads_multiplicity(self, caterpillar):
+        t = caterpillar
+        loads = t.subtree_loads({"d": 10, "c": 0})
+        assert loads[canonical_edge("d", "b")] == 10
+        assert loads[canonical_edge("b", "a")] == 11
+        assert loads[canonical_edge("c", "a")] == 0
+        assert loads[canonical_edge("a", "r")] == 12
+
+    def test_loads_sum_to_depth_weighted_count(self):
+        # For a path r-1-2-3, edge loads are 3, 2, 1.
+        t = RootedTree(0, [(0, 1), (1, 2), (2, 3)])
+        loads = t.subtree_loads()
+        assert loads[(0, 1)] == 3
+        assert loads[(1, 2)] == 2
+        assert loads[(2, 3)] == 1

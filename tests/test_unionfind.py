@@ -1,0 +1,68 @@
+"""Unit and property tests for the union-find substrate."""
+
+from hypothesis import given, strategies as st
+
+from repro.graphs import UnionFind
+
+
+class TestUnionFindBasics:
+    def test_initial_singletons(self):
+        uf = UnionFind(range(5))
+        assert len(uf) == 5
+        assert uf.n_components == 5
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(range(4))
+        assert uf.union(0, 1)
+        assert uf.n_components == 3
+        assert not uf.union(1, 0)
+        assert uf.n_components == 3
+
+    def test_connected_transitive(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_lazy_registration(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+        assert uf.n_components == 1
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add(1)
+        uf.add(1)
+        assert uf.n_components == 1
+
+    def test_hashable_elements(self):
+        uf = UnionFind()
+        uf.union(("a", 1), "b")
+        assert uf.connected("b", ("a", 1))
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=60))
+def test_union_find_matches_naive_partition(pairs):
+    """Union-find must agree with a brute-force set-merging partition."""
+    uf = UnionFind(range(16))
+    naive = [{i} for i in range(16)]
+
+    def naive_find(x):
+        for s in naive:
+            if x in s:
+                return s
+        raise AssertionError
+
+    for x, y in pairs:
+        uf.union(x, y)
+        sx, sy = naive_find(x), naive_find(y)
+        if sx is not sy:
+            sx |= sy
+            naive.remove(sy)
+
+    assert uf.n_components == len(naive)
+    for x in range(16):
+        for y in range(16):
+            assert uf.connected(x, y) == (naive_find(x) is naive_find(y))

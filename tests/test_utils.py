@@ -1,0 +1,97 @@
+"""Tests for repro.utils helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    EQ_TOL,
+    Timer,
+    ensure_rng,
+    is_close,
+    is_improvement,
+    leq_with_tol,
+    nonnegative,
+)
+from repro.utils.validation import check_edge_weight, check_positive_int, check_probability
+
+
+class TestTolerances:
+    def test_leq_exact(self):
+        assert leq_with_tol(1.0, 1.0)
+        assert leq_with_tol(1.0, 2.0)
+        assert not leq_with_tol(2.0, 1.0)
+
+    def test_leq_within_tolerance(self):
+        assert leq_with_tol(1.0 + 1e-12, 1.0)
+
+    def test_leq_scales_with_magnitude(self):
+        assert leq_with_tol(1e9 + 1.0, 1e9, tol=1e-8)
+        assert not leq_with_tol(1e9 + 100.0, 1e9, tol=1e-9)
+
+    def test_improvement_is_negation(self):
+        for a, b in [(1.0, 1.0), (1.0, 1.0 + 1e-12), (0.5, 1.0), (2.0, 1.0)]:
+            assert is_improvement(a, b) == (not leq_with_tol(b, a))
+
+    def test_tie_is_not_improvement(self):
+        assert not is_improvement(1.0, 1.0)
+        assert not is_improvement(1.0 - 1e-13, 1.0)
+        assert is_improvement(0.9, 1.0)
+
+    def test_is_close(self):
+        assert is_close(1.0, 1.0 + EQ_TOL / 10)
+        assert not is_close(1.0, 1.1)
+
+    def test_nonnegative_clips(self):
+        assert nonnegative(-1e-12) == 0.0
+        assert nonnegative(2.5) == 2.5
+
+    def test_nonnegative_rejects(self):
+        with pytest.raises(ValueError):
+            nonnegative(-0.5)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+
+class TestTimer:
+    def test_elapsed_nonnegative(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+
+class TestValidation:
+    def test_edge_weight_ok(self):
+        assert check_edge_weight(0) == 0.0
+        assert check_edge_weight(float("inf")) == float("inf")
+
+    def test_edge_weight_bad(self):
+        with pytest.raises(ValueError):
+            check_edge_weight(-1)
+        with pytest.raises(ValueError):
+            check_edge_weight(float("nan"))
+
+    def test_positive_int(self):
+        assert check_positive_int(3) == 3
+        with pytest.raises(ValueError):
+            check_positive_int(0)
+        with pytest.raises(TypeError):
+            check_positive_int(2.5)
+        with pytest.raises(TypeError):
+            check_positive_int(True)
+
+    def test_probability(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+        with pytest.raises(ValueError):
+            check_probability(1.1)

@@ -1,0 +1,122 @@
+"""Tests for the virtual cost function (Lemma 7, Claims 8/10, Figure 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.subsidies.virtual_cost import (
+    claim10_closed_form,
+    edge_virtual_cost,
+    pack_subsidies_on_path,
+    path_virtual_cost,
+    real_cost_share,
+)
+
+
+class TestEdgeVirtualCost:
+    def test_unsubsidized_singleton_infinite(self):
+        assert edge_virtual_cost(1.0, 1, 0.0) == math.inf
+
+    def test_fully_subsidized_zero(self):
+        assert edge_virtual_cost(1.0, 3, 1.0) == pytest.approx(0.0)
+
+    def test_basic_value(self):
+        assert edge_virtual_cost(1.0, 2, 0.0) == pytest.approx(math.log(2))
+
+    def test_scales_with_c(self):
+        assert edge_virtual_cost(5.0, 2, 0.0) == pytest.approx(5 * math.log(2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            edge_virtual_cost(0.0, 2, 0.0)
+        with pytest.raises(ValueError):
+            edge_virtual_cost(1.0, 0, 0.0)
+        with pytest.raises(ValueError):
+            edge_virtual_cost(1.0, 2, 1.5)
+
+    @given(st.integers(1, 200), st.floats(0.0, 1.0))
+    def test_claim8_dominates_real_share(self, m, y_frac):
+        """Claim 8: vc(a, y) >= (c - y)/n_a for any n_a >= m."""
+        c = 1.0
+        y = y_frac * c
+        vc = edge_virtual_cost(c, m, y)
+        assert vc >= (c - y) / m - 1e-12
+
+    @given(st.integers(2, 100), st.floats(0.0, 0.99))
+    def test_monotone_decreasing_in_subsidy(self, m, y):
+        assert edge_virtual_cost(1.0, m, y + 0.01) <= edge_virtual_cost(1.0, m, y)
+
+
+class TestPacking:
+    def test_pack_fills_least_crowded_first(self):
+        y = pack_subsidies_on_path(1.0, [3, 1, 2], total=1.6)
+        # Least crowded (m=1) filled first, then m=2 gets the remainder.
+        assert y == [0.0, 1.0, pytest.approx(0.6)]
+
+    def test_pack_zero(self):
+        assert pack_subsidies_on_path(1.0, [1, 2], 0.0) == [0.0, 0.0]
+
+    def test_pack_everything(self):
+        assert pack_subsidies_on_path(2.0, [1, 2], 4.0) == [2.0, 2.0]
+
+    def test_pack_validation(self):
+        with pytest.raises(ValueError):
+            pack_subsidies_on_path(1.0, [1], 2.0)
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            path_virtual_cost(1.0, [1, 2], [0.0])
+
+
+class TestClaim10:
+    """vc of a packed path equals the closed form c*ln(t/(t-|q'|+y/c))."""
+
+    @given(st.integers(1, 30), st.integers(0, 60))
+    def test_closed_form_matches_sum(self, q_len, tenths):
+        c = 1.0
+        total = min(tenths / 10.0, q_len * c)
+        t = q_len  # multiplicities 1..q_len (consecutive, ending at t)
+        mults = list(range(1, q_len + 1))
+        subsidies = pack_subsidies_on_path(c, mults, total)
+        vc_sum = path_virtual_cost(c, mults, subsidies)
+        vc_closed = claim10_closed_form(c, t, q_len, total)
+        if math.isinf(vc_closed):
+            assert math.isinf(vc_sum)
+        else:
+            assert vc_sum == pytest.approx(vc_closed, abs=1e-9)
+
+    @given(st.integers(2, 20), st.integers(1, 15), st.integers(0, 40))
+    def test_closed_form_shifted_multiplicities(self, q_len, h, tenths):
+        """Multiplicities h+1 .. h+q_len (Lemma 7's subtree case)."""
+        c = 2.0
+        total = min(tenths / 10.0, q_len * c)
+        t = h + q_len
+        mults = list(range(h + 1, h + q_len + 1))
+        subsidies = pack_subsidies_on_path(c, mults, total)
+        vc_sum = path_virtual_cost(c, mults, subsidies)
+        assert vc_sum == pytest.approx(claim10_closed_form(c, t, q_len, total), abs=1e-9)
+
+
+class TestFigure4:
+    def test_figure4_numbers(self):
+        """The Figure 4 scenario: 6 heavy edges, m = 1..6, subsidies 1.6c.
+
+        The caption: leftmost edge and 60% of the second are subsidized;
+        vc = ln(6/1.6).
+        """
+        c = 1.0
+        mults = [1, 2, 3, 4, 5, 6]
+        y = pack_subsidies_on_path(c, mults, 1.6)
+        assert y[0] == 1.0 and y[1] == pytest.approx(0.6)
+        assert path_virtual_cost(c, mults, y) == pytest.approx(math.log(6 / 1.6))
+        # Real cost of the deepest player is below the virtual cost.
+        assert real_cost_share(c, mults, y) <= path_virtual_cost(c, mults, y)
+
+    @given(st.integers(1, 25), st.integers(0, 50))
+    def test_real_cost_below_virtual(self, q_len, tenths):
+        c = 1.0
+        total = min(tenths / 10.0, q_len * c)
+        mults = list(range(1, q_len + 1))
+        y = pack_subsidies_on_path(c, mults, total)
+        assert real_cost_share(c, mults, y) <= path_virtual_cost(c, mults, y) + 1e-12
