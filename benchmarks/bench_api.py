@@ -1,0 +1,51 @@
+"""Benchmarks of the :mod:`repro.api` facade itself.
+
+Measures what the unified entry point adds on top of the raw solvers:
+registry dispatch + report normalization, JSON round-trips, and
+``solve_many`` batch throughput (serial vs thread pool).
+"""
+
+import json
+
+import pytest
+
+from repro.api import serialize, solve, solve_many
+from repro.games.broadcast import BroadcastGame
+from repro.graphs.generators import random_tree_plus_chords
+
+
+@pytest.fixture(scope="module")
+def states():
+    out = []
+    for i in range(12):
+        g = random_tree_plus_chords(10, 5, seed=100 + i, chord_factor=1.1)
+        out.append(BroadcastGame(g, root=0).mst_state())
+    return out
+
+
+def test_facade_dispatch_theorem6(benchmark, states):
+    # theorem6 is the cheapest solver, so this is dominated by facade overhead.
+    res = benchmark(solve, states[0], "theorem6")
+    assert res.verified
+
+
+def test_report_json_roundtrip(benchmark, states):
+    report = solve(states[0], solver="sne-lp3")
+
+    def roundtrip():
+        return serialize.report_from_json(
+            json.loads(json.dumps(serialize.report_to_json(report)))
+        )
+
+    assert benchmark(roundtrip) == report
+
+
+def test_solve_many_serial(benchmark, states):
+    reports = benchmark(solve_many, states, "theorem6")
+    assert all(r.verified for r in reports)
+
+
+def test_solve_many_threaded(benchmark, states):
+    serial = solve_many(states, "theorem6")
+    reports = benchmark(solve_many, states, "theorem6", 4)
+    assert reports == serial

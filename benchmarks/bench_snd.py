@@ -1,10 +1,14 @@
-"""E11 benchmark — STABLE NETWORK DESIGN solvers under a budget."""
+"""E11 benchmark — STABLE NETWORK DESIGN solvers under a budget.
+
+Runs through the :mod:`repro.api` registry (design solvers take the game
+and pick their own tree).
+"""
 
 import pytest
 
+from repro.api import solve
 from repro.games.broadcast import BroadcastGame
 from repro.graphs.generators import random_tree_plus_chords
-from repro.subsidies import snd_heuristic, solve_snd_exact
 
 
 @pytest.fixture(scope="module")
@@ -16,14 +20,14 @@ def game():
 @pytest.mark.parametrize("budget_frac", [0.0, 0.2])
 def test_exact_snd(benchmark, game, budget_frac):
     budget = budget_frac * game.mst_weight()
-    res = benchmark(solve_snd_exact, game, budget)
-    assert res is not None
-    assert res.subsidy_cost <= budget + 1e-6
-    assert res.weight >= game.mst_weight() - 1e-9
+    res = benchmark(solve, game, "snd-exact", budget=budget)
+    assert res.feasible
+    assert res.budget_used <= budget + 1e-6
+    assert res.target_cost >= game.mst_weight() - 1e-9
 
 
 def test_heuristic_snd(benchmark, game):
     budget = 0.2 * game.mst_weight()
-    exact = solve_snd_exact(game, budget)
-    res = benchmark(snd_heuristic, game, budget)
-    assert res.weight >= exact.weight - 1e-9
+    exact = solve(game, solver="snd-exact", budget=budget)
+    res = benchmark(solve, game, "snd-local-search", budget=budget)
+    assert res.target_cost >= exact.target_cost - 1e-9

@@ -1,18 +1,16 @@
 """E1 benchmark — Theorem 1: the three SNE LP formulations.
 
-Measures each formulation on a fixed 20-node broadcast instance and asserts
-they produce the same optimal subsidy cost.
+Measures each formulation on a fixed 20-node broadcast instance — through
+the :mod:`repro.api` registry, so the numbers include the facade's
+dispatch + report-normalization overhead — and asserts they produce the
+same optimal subsidy cost.
 """
 
 import pytest
 
+from repro.api import solve
 from repro.games.broadcast import BroadcastGame
 from repro.graphs.generators import random_tree_plus_chords
-from repro.subsidies import (
-    solve_sne_broadcast_lp3,
-    solve_sne_cutting_plane_lp1,
-    solve_sne_polynomial_lp2,
-)
 
 
 @pytest.fixture(scope="module")
@@ -20,32 +18,32 @@ def instance():
     g = random_tree_plus_chords(20, 10, seed=42, chord_factor=1.1)
     game = BroadcastGame(g, root=0)
     state = game.mst_state()
-    reference = solve_sne_broadcast_lp3(state).cost
+    reference = solve(state, solver="sne-lp3").budget_used
     return state, reference
 
 
 def test_lp3_broadcast(benchmark, instance):
     state, reference = instance
-    res = benchmark(solve_sne_broadcast_lp3, state)
+    res = benchmark(solve, state, "sne-lp3")
     assert res.verified
-    assert res.cost == pytest.approx(reference, abs=1e-6)
+    assert res.budget_used == pytest.approx(reference, abs=1e-6)
 
 
 def test_lp2_polynomial(benchmark, instance):
     state, reference = instance
-    res = benchmark(solve_sne_polynomial_lp2, state)
+    res = benchmark(solve, state, "sne-poly")
     assert res.verified
-    assert res.cost == pytest.approx(reference, abs=1e-5)
+    assert res.budget_used == pytest.approx(reference, abs=1e-5)
 
 
 def test_lp1_cutting_planes(benchmark, instance):
     state, reference = instance
-    res = benchmark(solve_sne_cutting_plane_lp1, state)
+    res = benchmark(solve, state, "sne-cutting-plane")
     assert res.verified
-    assert res.cost == pytest.approx(reference, abs=1e-5)
+    assert res.budget_used == pytest.approx(reference, abs=1e-5)
 
 
 def test_lp3_simplex_backend(benchmark, instance):
     state, reference = instance
-    res = benchmark(solve_sne_broadcast_lp3, state, "simplex")
-    assert res.cost == pytest.approx(reference, abs=1e-5)
+    res = benchmark(solve, state, "sne-lp3", method="simplex")
+    assert res.budget_used == pytest.approx(reference, abs=1e-5)

@@ -1,22 +1,18 @@
 """Quickstart: enforce a minimum spanning tree with subsidies.
 
 Builds a tiny broadcast game where the MST is *not* an equilibrium, then
-stabilizes it three ways:
+stabilizes it three ways through the unified ``repro.api`` facade:
 
-1. the LP-optimal subsidies (Theorem 1 / LP (3)),
+1. the LP-optimal subsidies (Theorem 1 / LP (3)): ``solver="sne-lp3"``,
 2. the constructive Theorem 6 assignment (cost exactly wgt(T)/e),
-3. an all-or-nothing assignment (Section 5).
+3. an all-or-nothing assignment (Section 5): ``solver="aon-exact"``.
 
 Run:  python examples/quickstart.py
 """
 
+from repro import api
 from repro.games import BroadcastGame, check_equilibrium
 from repro.graphs import Graph
-from repro.subsidies import (
-    solve_aon_sne_exact,
-    solve_sne_broadcast_lp3,
-    theorem6_subsidies,
-)
 
 
 def main() -> None:
@@ -42,25 +38,31 @@ def main() -> None:
             f"{dev.deviation_cost:.3f} via {dev.path_nodes}"
         )
 
+    # One registry, one entry point, one canonical report shape.
+    print("\nRegistered solvers:", ", ".join(api.solver_names()))
+
     # 1. Optimal fractional subsidies (Theorem 1, broadcast LP (3)).
-    lp = solve_sne_broadcast_lp3(mst)
-    print(f"\nLP-optimal subsidies: cost {lp.cost:.4f} "
-          f"({lp.fraction_of_target(mst.social_cost()):.1%} of wgt(T))")
+    lp = api.solve(game, solver="sne-lp3")
+    print(f"\n{lp.summary()}")
     for edge in lp.subsidies:
         print(f"  subsidize {edge}: {lp.subsidies[edge]:.4f}")
-    assert check_equilibrium(mst, lp.subsidies, tol=1e-6).is_equilibrium
+    assert lp.verified
 
     # 2. The Theorem 6 constructive assignment: always exactly wgt(T)/e.
-    constructive = theorem6_subsidies(mst)
-    print(f"\nTheorem 6 constructive: cost {constructive.cost:.4f} "
-          f"(= wgt(T)/e = {constructive.bound:.4f})")
-    assert check_equilibrium(mst, constructive.subsidies, tol=1e-7).is_equilibrium
+    constructive = api.solve(game, solver="theorem6")
+    print(f"\n{constructive.summary()}")
+    print(f"  (= wgt(T)/e = {constructive.metadata['bound']:.4f})")
+    assert constructive.verified
 
     # 3. All-or-nothing: links can only be fully funded.
-    aon = solve_aon_sne_exact(mst)
-    print(f"\nAll-or-nothing optimum: cost {aon.cost:.4f} "
-          f"(fully funds {list(aon.subsidies.subsidized_edges())})")
+    aon = api.solve(game, solver="aon-exact")
+    print(f"\n{aon.summary()}")
+    print(f"  fully funds {list(aon.subsidies.subsidized_edges())}")
     assert aon.verified
+
+    # Reports serialize to JSON and round-trip exactly.
+    payload = api.serialize.report_to_json(lp)
+    assert api.serialize.report_from_json(payload) == lp
 
     print("\nAll three assignments make the MST a Nash equilibrium.")
 

@@ -3,6 +3,9 @@ games via subsidies* (Augustine, Caragiannis, Fanelli, Kalaitzis, SPAA 2012).
 
 Public API highlights
 ---------------------
+- :mod:`repro.api` — **the unified solver facade**: ``repro.api.solve(game,
+  solver="sne-lp3")``, batch execution via ``solve_many``, the solver
+  registry, and JSON serialization for instances and results,
 - :class:`repro.graphs.Graph` and the graph substrate,
 - :class:`repro.games.NetworkDesignGame` / :class:`repro.games.BroadcastGame`,
 - SNE solvers in :mod:`repro.subsidies` (LP formulations (1)-(3) of the paper,
@@ -11,10 +14,52 @@ Public API highlights
 - hardness-reduction constructors in :mod:`repro.hardness`,
 - lower-bound instance families and constants in :mod:`repro.bounds`,
 - the experiment harness in :mod:`repro.experiments` (CLI: ``repro-experiments``).
+
+Subpackages are imported lazily (PEP 562) so ``import repro`` stays cheap —
+``repro.api`` and friends materialize on first attribute access.
 """
 
-__version__ = "1.0.0"
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-from repro import graphs, utils
+__version__ = "1.1.0"
 
-__all__ = ["graphs", "utils", "__version__"]
+#: lazily importable public subpackages
+_SUBMODULES = (
+    "api",
+    "bounds",
+    "experiments",
+    "games",
+    "graphs",
+    "hardness",
+    "lp",
+    "subsidies",
+    "utils",
+)
+
+__all__ = [*_SUBMODULES, "__version__"]
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro import (  # noqa: F401
+        api,
+        bounds,
+        experiments,
+        games,
+        graphs,
+        hardness,
+        lp,
+        subsidies,
+        utils,
+    )
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        module = import_module(f"repro.{name}")
+        globals()[name] = module  # cache: __getattr__ fires once per name
+        return module
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SUBMODULES))

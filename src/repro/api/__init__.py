@@ -1,0 +1,44 @@
+"""``repro.api`` — the single public entry point for solving subsidy problems.
+
+The paper's solvers (LP formulations (1)-(3), the Theorem 6 constructive
+algorithm, all-or-nothing SNE, SND design, the combinatorial water-filler)
+live behind one declarative registry:
+
+>>> from repro import api
+>>> [s.name for s in api.list_solvers()]          # doctest: +SKIP
+>>> report = api.solve(game, solver="sne-lp3")    # doctest: +SKIP
+>>> api.serialize.report_to_json(report)          # doctest: +SKIP
+
+* :func:`solve` / :func:`solve_many` — uniform (batch) execution,
+* :func:`register_solver` / :func:`get_solver` / :func:`list_solvers` — the
+  :class:`SolverSpec` registry,
+* :class:`SolveReport` — the canonical result every solver returns,
+* :mod:`repro.api.serialize` — JSON round-trips for graphs, games,
+  subsidies and reports.
+"""
+
+from repro.api.registry import (
+    SolverSpec,
+    UnknownSolverError,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solver_names,
+)
+from repro.api.report import SolveReport
+from repro.api import adapters  # noqa: F401  (registers the built-in solvers)
+from repro.api.facade import solve, solve_many
+from repro.api import serialize
+
+__all__ = [
+    "SolverSpec",
+    "SolveReport",
+    "UnknownSolverError",
+    "get_solver",
+    "list_solvers",
+    "register_solver",
+    "solver_names",
+    "solve",
+    "solve_many",
+    "serialize",
+]

@@ -1,0 +1,94 @@
+"""The unified entry point: ``solve`` one instance, ``solve_many`` a sweep.
+
+>>> from repro.api import solve
+>>> report = solve(game, solver="sne-lp3")        # doctest: +SKIP
+>>> report.budget_used, report.verified           # doctest: +SKIP
+
+``solve`` accepts a target state (``TreeState`` / ``State``) or a whole game
+(``BroadcastGame`` / ``NetworkDesignGame``); games default to their natural
+socially-optimal target (the MST for broadcast, all-shortest-paths
+otherwise).  Keyword options are forwarded to the solver adapter — e.g.
+``method="simplex"`` for the LP solvers or ``budget=...`` for SND.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.api import adapters  # noqa: F401  (import populates the registry)
+from repro.api.adapters import AnyInstance
+from repro.api.registry import get_solver
+from repro.api.report import SolveReport
+
+
+def solve(instance: AnyInstance, solver: str, **opts: Any) -> SolveReport:
+    """Run one registered solver on one instance.
+
+    Parameters
+    ----------
+    instance:
+        A target state or a game (coerced per the solver's capabilities).
+    solver:
+        A registry name or alias — see :func:`repro.api.list_solvers`.
+    opts:
+        Solver-specific keyword options, forwarded verbatim.
+    """
+    spec = get_solver(solver)
+    return spec.fn(instance, **opts)  # type: ignore[return-value]
+
+
+def solve_many(
+    instances: Sequence[AnyInstance],
+    solvers: Union[str, Sequence[str]],
+    workers: Optional[int] = None,
+    opts: Optional[Dict[str, Any]] = None,
+) -> Union[List[SolveReport], List[List[SolveReport]]]:
+    """Batch execution over an instance sweep.
+
+    Parameters
+    ----------
+    instances:
+        The instances to solve (states and/or games).
+    solvers:
+        One solver name — returns a flat ``List[SolveReport]`` aligned with
+        ``instances`` — or a sequence of names, returning one inner list per
+        instance (``result[i][j]`` is solver ``j`` on instance ``i``).
+    workers:
+        ``None``/``0``/``1`` runs serially; ``N > 1`` dispatches jobs to a
+        ``concurrent.futures`` thread pool.  Output order (and content, for
+        the deterministic built-in solvers) is identical either way.
+    opts:
+        Options applied to every solve.
+    """
+    single = isinstance(solvers, str)
+    names: List[str] = [solvers] if single else list(solvers)
+    # Fail fast on unknown names before launching any work.
+    for name in names:
+        get_solver(name)
+    kwargs = dict(opts or {})
+
+    jobs = [
+        (i, j, instance, name)
+        for i, instance in enumerate(instances)
+        for j, name in enumerate(names)
+    ]
+    grid: List[List[SolveReport]] = [
+        [None] * len(names) for _ in range(len(instances))  # type: ignore[list-item]
+    ]
+
+    if workers is not None and workers > 1 and len(jobs) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(solve, instance, name, **kwargs): (i, j)
+                for i, j, instance, name in jobs
+            }
+            for future, (i, j) in futures.items():
+                grid[i][j] = future.result()
+    else:
+        for i, j, instance, name in jobs:
+            grid[i][j] = solve(instance, name, **kwargs)
+
+    if single:
+        return [row[0] for row in grid]
+    return grid

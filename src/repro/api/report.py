@@ -1,0 +1,105 @@
+"""The canonical result type every registered solver returns.
+
+Historically each solver family had its own result dataclass (``SNEResult``,
+``AONResult``, ``SNDResult``, ``Theorem6Result``, ``CombinatorialSNEResult``)
+with diverging field names and no shared notion of budget, certificate, or
+timing.  :class:`SolveReport` is the one shape the :mod:`repro.api` facade
+returns for all of them; method-specific bookkeeping (cutting-plane rounds,
+branch-and-bound nodes, decomposition levels, ...) lives in ``metadata``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.graphs.graph import Edge
+from repro.subsidies.assignment import SubsidyAssignment
+
+#: tolerance for the budget == sum-of-subsidies invariant
+_BUDGET_TOL = 1e-9
+
+
+@dataclass
+class SolveReport:
+    """Canonical outcome of one solver run.
+
+    Invariants (checked in ``__post_init__``):
+
+    * ``budget_used`` equals ``subsidies.cost`` (up to round-off),
+    * a ``verified`` report is necessarily ``feasible``.
+    """
+
+    #: canonical registry name of the solver that produced this report
+    solver: str
+    #: problem family: ``"sne"``, ``"aon-sne"`` or ``"snd"``
+    problem: str
+    #: the subsidy assignment (empty when infeasible)
+    subsidies: SubsidyAssignment
+    #: total subsidies spent (``b(E)``); always ``subsidies.cost``
+    budget_used: float
+    #: established edges of the target state (tree edges for broadcast)
+    target_edges: Tuple[Edge, ...]
+    #: ``wgt`` of the target edges (social cost of the enforced state)
+    target_cost: float
+    #: the solver produced a valid assignment for the instance
+    feasible: bool
+    #: the exact equilibrium checker certified the subsidized target state
+    verified: bool
+    #: the solver proved optimality (vs. heuristic / incomplete search)
+    optimal: bool
+    #: method-specific bookkeeping; values must stay JSON-serializable
+    metadata: Dict[str, object] = field(default_factory=dict)
+    #: wall-clock seconds spent inside the adapter
+    wall_clock_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        gap = abs(self.budget_used - self.subsidies.cost)
+        if gap > _BUDGET_TOL * max(1.0, abs(self.budget_used)):
+            raise ValueError(
+                f"budget_used {self.budget_used!r} != subsidies.cost "
+                f"{self.subsidies.cost!r}"
+            )
+        if self.verified and not self.feasible:
+            raise ValueError("a verified report must be feasible")
+
+    # -- derived quantities -------------------------------------------------
+
+    def fraction_of_target(self) -> float:
+        """Subsidy cost as a fraction of ``wgt(T)`` (0 for empty targets)."""
+        return self.budget_used / self.target_cost if self.target_cost > 0 else 0.0
+
+    def comparable(self) -> Dict[str, object]:
+        """Everything except wall-clock time, as plain data.
+
+        Two runs of a deterministic solver on the same instance agree on
+        this dict; ``solve_many`` tests use it to check parallel == serial.
+        """
+        return {
+            "solver": self.solver,
+            "problem": self.problem,
+            "subsidies": {e: b for e, b in self.subsidies.items()},
+            "budget_used": self.budget_used,
+            "target_edges": tuple(self.target_edges),
+            "target_cost": self.target_cost,
+            "feasible": self.feasible,
+            "verified": self.verified,
+            "optimal": self.optimal,
+            "metadata": dict(self.metadata),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SolveReport):
+            return NotImplemented
+        return self.comparable() == other.comparable()
+
+    def summary(self) -> str:
+        """One-line human rendering (used by the CLI's text output)."""
+        status = "verified" if self.verified else ("feasible" if self.feasible else "INFEASIBLE")
+        tag = "exact" if self.optimal else "heuristic"
+        return (
+            f"[{self.solver}] {self.problem}: budget {self.budget_used:.6g} "
+            f"on target wgt {self.target_cost:.6g} "
+            f"({self.fraction_of_target():.1%}) — {status}, {tag}, "
+            f"{self.wall_clock_seconds * 1e3:.1f} ms"
+        )

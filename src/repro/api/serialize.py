@@ -1,0 +1,256 @@
+"""JSON (de)serialization for graphs, games, subsidies and solve reports.
+
+Instances and results can cross process / service boundaries: every
+``*_to_json`` returns a plain JSON-compatible dict, and the matching
+``*_from_json`` reconstructs an equal object (accepting either the dict or
+its ``json.dumps`` string).  Python's ``json`` round-trips floats exactly
+(shortest-repr), so costs and subsidies survive bit-for-bit.
+
+Graph nodes are arbitrary hashables in this codebase (the hardness gadgets
+use tuples and strings), so nodes are encoded as small tagged lists::
+
+    5            -> ["i", 5]          "s3"   -> ["s", "s3"]
+    2.5          -> ["f", 2.5]        True   -> ["b", true]
+    None         -> ["z"]             (u, v) -> ["t", [enc(u), enc(v)]]
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.games.broadcast import BroadcastGame
+from repro.games.game import NetworkDesignGame
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+from repro.subsidies.assignment import SubsidyAssignment
+from repro.api.report import SolveReport
+
+JSONDict = Dict[str, Any]
+AnyGame = Union[BroadcastGame, NetworkDesignGame]
+
+
+# ---------------------------------------------------------------------------
+# Nodes
+# ---------------------------------------------------------------------------
+
+
+def encode_node(node: Node) -> List[Any]:
+    """Encode one node as a tagged JSON list."""
+    if node is None:
+        return ["z"]
+    if isinstance(node, bool):  # before int: bool is an int subclass
+        return ["b", node]
+    if isinstance(node, (int, np.integer)):  # numpy labels from the generators
+        return ["i", int(node)]
+    if isinstance(node, (float, np.floating)):
+        return ["f", float(node)]
+    if isinstance(node, str):
+        return ["s", node]
+    if isinstance(node, tuple):
+        return ["t", [encode_node(x) for x in node]]
+    raise TypeError(f"cannot JSON-encode node of type {type(node).__name__}: {node!r}")
+
+
+def decode_node(data: List[Any]) -> Node:
+    """Inverse of :func:`encode_node`."""
+    tag = data[0]
+    if tag == "z":
+        return None
+    if tag in ("b", "i", "f", "s"):
+        return data[1]
+    if tag == "t":
+        return tuple(decode_node(x) for x in data[1])
+    raise ValueError(f"unknown node tag {tag!r}")
+
+
+def _encode_edge(edge: Edge) -> List[Any]:
+    u, v = canonical_edge(*edge)
+    return [encode_node(u), encode_node(v)]
+
+
+def _decode_edge(data: List[Any]) -> Edge:
+    return canonical_edge(decode_node(data[0]), decode_node(data[1]))
+
+
+def _as_dict(data: Union[str, JSONDict], expected_kind: str) -> JSONDict:
+    if isinstance(data, str):
+        data = json.loads(data)
+    if not isinstance(data, dict):
+        raise ValueError(f"expected a JSON object for {expected_kind!r}")
+    kind = data.get("kind")
+    if kind != expected_kind:
+        raise ValueError(f"expected kind {expected_kind!r}, got {kind!r}")
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Graphs
+# ---------------------------------------------------------------------------
+
+
+def graph_to_json(graph: Graph) -> JSONDict:
+    return {
+        "kind": "graph",
+        "nodes": [encode_node(u) for u in graph.nodes],
+        "edges": [[encode_node(u), encode_node(v), w] for u, v, w in graph.edges()],
+    }
+
+
+def graph_from_json(data: Union[str, JSONDict]) -> Graph:
+    data = _as_dict(data, "graph")
+    g = Graph()
+    for enc in data["nodes"]:
+        g.add_node(decode_node(enc))
+    for enc_u, enc_v, w in data["edges"]:
+        g.add_edge(decode_node(enc_u), decode_node(enc_v), w)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Games
+# ---------------------------------------------------------------------------
+
+
+def game_to_json(game: AnyGame) -> JSONDict:
+    """Serialize either game model (dispatch on type)."""
+    if isinstance(game, BroadcastGame):
+        return {
+            "kind": "broadcast-game",
+            "graph": graph_to_json(game.graph),
+            "root": encode_node(game.root),
+            "multiplicity": [
+                [encode_node(u), k] for u, k in game.multiplicity.items()
+            ],
+        }
+    if isinstance(game, NetworkDesignGame):
+        return {
+            "kind": "network-design-game",
+            "graph": graph_to_json(game.graph),
+            "pairs": [
+                [encode_node(p.source), encode_node(p.target)] for p in game.players
+            ],
+        }
+    raise TypeError(f"cannot serialize game of type {type(game).__name__}")
+
+
+def game_from_json(data: Union[str, JSONDict]) -> AnyGame:
+    """Reconstruct a game of either model (dispatch on ``kind``)."""
+    if isinstance(data, str):
+        data = json.loads(data)
+    if not isinstance(data, dict):
+        raise ValueError("expected a JSON object for a game")
+    kind = data.get("kind")
+    if kind == "broadcast-game":
+        graph = graph_from_json(data["graph"])
+        multiplicity = {decode_node(enc): k for enc, k in data["multiplicity"]}
+        return BroadcastGame(graph, decode_node(data["root"]), multiplicity)
+    if kind == "network-design-game":
+        graph = graph_from_json(data["graph"])
+        pairs = [(decode_node(s), decode_node(t)) for s, t in data["pairs"]]
+        return NetworkDesignGame(graph, pairs)
+    raise ValueError(f"unknown game kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Subsidies
+# ---------------------------------------------------------------------------
+
+
+def subsidies_to_json(subsidies: SubsidyAssignment) -> JSONDict:
+    return {
+        "kind": "subsidies",
+        "values": [[*_encode_edge(e), b] for e, b in subsidies.items()],
+    }
+
+
+def subsidies_from_json(data: Union[str, JSONDict], graph: Graph) -> SubsidyAssignment:
+    data = _as_dict(data, "subsidies")
+    values: Dict[Edge, float] = {}
+    for enc_u, enc_v, b in data["values"]:
+        values[canonical_edge(decode_node(enc_u), decode_node(enc_v))] = b
+    return SubsidyAssignment(graph, values)
+
+
+# ---------------------------------------------------------------------------
+# Solve reports
+# ---------------------------------------------------------------------------
+
+
+def report_to_json(report: SolveReport) -> JSONDict:
+    """Serialize a report (self-contained: embeds the instance graph)."""
+    return {
+        "kind": "solve-report",
+        "graph": graph_to_json(report.subsidies.graph),
+        "solver": report.solver,
+        "problem": report.problem,
+        "subsidies": subsidies_to_json(report.subsidies),
+        "budget_used": report.budget_used,
+        "target_edges": [_encode_edge(e) for e in report.target_edges],
+        "target_cost": report.target_cost,
+        "feasible": report.feasible,
+        "verified": report.verified,
+        "optimal": report.optimal,
+        "metadata": dict(report.metadata),
+        "wall_clock_seconds": report.wall_clock_seconds,
+    }
+
+
+def report_from_json(data: Union[str, JSONDict]) -> SolveReport:
+    data = _as_dict(data, "solve-report")
+    graph = graph_from_json(data["graph"])
+    return SolveReport(
+        solver=data["solver"],
+        problem=data["problem"],
+        subsidies=subsidies_from_json(data["subsidies"], graph),
+        budget_used=data["budget_used"],
+        target_edges=tuple(_decode_edge(e) for e in data["target_edges"]),
+        target_cost=data["target_cost"],
+        feasible=data["feasible"],
+        verified=data["verified"],
+        optimal=data["optimal"],
+        metadata=dict(data["metadata"]),
+        wall_clock_seconds=data["wall_clock_seconds"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Convenience string front-ends
+# ---------------------------------------------------------------------------
+
+
+def dumps(obj: Union[Graph, AnyGame, SolveReport, SubsidyAssignment], **kwargs: Any) -> str:
+    """``json.dumps`` any serializable object (dispatch on type)."""
+    if isinstance(obj, Graph):
+        payload: Mapping[str, Any] = graph_to_json(obj)
+    elif isinstance(obj, (BroadcastGame, NetworkDesignGame)):
+        payload = game_to_json(obj)
+    elif isinstance(obj, SolveReport):
+        payload = report_to_json(obj)
+    elif isinstance(obj, SubsidyAssignment):
+        payload = subsidies_to_json(obj)
+    else:
+        raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
+    return json.dumps(payload, **kwargs)
+
+
+_LOADERS = {
+    "graph": graph_from_json,
+    "broadcast-game": game_from_json,
+    "network-design-game": game_from_json,
+    "solve-report": report_from_json,
+}
+
+
+def loads(text: Union[str, JSONDict]) -> Union[Graph, AnyGame, SolveReport]:
+    """Inverse of :func:`dumps` for self-contained payloads.
+
+    Subsidies are not self-contained (they validate against a graph), so
+    use :func:`subsidies_from_json` for those.
+    """
+    data = json.loads(text) if isinstance(text, str) else text
+    kind = data.get("kind") if isinstance(data, dict) else None
+    if kind not in _LOADERS:
+        raise ValueError(f"cannot deserialize payload of kind {kind!r}")
+    return _LOADERS[kind](data)

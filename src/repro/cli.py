@@ -4,16 +4,23 @@ Usage::
 
     repro-experiments list
     repro-experiments run E3 [--seed 7]
-    repro-experiments run all [--seed 7]
+    repro-experiments run all [--seed 7]           # tolerant sweep + timings
+    repro-experiments solvers                      # the repro.api registry
+    repro-experiments gen --n 10 --count 3 --out instances.json
+    repro-experiments solve instances.json --solver sne-lp3 --json
+    repro-experiments solve-batch instances.json --solver sne-lp3 \
+        --solver theorem6 --workers 4 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
-from repro.experiments import EXPERIMENTS, run_all, run_experiment
+from repro import api
+from repro.experiments import EXPERIMENTS, run_all_tolerant, run_experiment
 
 _DESCRIPTIONS = {
     "E1": "Theorem 1: LP formulations (1)/(2)/(3) agree",
@@ -42,13 +49,179 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser("solvers", help="list the repro.api solver registry")
+
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
     run_p.add_argument("experiment", help="experiment id (E1..E11, A1, A2) or 'all'")
     run_p.add_argument("--seed", type=int, default=0, help="base RNG seed")
     run_p.add_argument(
         "--out", default=None, help="also write the report to this file"
     )
+
+    gen_p = sub.add_parser(
+        "gen", help="generate random broadcast instances as a JSON file"
+    )
+    gen_p.add_argument("--n", type=int, default=10, help="nodes per instance")
+    gen_p.add_argument(
+        "--chords", type=int, default=None, help="extra chords (default n // 2)"
+    )
+    gen_p.add_argument("--count", type=int, default=1, help="number of instances")
+    gen_p.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    gen_p.add_argument("--out", default=None, help="output file (default stdout)")
+
+    solve_p = sub.add_parser("solve", help="solve one instance via the registry")
+    solve_p.add_argument("instance", help="instance JSON file ('-' for stdin)")
+    solve_p.add_argument(
+        "--solver", required=True, help="registry solver name (see 'solvers')"
+    )
+    solve_p.add_argument("--budget", type=float, default=None, help="SND budget")
+    solve_p.add_argument("--method", default=None, help="LP backend (highs/simplex)")
+    solve_p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    solve_p.add_argument("--out", default=None, help="also write output to this file")
+
+    batch_p = sub.add_parser(
+        "solve-batch", help="solve an instance sweep via solve_many"
+    )
+    batch_p.add_argument("instances", help="instances JSON file ('-' for stdin)")
+    batch_p.add_argument(
+        "--solver",
+        action="append",
+        required=True,
+        help="registry solver name (repeatable)",
+    )
+    batch_p.add_argument(
+        "--workers", type=int, default=1, help="thread-pool size (1 = serial)"
+    )
+    batch_p.add_argument("--budget", type=float, default=None, help="SND budget")
+    batch_p.add_argument("--method", default=None, help="LP backend (highs/simplex)")
+    batch_p.add_argument("--json", action="store_true", help="emit reports as JSON")
+    batch_p.add_argument("--out", default=None, help="also write output to this file")
     return parser
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    print(text)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+
+
+def _read_payload(path: str) -> Any:
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _load_instances(path: str) -> List[Any]:
+    """Read one game or a whole instance set from a JSON file."""
+    data = _read_payload(path)
+    if isinstance(data, dict) and data.get("kind") == "instance-set":
+        data = data["instances"]
+    if isinstance(data, dict):
+        data = [data]
+    return [api.serialize.game_from_json(entry) for entry in data]
+
+
+def _solver_opts(args: argparse.Namespace) -> dict:
+    opts: dict = {}
+    if args.budget is not None:
+        opts["budget"] = args.budget
+    if args.method is not None:
+        opts["method"] = args.method
+    return opts
+
+
+def _cmd_solvers() -> int:
+    for spec in api.list_solvers():
+        flags = []
+        flags.append("exact" if spec.exact else "heuristic")
+        if spec.broadcast_only:
+            flags.append("broadcast-only")
+        if spec.requires_tree_state:
+            flags.append("tree-state")
+        alias = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(
+            f"{spec.name:18s} {spec.problem:8s} [{', '.join(flags)}] "
+            f"{spec.description}{alias}"
+        )
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.games.broadcast import BroadcastGame
+    from repro.graphs.generators import random_tree_plus_chords
+
+    chords = args.chords if args.chords is not None else args.n // 2
+    instances = []
+    for i in range(args.count):
+        g = random_tree_plus_chords(args.n, chords, seed=args.seed + i, chord_factor=1.1)
+        instances.append(api.serialize.game_to_json(BroadcastGame(g, root=0)))
+    payload = {"kind": "instance-set", "instances": instances}
+    _emit(json.dumps(payload, indent=2), args.out)
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instances = _load_instances(args.instance)
+    if len(instances) != 1:
+        print(
+            f"'solve' expects exactly one instance, got {len(instances)} "
+            "(use solve-batch for sweeps)",
+            file=sys.stderr,
+        )
+        return 2
+    report = api.solve(instances[0], solver=args.solver, **_solver_opts(args))
+    if args.json:
+        _emit(json.dumps(api.serialize.report_to_json(report), indent=2), args.out)
+    else:
+        _emit(report.summary(), args.out)
+    return 0 if report.feasible else 1
+
+
+def _cmd_solve_batch(args: argparse.Namespace) -> int:
+    instances = _load_instances(args.instances)
+    grid = api.solve_many(
+        instances, args.solver, workers=args.workers, opts=_solver_opts(args)
+    )
+    if args.json:
+        payload = [
+            [api.serialize.report_to_json(report) for report in row] for row in grid
+        ]
+        _emit(json.dumps(payload, indent=2), args.out)
+    else:
+        lines = []
+        for i, row in enumerate(grid):
+            for report in row:
+                lines.append(f"instance {i}: {report.summary()}")
+        _emit("\n".join(lines), args.out)
+    return 0 if all(r.feasible for row in grid for r in row) else 1
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    """Tolerant sweep: report per-experiment timing, survive failures."""
+    items = run_all_tolerant(seed=args.seed)
+    chunks = []
+    for item in items:
+        if item.ok:
+            assert item.result is not None
+            chunks.append(item.result.to_text())
+        else:
+            chunks.append(
+                f"[{item.experiment_id}] FAILED after {item.elapsed_seconds:.2f}s: "
+                f"{type(item.error).__name__}: {item.error}"
+            )
+    summary = ["", "== sweep summary =="]
+    for item in items:
+        status = "ok" if item.ok else "FAILED"
+        summary.append(f"{item.experiment_id:4s} {status:6s} {item.elapsed_seconds:8.2f}s")
+    failures = [i for i in items if not i.ok]
+    summary.append(
+        f"{len(items) - len(failures)}/{len(items)} experiments passed, "
+        f"total {sum(i.elapsed_seconds for i in items):.2f}s"
+    )
+    _emit("\n\n".join(chunks) + "\n" + "\n".join(summary), args.out)
+    return 1 if failures else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -57,23 +230,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         for key in EXPERIMENTS:
             print(f"{key:4s} {_DESCRIPTIONS.get(key, '')}")
         return 0
+    if args.command == "solvers":
+        return _cmd_solvers()
+    if args.command in ("gen", "solve", "solve-batch"):
+        handler = {
+            "gen": _cmd_gen,
+            "solve": _cmd_solve,
+            "solve-batch": _cmd_solve_batch,
+        }[args.command]
+        try:
+            return handler(args)
+        except BrokenPipeError:
+            # Downstream consumer (e.g. `| head`) closed stdout: not a user
+            # error.  Conventional SIGPIPE exit, no message.
+            return 141
+        except json.JSONDecodeError as exc:
+            print(f"error: invalid JSON in instance file: {exc}", file=sys.stderr)
+            return 2
+        except (api.UnknownSolverError, ValueError, TypeError, OSError) as exc:
+            # User errors (bad name, bad file, bad option combination) get a
+            # clean message instead of a traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except KeyError as exc:
+            # Plain KeyError (UnknownSolverError is handled above): a payload
+            # with the right kind but missing fields.
+            print(
+                f"error: malformed instance payload: missing field {exc.args[0]!r}",
+                file=sys.stderr,
+            )
+            return 2
 
-    def emit(chunks: List[str]) -> None:
-        text = "\n\n".join(chunks)
-        print(text)
-        if args.out:
-            with open(args.out, "w") as fh:
-                fh.write(text + "\n")
-
+    # command == "run"
     if args.experiment.lower() == "all":
-        emit([r.to_text() for r in run_all(seed=args.seed)])
-        return 0
+        return _cmd_run_all(args)
     try:
         result = run_experiment(args.experiment, seed=args.seed)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    emit([result.to_text()])
+    _emit(result.to_text(), args.out)
     return 0
 
 

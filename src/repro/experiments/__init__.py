@@ -9,12 +9,20 @@ paper-vs-measured comparison in EXPERIMENTS.md can be regenerated verbatim.
 
 from repro.experiments.records import ExperimentResult
 from repro.experiments.tables import render_table
-from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    SweepItem,
+    run_all,
+    run_all_tolerant,
+    run_experiment,
+)
 
 __all__ = [
     "ExperimentResult",
     "render_table",
     "EXPERIMENTS",
+    "SweepItem",
     "run_all",
+    "run_all_tolerant",
     "run_experiment",
 ]

@@ -15,12 +15,12 @@ Two design choices carry the upper bound:
 
 from __future__ import annotations
 
+from repro.api import solve
 from repro.bounds.harmonic import harmonic
 from repro.bounds.instances import theorem11_cycle_instance
 from repro.experiments.records import ExperimentResult
 from repro.games.broadcast import BroadcastGame
 from repro.graphs.graph import Graph
-from repro.subsidies import solve_sne_broadcast_lp3, theorem6_subsidies
 from repro.subsidies.theorem6 import _level_subsidies
 from repro.utils.timing import Timer
 
@@ -50,7 +50,7 @@ def run(seed: int = 0, sizes=(8, 16, 32, 64)) -> ExperimentResult:
     with Timer() as t:
         for n in sizes:
             _, state = theorem11_cycle_instance(n)
-            least = solve_sne_broadcast_lp3(state).cost  # = least-crowded packing
+            least = solve(state, solver="sne-lp3").budget_used  # = least-crowded packing
             most = _cycle_cost_most_crowded(n)
             uniform = _cycle_cost_uniform(n)
             rows.append(
@@ -70,7 +70,7 @@ def run(seed: int = 0, sizes=(8, 16, 32, 64)) -> ExperimentResult:
         )
         game = BroadcastGame(g, root=0)
         state = game.mst_state()
-        decomposed = theorem6_subsidies(state)
+        decomposed = solve(state, solver="theorem6")
         # Naive single level: all positive tree edges heavy at c = w_max.
         w_max = max(game.graph.weight(*e) for e in state.edges)
         heavy = {e for e in state.edges if game.graph.weight(*e) > 0}
@@ -79,10 +79,10 @@ def run(seed: int = 0, sizes=(8, 16, 32, 64)) -> ExperimentResult:
             {
                 "ablation": "decomposition",
                 "n": game.n_players,
-                "least_crowded": decomposed.cost / state.social_cost(),
+                "least_crowded": decomposed.budget_used / state.social_cost(),
                 "uniform": float("nan"),
                 "most_crowded": naive_total / state.social_cost(),
-                "penalty_most/least": naive_total / decomposed.cost,
+                "penalty_most/least": naive_total / decomposed.budget_used,
             }
         )
     result = ExperimentResult(

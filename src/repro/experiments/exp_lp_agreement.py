@@ -3,19 +3,16 @@
 For random broadcast games the optimal subsidy cost from LP (3), the
 polynomial LP (2) and the cutting-plane LP (1) must coincide, and the
 cutting-plane method should converge in a handful of rounds (the practical
-face of the paper's separation-oracle argument).
+face of the paper's separation-oracle argument).  All solvers run through
+the :mod:`repro.api` registry.
 """
 
 from __future__ import annotations
 
+from repro.api import solve
 from repro.experiments.records import ExperimentResult
 from repro.games.broadcast import BroadcastGame
 from repro.graphs.generators import random_tree_plus_chords
-from repro.subsidies import (
-    solve_sne_broadcast_lp3,
-    solve_sne_cutting_plane_lp1,
-    solve_sne_polynomial_lp2,
-)
 from repro.utils.timing import Timer
 
 
@@ -27,19 +24,22 @@ def run(seed: int = 0, sizes=(6, 10, 14, 18, 24)) -> ExperimentResult:
             g = random_tree_plus_chords(n, n // 2, seed=seed + i, chord_factor=1.2)
             game = BroadcastGame(g, root=0)
             state = game.mst_state()
-            r3 = solve_sne_broadcast_lp3(state)
-            r2 = solve_sne_polynomial_lp2(state)
-            r1 = solve_sne_cutting_plane_lp1(state)
-            gap = max(abs(r3.cost - r2.cost), abs(r3.cost - r1.cost))
+            r3 = solve(state, solver="sne-lp3")
+            r2 = solve(state, solver="sne-poly")
+            r1 = solve(state, solver="sne-cutting-plane")
+            gap = max(
+                abs(r3.budget_used - r2.budget_used),
+                abs(r3.budget_used - r1.budget_used),
+            )
             max_gap = max(max_gap, gap)
             rows.append(
                 {
                     "n": n,
-                    "lp3_cost": r3.cost,
-                    "lp2_cost": r2.cost,
-                    "lp1_cost": r1.cost,
-                    "lp1_rounds": r1.rounds,
-                    "lp1_cuts": r1.cuts,
+                    "lp3_cost": r3.budget_used,
+                    "lp2_cost": r2.budget_used,
+                    "lp1_cost": r1.budget_used,
+                    "lp1_rounds": r1.metadata["rounds"],
+                    "lp1_cuts": r1.metadata["cuts"],
                     "all_verified": r1.verified and r2.verified and r3.verified,
                 }
             )

@@ -3,17 +3,18 @@
 Exact SND on small instances: the achievable social cost is non-increasing
 in the budget, reaches the MST weight once the budget passes the LP-optimal
 enforcement cost (at most wgt(MST)/e by Theorem 6), and the heuristic
-tracks the exact front.
+tracks the exact front.  Both design solvers run through the
+:mod:`repro.api` registry.
 """
 
 from __future__ import annotations
 
 import math
 
+from repro.api import solve
 from repro.experiments.records import ExperimentResult
 from repro.games.broadcast import BroadcastGame
 from repro.graphs.generators import random_tree_plus_chords
-from repro.subsidies import snd_heuristic, solve_snd_exact, solve_sne_broadcast_lp3
 from repro.utils.timing import Timer
 
 
@@ -23,7 +24,7 @@ def _interesting_instance(seed: int, n: int) -> BroadcastGame:
     for offset in range(64):
         g = random_tree_plus_chords(n, n // 2, seed=seed + offset, chord_factor=1.05)
         game = BroadcastGame(g, root=0)
-        cost = solve_sne_broadcast_lp3(game.mst_state()).cost
+        cost = solve(game.mst_state(), solver="sne-lp3").budget_used
         if cost > 0.02 * game.mst_weight():
             return game
     return game  # fall back to the last candidate
@@ -32,26 +33,26 @@ def _interesting_instance(seed: int, n: int) -> BroadcastGame:
 def run(seed: int = 0, n: int = 7, budget_fracs=(0.0, 0.05, 0.1, 0.2, 1 / math.e, 0.6)) -> ExperimentResult:
     game = _interesting_instance(seed, n)
     mst_w = game.mst_weight()
-    mst_cost = solve_sne_broadcast_lp3(game.mst_state()).cost
+    mst_cost = solve(game.mst_state(), solver="sne-lp3").budget_used
     rows = []
     monotone = True
     prev = math.inf
     with Timer() as t:
         for frac in budget_fracs:
             budget = frac * mst_w
-            exact = solve_snd_exact(game, budget=budget)
-            heur = snd_heuristic(game, budget=budget)
-            assert exact is not None
-            monotone &= exact.weight <= prev + 1e-9
-            prev = exact.weight
+            exact = solve(game, solver="snd-exact", budget=budget)
+            heur = solve(game, solver="snd-local-search", budget=budget)
+            assert exact.feasible
+            monotone &= exact.target_cost <= prev + 1e-9
+            prev = exact.target_cost
             rows.append(
                 {
                     "budget/wgt(MST)": frac,
-                    "exact_weight": exact.weight,
-                    "exact_subsidy": exact.subsidy_cost,
-                    "heuristic_weight": heur.weight,
-                    "heuristic_method": heur.method,
-                    "mst_reached": abs(exact.weight - mst_w) < 1e-9,
+                    "exact_weight": exact.target_cost,
+                    "exact_subsidy": exact.budget_used,
+                    "heuristic_weight": heur.target_cost,
+                    "heuristic_method": heur.metadata["method"],
+                    "mst_reached": abs(exact.target_cost - mst_w) < 1e-9,
                 }
             )
     result = ExperimentResult(

@@ -2,23 +2,23 @@
 
 On every instance family the per-level accounting lands on wgt(T_j)/e, the
 composed assignment enforces the MST, and the LP optimum is never above the
-constructive cost (it is the optimum, after all).
+constructive cost (it is the optimum, after all).  Both solvers run through
+the :mod:`repro.api` registry.
 """
 
 from __future__ import annotations
 
 import math
 
+from repro.api import solve
 from repro.experiments.records import ExperimentResult
 from repro.games.broadcast import BroadcastGame
-from repro.games.equilibrium import check_equilibrium
 from repro.graphs.generators import (
     grid_graph,
     random_connected_gnp,
     random_geometric_graph,
     random_tree_plus_chords,
 )
-from repro.subsidies import solve_sne_broadcast_lp3, theorem6_subsidies
 from repro.utils.timing import Timer
 
 
@@ -35,19 +35,18 @@ def run(seed: int = 0) -> ExperimentResult:
         for name, g in families:
             game = BroadcastGame(g, root=0)
             state = game.mst_state()
-            res = theorem6_subsidies(state)
-            lp = solve_sne_broadcast_lp3(state)
-            enforced = check_equilibrium(state, res.subsidies, tol=1e-7).is_equilibrium
+            res = solve(state, solver="theorem6")
+            lp = solve(state, solver="sne-lp3")
             rows.append(
                 {
                     "family": name,
                     "wgt(T)": state.social_cost(),
-                    "constructive": res.cost,
-                    "fraction": res.fraction,
-                    "lp_optimum": lp.cost,
-                    "lp_fraction": lp.cost / state.social_cost(),
-                    "levels": len(res.levels),
-                    "enforced": enforced,
+                    "constructive": res.budget_used,
+                    "fraction": res.metadata["fraction"],
+                    "lp_optimum": lp.budget_used,
+                    "lp_fraction": lp.budget_used / state.social_cost(),
+                    "levels": res.metadata["levels"],
+                    "enforced": res.verified,
                 }
             )
     result = ExperimentResult(

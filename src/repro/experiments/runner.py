@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.utils.timing import Timer
 
 from repro.experiments.records import ExperimentResult
 from repro.experiments import (
@@ -50,5 +53,37 @@ def run_experiment(experiment_id: str, seed: int = 0) -> ExperimentResult:
 
 
 def run_all(seed: int = 0) -> List[ExperimentResult]:
-    """Run every experiment in id order."""
+    """Run every experiment in id order (aborts on the first failure)."""
     return [EXPERIMENTS[k](seed=seed) for k in EXPERIMENTS]
+
+
+@dataclass
+class SweepItem:
+    """Outcome of one experiment inside a failure-tolerant sweep."""
+
+    experiment_id: str
+    result: Optional[ExperimentResult]
+    error: Optional[BaseException]
+    elapsed_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_all_tolerant(seed: int = 0) -> List[SweepItem]:
+    """Run every experiment, continuing past failures.
+
+    Each item records the per-experiment wall-clock time and, when the
+    experiment raised, the exception instead of a result.  The CLI uses
+    this for ``run all`` so one broken experiment cannot hide the rest.
+    """
+    items: List[SweepItem] = []
+    for key in EXPERIMENTS:
+        with Timer() as t:
+            try:
+                result, error = EXPERIMENTS[key](seed=seed), None
+            except Exception as exc:  # noqa: BLE001 - sweep must survive anything
+                result, error = None, exc
+        items.append(SweepItem(key, result, error, t.elapsed))
+    return items

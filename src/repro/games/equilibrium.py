@@ -70,7 +70,7 @@ def best_response(
     """
     game = state.game
     player = game.players[player_index]
-    own_edges = set(state.edge_paths[player_index])
+    own_edges = state.edge_sets[player_index]
 
     def weight_fn(u: Node, v: Node) -> float:
         e = canonical_edge(u, v)

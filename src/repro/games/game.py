@@ -10,7 +10,7 @@ paper): ``cost_i(T; b) = sum_{a in T_i} (w_a - b_a) / n_a(T)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graphs.graph import Edge, Graph, Node, canonical_edge
 
@@ -49,6 +49,7 @@ class State:
         self.game = game
         self.node_paths: List[Tuple[Node, ...]] = []
         self.edge_paths: List[Tuple[Edge, ...]] = []
+        self.edge_sets: List[FrozenSet[Edge]] = []
         usage: Dict[Edge, int] = {}
         for player, nodes in zip(game.players, node_paths):
             nodes = tuple(nodes)
@@ -63,6 +64,7 @@ class State:
                     raise ValueError(f"path uses non-edge {(u, v)!r}")
             self.node_paths.append(nodes)
             self.edge_paths.append(edges)
+            self.edge_sets.append(frozenset(edges))
             for e in edges:
                 usage[e] = usage.get(e, 0) + 1
         self.usage: Dict[Edge, int] = usage
@@ -79,8 +81,8 @@ class State:
         return sum(g.weight(u, v) for u, v in self.usage)
 
     def uses(self, player_index: int, edge: Edge) -> bool:
-        """``n_a^i(T)`` as a boolean."""
-        return edge in set(self.edge_paths[player_index])
+        """``n_a^i(T)`` as a boolean (precomputed frozenset: hot path)."""
+        return edge in self.edge_sets[player_index]
 
     def player_cost(self, player_index: int, subsidies: Optional[Subsidies] = None) -> float:
         """``cost_i(T; b)`` — the player's fair share along her path."""

@@ -12,6 +12,15 @@ DESIGN solvers.
   the least-crowded greedy heuristic (Section 5).
 * :mod:`repro.subsidies.snd` — SND: exact small-instance solver and
   budgeted heuristics (Section 3 problem statement).
+
+.. deprecated:: 1.1
+    The per-solver entry points below remain as thin compatibility shims;
+    new code should go through the unified registry facade instead:
+    ``repro.api.solve(game_or_state, solver=name)`` with the names listed
+    by ``repro.api.list_solvers()`` (``"sne-lp3"``, ``"sne-poly"``,
+    ``"sne-cutting-plane"``, ``"theorem6"``, ``"aon-exact"``,
+    ``"aon-greedy"``, ``"snd-exact"``, ``"snd-local-search"``,
+    ``"combinatorial"``).
 """
 
 from repro.subsidies.assignment import SubsidyAssignment

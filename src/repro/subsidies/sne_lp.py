@@ -205,7 +205,7 @@ def solve_sne_cutting_plane_lp1(
     else:
         graph = state.game.graph
         player_items = [
-            (i, list(state.edge_paths[i]), set(state.edge_paths[i]))
+            (i, list(state.edge_paths[i]), state.edge_sets[i])
             for i in range(state.game.n_players)
         ]
         usage = dict(state.usage)
@@ -344,6 +344,12 @@ def solve_sne(
     verify: bool = True,
 ) -> SNEResult:
     """Solve the optimization version of SNE for a target state.
+
+    .. deprecated:: 1.1
+        Prefer the unified facade: ``repro.api.solve(state, solver="sne-lp3")``
+        (or ``"sne-poly"`` / ``"sne-cutting-plane"``), which returns a
+        canonical :class:`repro.api.SolveReport`.  This function remains as a
+        thin compatibility shim.
 
     ``formulation``: ``"lp3"`` (broadcast only), ``"lp2"``, ``"lp1"`` or
     ``"auto"`` (LP (3) for broadcast states, LP (1) otherwise).

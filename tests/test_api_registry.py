@@ -1,0 +1,105 @@
+"""The repro.api solver registry: listing, lookup, errors, registration."""
+
+import pytest
+
+from repro import api
+from repro.api.registry import PROBLEMS, register_solver
+
+EXPECTED_SOLVERS = {
+    "sne-lp3",
+    "sne-cutting-plane",
+    "sne-poly",
+    "theorem6",
+    "aon-exact",
+    "aon-greedy",
+    "snd-exact",
+    "snd-local-search",
+    "combinatorial",
+}
+
+
+class TestListing:
+    def test_all_builtins_registered(self):
+        assert set(api.solver_names()) >= EXPECTED_SOLVERS
+        assert len(api.solver_names()) >= 9
+
+    def test_list_solvers_sorted_and_complete(self):
+        specs = api.list_solvers()
+        assert [s.name for s in specs] == sorted(
+            (s.name for s in specs), key=lambda n: (api.get_solver(n).problem, n)
+        )
+        assert {s.name for s in specs} == set(api.solver_names())
+
+    def test_filter_by_problem(self):
+        snd = api.list_solvers(problem="snd")
+        assert {s.name for s in snd} == {"snd-exact", "snd-local-search"}
+        for s in api.list_solvers():
+            assert s.problem in PROBLEMS
+
+    def test_capability_flags(self):
+        lp3 = api.get_solver("sne-lp3")
+        assert lp3.broadcast_only and lp3.requires_tree_state and lp3.exact
+        lp1 = api.get_solver("sne-cutting-plane")
+        assert not lp1.broadcast_only and not lp1.requires_tree_state
+        t6 = api.get_solver("theorem6")
+        assert not t6.exact  # 1/e guarantee, not per-instance optimal
+        snd = api.get_solver("snd-exact")
+        assert snd.broadcast_only and not snd.requires_tree_state
+
+    def test_every_spec_has_description(self):
+        for spec in api.list_solvers():
+            assert spec.description
+            assert callable(spec.fn)
+
+
+class TestLookup:
+    def test_aliases_resolve_to_canonical(self):
+        assert api.get_solver("sne-lp1").name == "sne-cutting-plane"
+        assert api.get_solver("sne-lp2").name == "sne-poly"
+        assert api.get_solver("snd-heuristic").name == "snd-local-search"
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(api.UnknownSolverError) as exc:
+            api.get_solver("sne-lp4")
+        msg = str(exc.value)
+        assert "sne-lp4" in msg
+        assert "did you mean" in msg
+
+    def test_unknown_solver_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            api.get_solver("nope")
+
+    def test_non_string_name_raises_type_error(self):
+        with pytest.raises(TypeError):
+            api.get_solver(3)
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_solver("sne-lp3", problem="sne", description="dup")(lambda x: x)
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_solver(
+                "brand-new", problem="sne", description="d", aliases=("sne-lp1",)
+            )(lambda x: x)
+
+    def test_bad_problem_rejected(self):
+        with pytest.raises(ValueError, match="problem"):
+            register_solver("x", problem="knapsack", description="d")
+
+    def test_decorator_returns_function_unchanged(self):
+        def fn(instance):
+            return None
+
+        try:
+            out = register_solver(
+                "test-tmp-solver", problem="sne", description="d"
+            )(fn)
+            assert out is fn
+            assert api.get_solver("test-tmp-solver").fn is fn
+        finally:
+            from repro.api import registry
+
+            registry._REGISTRY.pop("test-tmp-solver", None)

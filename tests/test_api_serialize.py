@@ -1,0 +1,124 @@
+"""JSON round-trips for graphs, games, subsidies and solve reports."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.api import serialize
+from repro.games.broadcast import BroadcastGame
+from repro.games.game import NetworkDesignGame
+from repro.graphs.generators import random_connected_gnp, random_tree_plus_chords
+from repro.graphs.graph import Graph
+
+
+def _graphs_equal(a: Graph, b: Graph) -> bool:
+    return a.node_set() == b.node_set() and dict(
+        ((u, v), w) for u, v, w in a.edges()
+    ) == dict(((u, v), w) for u, v, w in b.edges())
+
+
+class TestNodes:
+    @pytest.mark.parametrize("node", [0, -3, 2.5, "s17", True, None, ("c", 4, ("x",))])
+    def test_node_roundtrip(self, node):
+        enc = serialize.encode_node(node)
+        back = serialize.decode_node(json.loads(json.dumps(enc)))
+        assert back == node
+        assert type(back) is type(node)
+
+    def test_unsupported_node_type(self):
+        with pytest.raises(TypeError, match="cannot JSON-encode"):
+            serialize.encode_node(frozenset({1}))
+
+
+class TestGraphRoundtrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = random_connected_gnp(12, 0.3, seed=seed)
+        data = json.loads(json.dumps(serialize.graph_to_json(g)))
+        g2 = serialize.graph_from_json(data)
+        assert _graphs_equal(g, g2)
+
+    def test_tuple_and_string_nodes(self):
+        g = Graph.from_edges(
+            [(("v", 1), "root", 1.5), (("v", 2), "root", 0.25), (("v", 1), ("v", 2), 3.0)]
+        )
+        g.add_node(("iso", 0))
+        g2 = serialize.graph_from_json(serialize.graph_to_json(g))
+        assert _graphs_equal(g, g2)
+
+    def test_exact_float_weights(self):
+        g = Graph.from_edges([(0, 1, 0.1 + 0.2), (1, 2, 1 / 3)])
+        g2 = serialize.graph_from_json(serialize.graph_to_json(g))
+        assert g2.weight(0, 1) == g.weight(0, 1)  # bit-for-bit
+        assert g2.weight(1, 2) == g.weight(1, 2)
+
+    def test_kind_checked(self):
+        with pytest.raises(ValueError, match="kind"):
+            serialize.graph_from_json({"kind": "solve-report"})
+
+
+class TestGameRoundtrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_broadcast_game(self, seed):
+        g = random_tree_plus_chords(10, 5, seed=seed, chord_factor=1.2)
+        game = BroadcastGame(g, root=0, multiplicity={1: 2, 2: 0})
+        game2 = serialize.game_from_json(
+            json.loads(json.dumps(serialize.game_to_json(game)))
+        )
+        assert isinstance(game2, BroadcastGame)
+        assert game2.root == game.root
+        assert game2.multiplicity == game.multiplicity
+        assert _graphs_equal(game.graph, game2.graph)
+
+    def test_network_design_game(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 2.5)])
+        game = NetworkDesignGame(g, [(0, 2), (1, 2)])
+        game2 = serialize.game_from_json(serialize.game_to_json(game))
+        assert isinstance(game2, NetworkDesignGame)
+        assert [(p.source, p.target) for p in game2.players] == [(0, 2), (1, 2)]
+        assert _graphs_equal(game.graph, game2.graph)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown game kind"):
+            serialize.game_from_json({"kind": "chess"})
+
+
+class TestSubsidiesRoundtrip:
+    def test_roundtrip_preserves_values(self):
+        g = random_tree_plus_chords(10, 5, seed=3, chord_factor=1.1)
+        game = BroadcastGame(g, root=0)
+        sub = api.solve(game, solver="sne-lp3").subsidies
+        back = serialize.subsidies_from_json(
+            json.loads(json.dumps(serialize.subsidies_to_json(sub))), g
+        )
+        assert dict(back.items()) == dict(sub.items())
+        assert back.cost == sub.cost
+
+
+class TestReportRoundtrip:
+    @pytest.mark.parametrize("solver", ["sne-lp3", "theorem6", "snd-exact", "aon-greedy"])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_report_roundtrip_exact(self, solver, seed):
+        g = random_tree_plus_chords(8, 4, seed=seed, chord_factor=1.1)
+        game = BroadcastGame(g, root=0)
+        report = api.solve(game, solver=solver)
+        payload = serialize.report_to_json(report)
+        # Through an actual JSON string, as it would cross a service boundary.
+        report2 = serialize.report_from_json(json.loads(json.dumps(payload)))
+        assert report2 == report
+        assert report2.wall_clock_seconds == report.wall_clock_seconds
+        # And the re-serialization is byte-identical.
+        assert json.dumps(serialize.report_to_json(report2)) == json.dumps(payload)
+
+    def test_dumps_loads_dispatch(self):
+        g = random_tree_plus_chords(8, 4, seed=1, chord_factor=1.1)
+        game = BroadcastGame(g, root=0)
+        report = api.solve(game, solver="theorem6")
+        for obj in (g, game, report):
+            back = serialize.loads(serialize.dumps(obj))
+            assert type(back) is type(obj)
+        with pytest.raises(TypeError):
+            serialize.dumps(42)
+        with pytest.raises(ValueError):
+            serialize.loads('{"kind": "nope"}')

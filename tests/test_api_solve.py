@@ -1,0 +1,179 @@
+"""The repro.api facade: solve() across all solvers, report invariants,
+and solve_many parallel-vs-serial equality."""
+
+import math
+
+import pytest
+
+from repro import api
+from repro.api.report import SolveReport
+from repro.games.broadcast import BroadcastGame
+from repro.games.equilibrium import check_equilibrium
+from repro.games.game import NetworkDesignGame
+from repro.graphs.generators import random_tree_plus_chords
+from repro.graphs.graph import Graph
+from repro.subsidies.assignment import SubsidyAssignment
+
+
+@pytest.fixture(scope="module")
+def game():
+    g = random_tree_plus_chords(9, 4, seed=11, chord_factor=1.1)
+    return BroadcastGame(g, root=0)
+
+
+class TestSolveAllSolvers:
+    @pytest.mark.parametrize("name", [
+        "sne-lp3",
+        "sne-cutting-plane",
+        "sne-poly",
+        "theorem6",
+        "aon-exact",
+        "aon-greedy",
+        "snd-exact",
+        "snd-local-search",
+        "combinatorial",
+    ])
+    def test_every_solver_returns_a_report(self, game, name):
+        report = api.solve(game, solver=name)
+        assert isinstance(report, SolveReport)
+        assert report.solver == name
+        assert report.feasible
+        # Budget invariant: budget used == sum of subsidies.
+        assert report.budget_used == pytest.approx(report.subsidies.cost, abs=1e-12)
+        # Certificate consistency: verified reports really are equilibria.
+        if report.verified and report.problem != "snd":
+            state = game.mst_state()
+            assert check_equilibrium(state, report.subsidies, tol=1e-6).is_equilibrium
+        assert report.wall_clock_seconds >= 0.0
+        assert report.target_cost == pytest.approx(
+            game.graph.subset_weight(report.target_edges)
+        )
+
+    def test_lp_solvers_agree(self, game):
+        costs = [
+            api.solve(game, solver=n).budget_used
+            for n in ("sne-lp3", "sne-cutting-plane", "sne-poly")
+        ]
+        assert max(costs) - min(costs) < 1e-6
+
+    def test_theorem6_fraction(self, game):
+        report = api.solve(game, solver="theorem6")
+        assert report.fraction_of_target() == pytest.approx(1 / math.e, rel=1e-9)
+        assert report.metadata["levels"] >= 1
+
+    @pytest.mark.parametrize("name", ["sne-lp3", "sne-cutting-plane", "sne-poly"])
+    def test_skipped_verification_is_not_claimed(self, game, name):
+        report = api.solve(game, solver=name, verify=False)
+        assert report.feasible
+        assert not report.verified  # no checker run -> no certificate
+
+    def test_solver_opts_forwarded(self, game):
+        default = api.solve(game.mst_state(), solver="sne-lp3")
+        simplex = api.solve(game.mst_state(), solver="sne-lp3", method="simplex")
+        assert simplex.budget_used == pytest.approx(default.budget_used, abs=1e-6)
+
+    def test_snd_budget_zero_still_feasible(self, game):
+        report = api.solve(game, solver="snd-exact", budget=0.0)
+        assert report.feasible
+        assert report.budget_used <= 1e-9
+        assert report.problem == "snd"
+
+    def test_unknown_solver_raises(self, game):
+        with pytest.raises(api.UnknownSolverError):
+            api.solve(game, solver="definitely-not-a-solver")
+
+
+class TestInstanceCoercion:
+    def test_tree_state_and_game_give_same_answer(self, game):
+        via_game = api.solve(game, solver="sne-lp3")
+        via_state = api.solve(game.mst_state(), solver="sne-lp3")
+        assert via_game == via_state
+
+    def test_general_game_accepted_by_general_solvers(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.5)])
+        ndg = NetworkDesignGame(g, [(0, 2), (1, 2)])
+        report = api.solve(ndg, solver="sne-cutting-plane")
+        assert report.feasible
+        assert report.budget_used >= 0.0
+
+    def test_general_game_rejected_by_broadcast_solvers(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        ndg = NetworkDesignGame(g, [(0, 2)])
+        with pytest.raises(TypeError, match="TreeState|BroadcastGame"):
+            api.solve(ndg, solver="sne-lp3")
+        with pytest.raises(TypeError, match="BroadcastGame"):
+            api.solve(ndg, solver="snd-exact")
+
+
+class TestReportInvariants:
+    def test_budget_mismatch_rejected(self, game):
+        sub = SubsidyAssignment.zero(game.graph)
+        with pytest.raises(ValueError, match="budget_used"):
+            SolveReport(
+                solver="x",
+                problem="sne",
+                subsidies=sub,
+                budget_used=1.0,  # != sub.cost == 0
+                target_edges=(),
+                target_cost=0.0,
+                feasible=True,
+                verified=False,
+                optimal=False,
+            )
+
+    def test_verified_implies_feasible(self, game):
+        sub = SubsidyAssignment.zero(game.graph)
+        with pytest.raises(ValueError, match="feasible"):
+            SolveReport(
+                solver="x",
+                problem="sne",
+                subsidies=sub,
+                budget_used=0.0,
+                target_edges=(),
+                target_cost=0.0,
+                feasible=False,
+                verified=True,
+                optimal=False,
+            )
+
+    def test_comparable_excludes_wall_clock(self, game):
+        a = api.solve(game, solver="theorem6")
+        b = api.solve(game, solver="theorem6")
+        assert a.wall_clock_seconds != b.wall_clock_seconds or True  # timing varies
+        assert a == b  # equality ignores wall clock
+        assert "wall_clock" not in str(sorted(a.comparable()))
+
+
+class TestSolveMany:
+    @pytest.fixture(scope="class")
+    def instances(self):
+        out = []
+        for i in range(20):
+            g = random_tree_plus_chords(8, 4, seed=200 + i, chord_factor=1.1)
+            out.append(BroadcastGame(g, root=0))
+        return out
+
+    def test_parallel_matches_serial_single_solver(self, instances):
+        serial = api.solve_many(instances, "sne-lp3")
+        parallel = api.solve_many(instances, "sne-lp3", workers=4)
+        assert len(serial) == len(parallel) == 20
+        assert serial == parallel
+
+    def test_parallel_matches_serial_solver_grid(self, instances):
+        solvers = ["theorem6", "sne-lp3"]
+        serial = api.solve_many(instances[:6], solvers)
+        parallel = api.solve_many(instances[:6], solvers, workers=4)
+        assert serial == parallel
+        for row in serial:
+            assert [r.solver for r in row] == solvers
+
+    def test_opts_applied_to_all(self, instances):
+        reports = api.solve_many(
+            instances[:3], "snd-local-search", workers=2, opts={"budget": 0.0}
+        )
+        for r in reports:
+            assert r.metadata["budget"] == 0.0
+
+    def test_unknown_solver_fails_fast(self, instances):
+        with pytest.raises(api.UnknownSolverError):
+            api.solve_many(instances[:2], ["sne-lp3", "bogus"], workers=2)
