@@ -1,0 +1,70 @@
+"""Equilibrium-check benchmark — vectorized engine vs legacy per-deviation checker.
+
+The acceptance bar for the indexed-core refactor: on a 200-node broadcast
+instance the engine-backed :func:`check_equilibrium` must beat the
+dict-based :func:`check_equilibrium_legacy` by at least 2x, with identical
+equilibrium verdicts on randomized cross-checks.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.games.broadcast import BroadcastGame
+from repro.games.equilibrium import check_equilibrium, check_equilibrium_legacy
+from repro.graphs.generators import random_tree_plus_chords
+
+
+def _instance(n, seed):
+    g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.1)
+    return BroadcastGame(g, root=0).mst_state()
+
+
+@pytest.fixture(scope="module")
+def broadcast_200():
+    return _instance(200, seed=7)
+
+
+def test_engine_check(benchmark, broadcast_200):
+    report = benchmark(check_equilibrium, broadcast_200, find_all=True)
+    assert not report.is_equilibrium  # the bare MST is not stable here
+
+
+def test_legacy_check(benchmark, broadcast_200):
+    report = benchmark(check_equilibrium_legacy, broadcast_200, find_all=True)
+    assert not report.is_equilibrium
+
+
+def test_verdicts_identical_on_randomized_instances(broadcast_200):
+    for n, seed in [(200, 7), (60, 1), (60, 2), (80, 3), (100, 4), (120, 5)]:
+        state = _instance(n, seed)
+        a = check_equilibrium(state, find_all=True)
+        b = check_equilibrium_legacy(state, find_all=True)
+        assert a.is_equilibrium == b.is_equilibrium
+        assert [d.player for d in a.deviations] == [d.player for d in b.deviations]
+
+
+@pytest.mark.skipif(
+    os.environ.get("CI", "") != "",
+    reason="wall-clock ratio assertion; shared CI runners are too noisy for it",
+)
+def test_engine_beats_legacy_2x(broadcast_200):
+    """min-of-5 wall-clock: engine at least 2x faster than the legacy checker."""
+
+    def best_of(fn, reps=5):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn(broadcast_200, find_all=True)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    check_equilibrium(broadcast_200, find_all=True)  # warm the interned caches
+    t_engine = best_of(check_equilibrium)
+    t_legacy = best_of(check_equilibrium_legacy)
+    speedup = t_legacy / t_engine
+    assert speedup >= 2.0, (
+        f"engine {t_engine * 1e3:.2f}ms vs legacy {t_legacy * 1e3:.2f}ms "
+        f"-> {speedup:.2f}x (< 2x)"
+    )

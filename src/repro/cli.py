@@ -20,7 +20,7 @@ import sys
 from typing import Any, List, Optional
 
 from repro import api
-from repro.experiments import EXPERIMENTS, run_all_tolerant, run_experiment
+from repro.experiments import EXPERIMENTS, run_all_tolerant, run_experiment, sweep_summary
 
 _DESCRIPTIONS = {
     "E1": "Theorem 1: LP formulations (1)/(2)/(3) agree",
@@ -57,13 +57,61 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--out", default=None, help="also write the report to this file"
     )
+    run_p.add_argument(
+        "--json-out",
+        default=None,
+        help=(
+            "('run all' only) write a machine-readable sweep summary "
+            "(per-experiment status + wall time) to this JSON file; "
+            "defaults to <out>.json when --out is given"
+        ),
+    )
 
     gen_p = sub.add_parser(
         "gen", help="generate random broadcast instances as a JSON file"
     )
     gen_p.add_argument("--n", type=int, default=10, help="nodes per instance")
     gen_p.add_argument(
-        "--chords", type=int, default=None, help="extra chords (default n // 2)"
+        "--model",
+        choices=("tree-chords", "gnp", "geometric"),
+        default="tree-chords",
+        help="generator family (default: random tree plus chords)",
+    )
+    gen_p.add_argument(
+        "--chords", type=int, default=None, help="tree-chords: extra chords (default n // 2)"
+    )
+    gen_p.add_argument(
+        "--chord-factor",
+        type=float,
+        default=1.1,
+        help="tree-chords: chord weight multiplier (default 1.1)",
+    )
+    gen_p.add_argument(
+        "--density",
+        "--p",
+        dest="density",
+        type=float,
+        default=0.3,
+        help="gnp: edge probability p (default 0.3)",
+    )
+    gen_p.add_argument(
+        "--radius",
+        type=float,
+        default=0.5,
+        help="geometric: connection radius in the unit square (default 0.5)",
+    )
+    gen_p.add_argument(
+        "--weight-low",
+        type=float,
+        default=0.5,
+        help="tree-chords/gnp: uniform weight lower bound "
+        "(geometric weights are Euclidean distances)",
+    )
+    gen_p.add_argument(
+        "--weight-high",
+        type=float,
+        default=2.0,
+        help="tree-chords/gnp: uniform weight upper bound",
     )
     gen_p.add_argument("--count", type=int, default=1, help="number of instances")
     gen_p.add_argument("--seed", type=int, default=0, help="base RNG seed")
@@ -150,12 +198,37 @@ def _cmd_solvers() -> int:
 
 def _cmd_gen(args: argparse.Namespace) -> int:
     from repro.games.broadcast import BroadcastGame
-    from repro.graphs.generators import random_tree_plus_chords
+    from repro.graphs.generators import (
+        random_connected_gnp,
+        random_geometric_graph,
+        random_tree_plus_chords,
+    )
+    from repro.utils.rng import child_seeds
 
     chords = args.chords if args.chords is not None else args.n // 2
     instances = []
-    for i in range(args.count):
-        g = random_tree_plus_chords(args.n, chords, seed=args.seed + i, chord_factor=1.1)
+    # One independent child stream per instance (SeedSequence spawning), so
+    # sweeps with neighbouring base seeds never share instances.
+    for seed in child_seeds(args.seed, args.count):
+        if args.model == "gnp":
+            g = random_connected_gnp(
+                args.n,
+                args.density,
+                seed=seed,
+                weight_low=args.weight_low,
+                weight_high=args.weight_high,
+            )
+        elif args.model == "geometric":
+            g = random_geometric_graph(args.n, args.radius, seed=seed)
+        else:
+            g = random_tree_plus_chords(
+                args.n,
+                chords,
+                seed=seed,
+                weight_low=args.weight_low,
+                weight_high=args.weight_high,
+                chord_factor=args.chord_factor,
+            )
         instances.append(api.serialize.game_to_json(BroadcastGame(g, root=0)))
     payload = {"kind": "instance-set", "instances": instances}
     _emit(json.dumps(payload, indent=2), args.out)
@@ -221,6 +294,13 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         f"total {sum(i.elapsed_seconds for i in items):.2f}s"
     )
     _emit("\n\n".join(chunks) + "\n" + "\n".join(summary), args.out)
+    json_out = args.json_out
+    if json_out is None and args.out:
+        json_out = args.out + ".json"
+    if json_out:
+        with open(json_out, "w") as fh:
+            json.dump(sweep_summary(items, seed=args.seed), fh, indent=2)
+            fh.write("\n")
     return 1 if failures else 0
 
 

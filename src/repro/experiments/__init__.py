@@ -15,6 +15,7 @@ from repro.experiments.runner import (
     run_all,
     run_all_tolerant,
     run_experiment,
+    sweep_summary,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "run_all",
     "run_all_tolerant",
     "run_experiment",
+    "sweep_summary",
 ]

@@ -71,6 +71,36 @@ class SweepItem:
         return self.error is None
 
 
+def sweep_summary(items: List[SweepItem], seed: int = 0) -> dict:
+    """Machine-readable summary of a tolerant sweep.
+
+    The CLI writes this next to the human table (``run all --json-out``) so
+    dashboards and CI can consume per-experiment status and wall time without
+    scraping text.
+    """
+    return {
+        "kind": "experiment-sweep-summary",
+        "seed": seed,
+        "passed": sum(1 for item in items if item.ok),
+        "failed": sum(1 for item in items if not item.ok),
+        "total_seconds": sum(item.elapsed_seconds for item in items),
+        "experiments": [
+            {
+                "id": item.experiment_id,
+                "ok": item.ok,
+                "seconds": item.elapsed_seconds,
+                "headline": item.result.headline if item.ok and item.result else None,
+                "error": (
+                    f"{type(item.error).__name__}: {item.error}"
+                    if item.error is not None
+                    else None
+                ),
+            }
+            for item in items
+        ],
+    }
+
+
 def run_all_tolerant(seed: int = 0) -> List[SweepItem]:
     """Run every experiment, continuing past failures.
 

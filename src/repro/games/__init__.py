@@ -15,7 +15,9 @@ from repro.games.equilibrium import (
     EquilibriumReport,
     best_response,
     check_equilibrium,
+    check_equilibrium_legacy,
 )
+from repro.games.engine import BestResponseEngine, EngineProfile
 from repro.games.potential import rosenthal_potential, potential_of_tree
 from repro.games.dynamics import BRDResult, best_response_dynamics
 from repro.games.efficiency import (
@@ -52,6 +54,9 @@ __all__ = [
     "EquilibriumReport",
     "best_response",
     "check_equilibrium",
+    "check_equilibrium_legacy",
+    "BestResponseEngine",
+    "EngineProfile",
     "rosenthal_potential",
     "potential_of_tree",
     "BRDResult",

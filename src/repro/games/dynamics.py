@@ -6,6 +6,12 @@ pure Nash equilibrium.  This module implements the dynamics with three
 schedulers and records the potential trace — the engine behind experiment E9
 (the ``PoS <= H_n`` potential-descent argument of Anshelevich et al. that the
 paper's introduction builds on).
+
+The run executes on an :class:`~repro.games.engine.EngineProfile`: the graph
+is interned once, usage counts are updated incrementally along the old/new
+path of each move, and the Rosenthal potential is one vectorized dot product
+per move — no intermediate ``State`` objects are built until the final
+profile is materialized (and re-validated) for the result.
 """
 
 from __future__ import annotations
@@ -16,9 +22,8 @@ from typing import List, Optional
 import numpy as np
 
 from repro.games.broadcast import BroadcastGame
-from repro.games.equilibrium import best_response
+from repro.games.engine import BestResponseEngine, EngineProfile
 from repro.games.game import State, Subsidies
-from repro.games.potential import rosenthal_potential
 from repro.utils.rng import ensure_rng
 from repro.utils.tolerances import EQ_TOL, is_improvement
 
@@ -66,19 +71,23 @@ def best_response_dynamics(
     rng = ensure_rng(seed)
     game = state.game
     n = game.n_players
-    trace = [rosenthal_potential(state, subsidies)]
+
+    engine = BestResponseEngine.for_graph(game.graph)
+    wb = engine.net_weights(engine.subsidy_vector(subsidies))
+    profile = EngineProfile(engine, state, wb)
+    trace = [profile.potential()]
     n_moves = 0
 
     for round_idx in range(1, max_rounds + 1):
         moved = False
         if scheduler == "max_gain":
             for _ in range(n):
-                devs = [best_response(state, i, subsidies) for i in range(n)]
-                best = max(devs, key=lambda d: d.gain)
+                recs = [profile.best_response(i, bounded=True) for i in range(n)]
+                best = max(recs, key=lambda r: r.current_cost - r.deviation_cost)
                 if not is_improvement(best.deviation_cost, best.current_cost, tol):
                     break
-                state = state.with_player_path(int(best.player), best.path_nodes)
-                trace.append(rosenthal_potential(state, subsidies))
+                profile.apply(best.position, best.node_ids, best.edge_ids)
+                trace.append(profile.potential())
                 n_moves += 1
                 moved = True
         else:
@@ -86,15 +95,15 @@ def best_response_dynamics(
             if scheduler == "random":
                 rng.shuffle(order)
             for i in order:
-                dev = best_response(state, i, subsidies)
-                if is_improvement(dev.deviation_cost, dev.current_cost, tol):
-                    state = state.with_player_path(i, dev.path_nodes)
-                    trace.append(rosenthal_potential(state, subsidies))
+                rec = profile.best_response(i, bounded=True)
+                if is_improvement(rec.deviation_cost, rec.current_cost, tol):
+                    profile.apply(i, rec.node_ids, rec.edge_ids)
+                    trace.append(profile.potential())
                     n_moves += 1
                     moved = True
         if not moved:
-            return BRDResult(state, True, n_moves, round_idx, trace)
-    return BRDResult(state, False, n_moves, max_rounds, trace)
+            return BRDResult(profile.to_state(), True, n_moves, round_idx, trace)
+    return BRDResult(profile.to_state(), False, n_moves, max_rounds, trace)
 
 
 def equilibrium_from_optimum(

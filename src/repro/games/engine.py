@@ -1,0 +1,440 @@
+"""Vectorized best-response engine over the indexed graph core.
+
+The paper's algorithms (the Theorem 1 separation oracle, equilibrium
+verification, best-response dynamics, the SND heuristics) all reduce to the
+same primitive: price every edge for a deviating player at
+``(w_a - b_a) / (n_a + 1 - n_a^i)`` and run a shortest-path query.  The
+legacy implementation rebuilt a pricing closure and a hashable-keyed
+Dijkstra per query; this engine interns the game graph once
+(:meth:`BestResponseEngine.for_graph` caches per graph mutation version),
+keeps ``w``, ``b`` and the usage counts ``n_a`` in flat arrays indexed by
+edge id, and prices deviations with two vector operations plus an
+``O(|T_i|)`` fix-up for the deviator's own edges.
+
+Layers on top:
+
+* :func:`repro.games.equilibrium.check_equilibrium` binds a state and scans
+  players through :meth:`_StateBinding.scan`;
+* ``repro.subsidies.sne_lp`` reuses one binding across all cutting-plane
+  rounds, re-pricing per round from the LP iterate;
+* :class:`EngineProfile` is the mutable strategy profile behind
+  best-response dynamics — usage counts are updated incrementally per move
+  instead of revalidating a full ``State`` object.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.games.broadcast import TreeState
+from repro.games.game import NetworkDesignGame, State, Subsidies
+from repro.graphs.core import IndexedGraph, dijkstra_indexed
+from repro.graphs.graph import Graph
+from repro.utils.tolerances import EQ_TOL, is_improvement
+
+AnyState = Union[State, TreeState]
+
+
+def _walk_path_back(
+    pred: List[int], pred_edge: List[int], source_id: int, target_id: int
+) -> Tuple[List[int], List[int]]:
+    """Path source -> target (node ids, edge ids) from Dijkstra predecessors."""
+    rev_nodes = [target_id]
+    rev_edges: List[int] = []
+    x = target_id
+    while x != source_id:
+        rev_edges.append(pred_edge[x])
+        x = pred[x]
+        rev_nodes.append(x)
+    rev_nodes.reverse()
+    rev_edges.reverse()
+    return rev_nodes, rev_edges
+
+
+class BestResponse(NamedTuple):
+    """One best-response query result, in engine (int id) coordinates."""
+
+    player: object  # player index (general game) or node label (broadcast)
+    position: int  # index into the binding's player order
+    current_cost: float
+    deviation_cost: float
+    node_ids: List[int]  # deviation path, source -> target
+    edge_ids: List[int]
+
+
+class BestResponseEngine:
+    """Shared per-graph machinery for vectorized best-response queries."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.ig: IndexedGraph = graph.to_indexed()
+        self.num_edges = self.ig.num_edges
+        self.edge_weights = self.ig.edge_weights
+        self._htab: Optional[np.ndarray] = None
+
+    @classmethod
+    def for_graph(cls, graph: Graph) -> "BestResponseEngine":
+        """Engine for ``graph``, cached on the graph keyed by its version."""
+        cached = getattr(graph, "_engine_cache", None)
+        if cached is not None and cached[0] == graph._version:
+            return cached[1]
+        engine = cls(graph)
+        graph._engine_cache = (graph._version, engine)
+        return engine
+
+    # -- pricing -----------------------------------------------------------
+
+    def subsidy_vector(self, subsidies: Optional[Subsidies]) -> np.ndarray:
+        """Per-edge-id subsidy array from any edge mapping.
+
+        Lookups go through ``subsidies.get(canonical_edge)`` per edge — the
+        exact protocol the dict-based layers used — so assignments that
+        ignore non-canonical keys keep ignoring them.
+        """
+        b = np.zeros(self.num_edges)
+        if subsidies:
+            get = subsidies.get
+            for i, e in enumerate(self.ig.edge_labels):
+                val = get(e, 0.0)
+                if val:
+                    b[i] = val
+        return b
+
+    def net_weights(self, b: np.ndarray) -> np.ndarray:
+        """``max(0, w_a - b_a)`` per edge id; rejects NaN costs up front."""
+        wb = np.maximum(0.0, self.edge_weights - b)
+        if np.isnan(wb).any():
+            raise ValueError("NaN in subsidized edge costs")
+        return wb
+
+    def harmonic_table(self, kmax: int) -> np.ndarray:
+        """``H_0..H_kmax`` as an array (cached; Rosenthal potential kernel)."""
+        tab = self._htab
+        if tab is None or len(tab) <= kmax:
+            tab = np.concatenate([[0.0], np.cumsum(1.0 / np.arange(1.0, kmax + 1.0))])
+            self._htab = tab
+        return tab
+
+    # -- state bindings ----------------------------------------------------
+
+    def bind(self, state: AnyState) -> "_StateBinding":
+        """Bind a target state: convert its usage/paths into id arrays once."""
+        if isinstance(state, TreeState):
+            return _TreeBinding(self, state)
+        return _GeneralBinding(self, state)
+
+
+class _StateBinding:
+    """A target state in engine coordinates (players, usage, own paths)."""
+
+    engine: BestResponseEngine
+    player_keys: List[object]
+    usage: np.ndarray  # per-edge-id usage counts n_a(T)
+
+    def current_path_eids(self, position: int) -> List[int]:
+        """Edge ids of the player's current path (own edges)."""
+        raise NotImplementedError
+
+    def scan(
+        self,
+        wb: np.ndarray,
+        tol: float = EQ_TOL,
+        find_all: bool = False,
+        improving_only: bool = True,
+    ) -> List[BestResponse]:
+        """Best responses under net weights ``wb``.
+
+        With ``improving_only`` (the default) only improving deviations are
+        returned and zero-cost players are skipped (their cost cannot
+        improve); ``find_all=False`` stops at the first improving deviation.
+        """
+        raise NotImplementedError
+
+class _TreeBinding(_StateBinding):
+    """Broadcast tree state: players are nodes, everyone targets the root."""
+
+    def __init__(self, engine: BestResponseEngine, state: TreeState) -> None:
+        self.engine = engine
+        self.state = state
+        ig = engine.ig
+        game = state.game
+        n = ig.num_nodes
+        self.root_id = ig.id_of(game.root)
+
+        parent_nid = [-1] * n
+        parent_eid = [-1] * n
+        edge_id_of = ig.edge_id
+        id_of = ig.id_of
+        for v_label, p_label in state.tree.parent.items():
+            vid = id_of(v_label)
+            parent_nid[vid] = id_of(p_label)
+            parent_eid[vid] = edge_id_of(v_label, p_label)
+        self.parent_nid = parent_nid
+        self.parent_eid = parent_eid
+        self.bfs_ids = [id_of(u) for u in state.tree.bfs_order]
+
+        usage = np.zeros(engine.num_edges, dtype=np.int64)
+        eid_of_edge = ig.edge_id_of
+        for e, load in state.loads.items():
+            usage[eid_of_edge(e)] = load
+        self.usage = usage
+        self._denom_join = (usage + 1).astype(np.float64)
+
+        self.player_keys = list(game.player_nodes())
+        self.player_ids = [id_of(u) for u in self.player_keys]
+
+    def current_path_eids(self, position: int) -> List[int]:
+        eids: List[int] = []
+        x = self.player_ids[position]
+        while x != self.root_id:
+            eids.append(self.parent_eid[x])
+            x = self.parent_nid[x]
+        return eids
+
+    def _costs_to_root(self, wb: np.ndarray) -> List[float]:
+        """Player cost at every node, accumulated root-down (O(n))."""
+        wb_l = wb.tolist()
+        usage_l = self.usage.tolist()
+        parent_nid = self.parent_nid
+        parent_eid = self.parent_eid
+        cost = [0.0] * len(parent_nid)
+        for uid in self.bfs_ids[1:]:
+            e = parent_eid[uid]
+            n_a = usage_l[e]
+            share = wb_l[e] / n_a if n_a > 0 else 0.0
+            cost[uid] = cost[parent_nid[uid]] + share
+        return cost
+
+    def scan(
+        self,
+        wb: np.ndarray,
+        tol: float = EQ_TOL,
+        find_all: bool = False,
+        improving_only: bool = True,
+    ) -> List[BestResponse]:
+        engine = self.engine
+        ig = engine.ig
+        root = self.root_id
+        usage = self.usage
+        wb_l = wb.tolist()
+        usage_l = usage.tolist()
+        cost_at = self._costs_to_root(wb)
+        base = wb / self._denom_join  # every edge priced for a joining player
+        parent_nid = self.parent_nid
+        parent_eid = self.parent_eid
+
+        out: List[BestResponse] = []
+        for pos, (key, uid) in enumerate(zip(self.player_keys, self.player_ids)):
+            cur = cost_at[uid]
+            if improving_only and cur <= tol:
+                continue
+            costs = base.copy()
+            x = uid
+            while x != root:  # own edges keep their current denominator n_a
+                e = parent_eid[x]
+                costs[e] = wb_l[e] / usage_l[e]
+                x = parent_nid[x]
+            # Improving deviations cost < cur, so cur is a sound search bound.
+            bound = cur if improving_only else float("inf")
+            dist, pred, pred_edge = dijkstra_indexed(
+                ig, uid, costs, target=root, bound=bound
+            )
+            dcost = dist[root]
+            if improving_only and not is_improvement(dcost, cur, tol):
+                continue
+            node_ids, edge_ids = _walk_path_back(pred, pred_edge, uid, root)
+            out.append(BestResponse(key, pos, cur, dcost, node_ids, edge_ids))
+            if improving_only and not find_all:
+                break
+        return out
+
+
+class _GeneralBinding(_StateBinding):
+    """General game state: one (source, target) pair and path per player."""
+
+    def __init__(self, engine: BestResponseEngine, state: State) -> None:
+        self.engine = engine
+        self.state = state
+        ig = engine.ig
+        game = state.game
+        id_of = ig.id_of
+        eid_of_edge = ig.edge_id_of
+
+        usage = np.zeros(engine.num_edges, dtype=np.int64)
+        for e, count in state.usage.items():
+            usage[eid_of_edge(e)] = count
+        self.usage = usage
+        self._denom_join = (usage + 1).astype(np.float64)
+
+        self.player_keys = list(range(game.n_players))
+        self.sources = [id_of(p.source) for p in game.players]
+        self.targets = [id_of(p.target) for p in game.players]
+        self.paths = [
+            [eid_of_edge(e) for e in state.edge_paths[i]]
+            for i in range(game.n_players)
+        ]
+
+    def current_path_eids(self, position: int) -> List[int]:
+        return list(self.paths[position])
+
+    def scan(
+        self,
+        wb: np.ndarray,
+        tol: float = EQ_TOL,
+        find_all: bool = False,
+        improving_only: bool = True,
+    ) -> List[BestResponse]:
+        engine = self.engine
+        ig = engine.ig
+        usage = self.usage
+        wb_l = wb.tolist()
+        usage_l = usage.tolist()
+        base = wb / self._denom_join
+
+        out: List[BestResponse] = []
+        for pos in self.player_keys:
+            own = self.paths[pos]
+            cur = 0.0
+            for e in own:  # sequential sum, matching the dict-based order
+                cur += wb_l[e] / usage_l[e]
+            if improving_only and cur <= tol:
+                continue
+            costs = base.copy()
+            for e in own:
+                costs[e] = wb_l[e] / usage_l[e]
+            s, t = self.sources[pos], self.targets[pos]
+            # Improving deviations cost < cur, so cur is a sound search bound
+            # (the player's own path always stays reachable below it).
+            bound = cur if improving_only else float("inf")
+            dist, pred, pred_edge = dijkstra_indexed(ig, s, costs, target=t, bound=bound)
+            dcost = dist[t]
+            if improving_only:
+                if not is_improvement(dcost, cur, tol):
+                    continue
+            elif dcost == float("inf"):
+                raise ValueError(f"player {pos} cannot reach her target")
+            node_ids, edge_ids = _walk_path_back(pred, pred_edge, s, t)
+            out.append(BestResponse(pos, pos, cur, dcost, node_ids, edge_ids))
+            if improving_only and not find_all:
+                break
+        return out
+
+
+class EngineProfile:
+    """Mutable strategy profile for best-response dynamics.
+
+    Holds the usage counts and per-player paths in id space; a move updates
+    the counts incrementally along the old and new paths instead of
+    rebuilding (and revalidating) a ``State``.  ``to_state`` materializes a
+    validated :class:`~repro.games.game.State` at the end of a run.
+    """
+
+    def __init__(self, engine: BestResponseEngine, state: State, wb: np.ndarray) -> None:
+        self.engine = engine
+        self.game: NetworkDesignGame = state.game
+        ig = engine.ig
+        eid_of_edge = ig.edge_id_of
+        id_of = ig.id_of
+
+        self.wb = wb
+        self._wb_l = wb.tolist()
+        usage = np.zeros(engine.num_edges, dtype=np.int64)
+        for e, count in state.usage.items():
+            usage[eid_of_edge(e)] = count
+        self.usage = usage
+        self.node_paths: List[List[int]] = [
+            [id_of(u) for u in nodes] for nodes in state.node_paths
+        ]
+        self.eid_paths: List[List[int]] = [
+            [eid_of_edge(e) for e in state.edge_paths[i]]
+            for i in range(self.game.n_players)
+        ]
+        self.sources = [id_of(p.source) for p in self.game.players]
+        self.targets = [id_of(p.target) for p in self.game.players]
+        self._base = wb / (usage + 1.0)
+        self._H = engine.harmonic_table(self.game.n_players)
+
+    # -- queries -----------------------------------------------------------
+
+    def player_cost(self, position: int) -> float:
+        wb_l = self._wb_l
+        usage = self.usage
+        total = 0.0
+        for e in self.eid_paths[position]:
+            total += wb_l[e] / usage[e]
+        return total
+
+    def potential(self) -> float:
+        """Rosenthal potential ``sum_a (w_a - b_a) H_{n_a}`` (vectorized)."""
+        return float(self.wb @ self._H[self.usage])
+
+    def best_response(self, position: int, bounded: bool = False) -> BestResponse:
+        """Best response of one player against the current profile.
+
+        Always returns a record (callers compare costs), like the legacy
+        per-player oracle; zero-cost players short-circuit to "stay put".
+        With ``bounded=True`` the search prunes at the player's current cost
+        — exact whenever an improving deviation exists, ``inf`` deviation
+        cost otherwise — which is all a dynamics step needs.
+        """
+        cur = self.player_cost(position)
+        if cur <= 0.0:  # nonnegative costs: staying is already optimal
+            return BestResponse(
+                position,
+                position,
+                cur,
+                cur,
+                list(self.node_paths[position]),
+                list(self.eid_paths[position]),
+            )
+        own = self.eid_paths[position]
+        wb_l = self._wb_l
+        usage = self.usage
+        costs = self._base.copy()
+        for e in own:
+            costs[e] = wb_l[e] / usage[e]
+        s, t = self.sources[position], self.targets[position]
+        dist, pred, pred_edge = dijkstra_indexed(
+            self.engine.ig, s, costs, target=t, bound=cur if bounded else float("inf")
+        )
+        dcost = dist[t]
+        if dcost == float("inf"):
+            if bounded:  # no deviation beats the current path
+                return BestResponse(
+                    position,
+                    position,
+                    cur,
+                    dcost,
+                    list(self.node_paths[position]),
+                    list(self.eid_paths[position]),
+                )
+            raise ValueError(f"player {position} cannot reach her target")
+        node_ids, edge_ids = _walk_path_back(pred, pred_edge, s, t)
+        return BestResponse(position, position, cur, dcost, node_ids, edge_ids)
+
+    # -- mutation ----------------------------------------------------------
+
+    def apply(self, position: int, node_ids: List[int], edge_ids: List[int]) -> None:
+        """Switch one player's path, updating usage counts incrementally."""
+        usage = self.usage
+        base = self._base
+        wb_l = self._wb_l
+        for e in self.eid_paths[position]:
+            usage[e] -= 1
+            base[e] = wb_l[e] / (usage[e] + 1.0)
+        for e in edge_ids:
+            usage[e] += 1
+            base[e] = wb_l[e] / (usage[e] + 1.0)
+        self.node_paths[position] = list(node_ids)
+        self.eid_paths[position] = list(edge_ids)
+
+    # -- materialization ---------------------------------------------------
+
+    def to_state(self) -> State:
+        """Validated :class:`State` for the current profile."""
+        labels = self.engine.ig.labels
+        return State(
+            self.game, [[labels[i] for i in path] for path in self.node_paths]
+        )

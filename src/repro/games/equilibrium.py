@@ -6,6 +6,14 @@ number of users of ``a`` in ``(T_{-i}, T'_i)``.  A best response is then a
 shortest path under that pricing, exactly the separation oracle the paper
 uses inside Theorem 1.  ``T`` is an equilibrium iff no player's best response
 beats her current cost (weak inequality, handled by the shared tolerance).
+
+:func:`check_equilibrium` runs on the vectorized
+:class:`~repro.games.engine.BestResponseEngine` (per-edge weight/subsidy
+arrays over the indexed graph core).  The per-player closures
+:func:`best_response` / :func:`best_deviation_from_tree` are the original
+dict-based oracles, kept as the slow reference implementation — the engine
+tests and benchmarks cross-check against them via
+:func:`check_equilibrium_legacy`.
 """
 
 from __future__ import annotations
@@ -139,11 +147,46 @@ def check_equilibrium(
     :class:`TreeState` profiles.  With ``find_all=False`` (default) the check
     stops at the first improving deviation.
 
+    Runs on the vectorized engine: the graph is interned once (cached per
+    graph), usage counts and subsidized weights live in per-edge arrays, and
+    each player costs one array division plus an int-id Dijkstra.
+
     Notes
     -----
     Players whose current cost is zero are skipped — costs are nonnegative,
     so they can never improve.  This matters on the Theorem 12 graphs where
     most auxiliary players ride fully-shared zero-weight edges.
+    """
+    from repro.games.engine import BestResponseEngine
+
+    engine = BestResponseEngine.for_graph(state.game.graph)
+    binding = engine.bind(state)
+    wb = engine.net_weights(engine.subsidy_vector(subsidies))
+    labels = engine.ig.labels
+    deviations = [
+        Deviation(
+            player=rec.player,
+            current_cost=rec.current_cost,
+            deviation_cost=rec.deviation_cost,
+            path_nodes=[labels[i] for i in rec.node_ids],
+        )
+        for rec in binding.scan(wb, tol=tol, find_all=find_all)
+    ]
+    return EquilibriumReport(is_equilibrium=not deviations, deviations=deviations)
+
+
+def check_equilibrium_legacy(
+    state: Union[State, TreeState],
+    subsidies: Optional[Subsidies] = None,
+    tol: float = EQ_TOL,
+    find_all: bool = False,
+) -> EquilibriumReport:
+    """Reference equilibrium check via the per-player dict-based oracles.
+
+    Semantically identical to :func:`check_equilibrium`; kept as the
+    cross-validation baseline for the engine (tests assert verdict equality
+    on randomized instances, ``benchmarks/bench_equilibrium.py`` measures
+    the speedup).
     """
     deviations: List[Deviation] = []
 

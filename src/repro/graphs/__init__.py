@@ -6,6 +6,7 @@ networkx is used only in the test suite as an independent oracle.
 """
 
 from repro.graphs.graph import Graph, canonical_edge
+from repro.graphs.core import IndexedGraph, IntUnionFind, bfs_hops_indexed, dijkstra_indexed
 from repro.graphs.unionfind import UnionFind
 from repro.graphs.mst import kruskal_mst, prim_mst, minimum_spanning_tree, is_spanning_tree
 from repro.graphs.shortest_paths import dijkstra, shortest_path, path_weight
@@ -22,6 +23,10 @@ from repro.graphs import generators
 __all__ = [
     "Graph",
     "canonical_edge",
+    "IndexedGraph",
+    "IntUnionFind",
+    "dijkstra_indexed",
+    "bfs_hops_indexed",
     "UnionFind",
     "kruskal_mst",
     "prim_mst",

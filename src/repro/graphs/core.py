@@ -1,0 +1,322 @@
+"""Indexed graph core: interned labels, CSR adjacency, array algorithms.
+
+The hashable-node :class:`~repro.graphs.graph.Graph` is the friendly front
+door (the hardness gadgets key nodes by tuples and strings), but every hot
+path — best-response Dijkstra, MST scoring, spanning-tree search — spends
+most of its time hashing labels and walking dict-of-dicts.  This module is
+the layer-zero substrate those paths run on instead:
+
+* :class:`IndexedGraph` — an immutable snapshot of a ``Graph`` with node
+  labels interned to contiguous int ids and the adjacency stored CSR-style
+  (``indptr`` / ``neighbors`` / ``weights`` as numpy arrays).  Edges get
+  contiguous ids too, so per-edge quantities (usage counts, subsidies,
+  deviation prices) live in flat arrays indexed by edge id.
+* :func:`dijkstra_indexed` — single-source shortest paths over int ids with
+  preallocated distance/predecessor arrays and pluggable per-edge costs.
+* :class:`IntUnionFind` — array-backed union-find over ``0..n-1``.
+
+``Graph.to_indexed()`` caches the snapshot keyed by the graph's mutation
+counter, so repeated interning of the same graph is free.
+
+Label interning order is the deterministic ``_sort_key`` order (type name,
+then repr), which makes id comparisons reproduce the legacy heterogeneous
+tie-breaks exactly: sorting edges by ``(weight, id_u, id_v)`` yields the
+same Kruskal MST the dict implementation picked.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Edge, Graph, Node, _sort_key, canonical_edge
+
+
+class IntUnionFind:
+    """Union-find over the integers ``0..n-1`` (list-backed, path halving)."""
+
+    __slots__ = ("_parent", "_rank", "n_components")
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self.n_components = n
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    def union(self, x: int, y: int) -> bool:
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        rank = self._rank
+        if rank[rx] < rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if rank[rx] == rank[ry]:
+            rank[rx] += 1
+        self.n_components -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+
+class IndexedGraph:
+    """Immutable int-indexed CSR snapshot of an undirected weighted graph.
+
+    Attributes
+    ----------
+    labels:
+        ``labels[i]`` is the original hashable label of node id ``i``
+        (ids are assigned in deterministic ``_sort_key`` order).
+    indptr, neighbors, weights, adj_edge:
+        CSR adjacency: the directed arcs out of node ``u`` occupy slots
+        ``indptr[u]:indptr[u+1]``; ``neighbors[k]`` is the head node id,
+        ``weights[k]`` the edge weight and ``adj_edge[k]`` the undirected
+        edge id of arc ``k``.  Arcs are sorted by (tail, head).
+    edge_u, edge_v, edge_weights:
+        Per-edge arrays in ``Graph.edges()`` order; ``(edge_u[e],
+        edge_v[e])`` are the ids of the canonical endpoints.
+    edge_labels:
+        ``edge_labels[e]`` is the canonical ``(u, v)`` label pair of edge
+        ``e`` — the exact keys the dict-based layers use.
+    """
+
+    __slots__ = (
+        "labels",
+        "indptr",
+        "neighbors",
+        "weights",
+        "adj_edge",
+        "edge_u",
+        "edge_v",
+        "edge_weights",
+        "edge_labels",
+        "_id_of",
+        "_edge_id",
+        "_indptr_list",
+        "_neighbors_list",
+        "_adj_edge_list",
+        "_weights_list",
+    )
+
+    def __init__(self, nodes: Sequence[Node], edges: Iterable[Tuple[Node, Node, float]]):
+        labels = sorted(nodes, key=_sort_key)
+        id_of: Dict[Node, int] = {u: i for i, u in enumerate(labels)}
+        if len(id_of) != len(labels):
+            raise ValueError("duplicate node labels")
+        n = len(labels)
+
+        edge_labels: List[Edge] = []
+        eu: List[int] = []
+        ev: List[int] = []
+        ew: List[float] = []
+        edge_id: Dict[Edge, int] = {}
+        for u, v, w in edges:
+            e = canonical_edge(u, v)
+            if e in edge_id:
+                raise ValueError(f"duplicate edge {e!r}")
+            edge_id[e] = len(edge_labels)
+            edge_labels.append(e)
+            eu.append(id_of[e[0]])
+            ev.append(id_of[e[1]])
+            ew.append(float(w))
+        m = len(edge_labels)
+
+        self.labels: List[Node] = labels
+        self._id_of = id_of
+        self.edge_labels = edge_labels
+        self._edge_id = edge_id
+        self.edge_u = np.asarray(eu, dtype=np.int64).reshape(m)
+        self.edge_v = np.asarray(ev, dtype=np.int64).reshape(m)
+        self.edge_weights = np.asarray(ew, dtype=np.float64).reshape(m)
+
+        # CSR over both arc directions, grouped by tail then head.
+        tails = np.concatenate([self.edge_u, self.edge_v])
+        heads = np.concatenate([self.edge_v, self.edge_u])
+        eids = np.concatenate([np.arange(m), np.arange(m)])
+        order = np.lexsort((heads, tails))
+        self.neighbors = heads[order]
+        self.adj_edge = eids[order]
+        self.weights = self.edge_weights[self.adj_edge]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(tails, minlength=n), out=indptr[1:])
+        self.indptr = indptr
+
+        # Plain-list mirrors for the Python-level inner loops (list indexing
+        # is several times faster than numpy scalar indexing).
+        self._indptr_list = indptr.tolist()
+        self._neighbors_list = self.neighbors.tolist()
+        self._adj_edge_list = self.adj_edge.tolist()
+        self._weights_list = self.weights.tolist()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "IndexedGraph":
+        """Snapshot a :class:`Graph` (prefer the cached ``Graph.to_indexed``)."""
+        return cls(graph.nodes, graph.edges())
+
+    # -- size --------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_labels)
+
+    # -- label <-> id ------------------------------------------------------
+
+    def id_of(self, label: Node) -> int:
+        """Int id of a node label (KeyError when absent)."""
+        return self._id_of[label]
+
+    def label_of(self, node_id: int) -> Node:
+        """Original hashable label of a node id."""
+        return self.labels[node_id]
+
+    def has_label(self, label: Node) -> bool:
+        return label in self._id_of
+
+    def edge_id(self, u: Node, v: Node) -> int:
+        """Edge id of the undirected edge {u, v} (KeyError when absent)."""
+        return self._edge_id[canonical_edge(u, v)]
+
+    def edge_id_of(self, edge: Edge) -> int:
+        """Edge id of an already-canonical edge key."""
+        return self._edge_id[edge]
+
+    def edge_of(self, eid: int) -> Edge:
+        """Canonical label pair of an edge id."""
+        return self.edge_labels[eid]
+
+    def path_edge_ids(self, node_labels: Sequence[Node]) -> List[int]:
+        """Edge ids along a node-label walk."""
+        eid = self._edge_id
+        return [
+            eid[canonical_edge(a, b)] for a, b in zip(node_labels, node_labels[1:])
+        ]
+
+    # -- conversion --------------------------------------------------------
+
+    def to_graph(self) -> Graph:
+        """Materialize back into a mutable hashable-node :class:`Graph`."""
+        g = Graph()
+        for u in self.labels:
+            g.add_node(u)
+        for (u, v), w in zip(self.edge_labels, self.edge_weights):
+            g.add_edge(u, v, float(w))
+        return g
+
+    def degree(self, node_id: int) -> int:
+        return int(self.indptr[node_id + 1] - self.indptr[node_id])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexedGraph(n={self.num_nodes}, m={self.num_edges})"
+
+
+def dijkstra_indexed(
+    ig: IndexedGraph,
+    source: int,
+    edge_costs: Optional[np.ndarray] = None,
+    target: int = -1,
+    validate: bool = False,
+    bound: float = float("inf"),
+) -> Tuple[List[float], List[int], List[int]]:
+    """Dijkstra over int node ids with per-edge-id costs.
+
+    Parameters
+    ----------
+    edge_costs:
+        Array of length ``num_edges`` giving the cost of each undirected
+        edge; ``None`` uses the stored weights.  Costs must be nonnegative
+        (set ``validate=True`` to check).
+    target:
+        Stop as soon as this node id is settled (``-1``: settle everything).
+    bound:
+        Prune tentative distances ``>= bound``.  Distances below the bound
+        are still exact minima; nodes whose every path costs at least the
+        bound stay at ``inf``.  Best-response oracles pass the deviating
+        player's current cost here — a costlier prefix can never yield an
+        improving deviation.
+
+    Returns
+    -------
+    ``(dist, pred, pred_edge)`` lists of length ``num_nodes``: tentative
+    distance (``inf`` when unreached), predecessor node id and predecessor
+    edge id (``-1`` when unreached / at the source).  As in the dict-based
+    implementation, entries of frontier nodes hold their best tentative
+    values when the search exits early at ``target``.
+    """
+    if edge_costs is None:
+        costs = ig._weights_list
+    else:
+        if validate and edge_costs.size:
+            lo = np.min(edge_costs)
+            if not lo >= 0.0:  # catches NaN too
+                raise ValueError(f"negative/NaN edge cost: {lo}")
+        costs = edge_costs[ig.adj_edge].tolist()
+
+    n = ig.num_nodes
+    INF = float("inf")
+    dist: List[float] = [INF] * n
+    pred: List[int] = [-1] * n
+    pred_edge: List[int] = [-1] * n
+    indptr = ig._indptr_list
+    neighbors = ig._neighbors_list
+    adj_edge = ig._adj_edge_list
+
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d, u = pop(heap)
+        if d > dist[u]:
+            continue  # stale entry
+        if u == target:
+            break
+        for k in range(indptr[u], indptr[u + 1]):
+            v = neighbors[k]
+            nd = d + costs[k]
+            if nd < dist[v] and nd < bound:
+                dist[v] = nd
+                pred[v] = u
+                pred_edge[v] = adj_edge[k]
+                push(heap, (nd, v))
+    return dist, pred, pred_edge
+
+
+def bfs_hops_indexed(ig: IndexedGraph, source: int) -> List[int]:
+    """Unweighted hop counts from ``source`` (-1 for unreachable nodes).
+
+    The unit-weight cross-check for :func:`dijkstra_indexed` in the tests,
+    and a cheap reachability primitive.
+    """
+    n = ig.num_nodes
+    hops = [-1] * n
+    hops[source] = 0
+    indptr = ig._indptr_list
+    neighbors = ig._neighbors_list
+    frontier = [source]
+    level = 0
+    while frontier:
+        level += 1
+        nxt: List[int] = []
+        for u in frontier:
+            for k in range(indptr[u], indptr[u + 1]):
+                v = neighbors[k]
+                if hops[v] < 0:
+                    hops[v] = level
+                    nxt.append(v)
+        frontier = nxt
+    return hops

@@ -8,17 +8,34 @@ edges are stored once under a canonical orientation so ``(u, v)`` and
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.utils.validation import check_edge_weight
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graphs.core import IndexedGraph
 
 Node = Hashable
 Edge = Tuple[Node, Node]
 
+#: Memoized ``_sort_key`` results.  Keyed by ``(type, node)`` rather than the
+#: node alone so equal-but-differently-typed values (``1`` vs ``1.0``) keep
+#: distinct keys.  ``repr`` on gadget labels (nested tuples, long strings) is
+#: the single hottest call in edge canonicalization without this cache.
+_SORT_KEY_CACHE: Dict[Tuple[type, Node], Tuple[str, str]] = {}
+_SORT_KEY_CACHE_LIMIT = 1 << 17
+
 
 def _sort_key(node: Node) -> Tuple[str, str]:
     """Total order over heterogeneous hashables (type name, then repr)."""
-    return (type(node).__name__, repr(node))
+    cache_key = (node.__class__, node)
+    key = _SORT_KEY_CACHE.get(cache_key)
+    if key is None:
+        key = (type(node).__name__, repr(node))
+        if len(_SORT_KEY_CACHE) >= _SORT_KEY_CACHE_LIMIT:
+            _SORT_KEY_CACHE.clear()
+        _SORT_KEY_CACHE[cache_key] = key
+    return key
 
 
 def canonical_edge(u: Node, v: Node) -> Edge:
@@ -45,6 +62,9 @@ class Graph:
 
     def __init__(self) -> None:
         self._adj: Dict[Node, Dict[Node, float]] = {}
+        #: mutation counter; keys the cached IndexedGraph snapshot
+        self._version: int = 0
+        self._indexed_cache: "Optional[Tuple[int, IndexedGraph]]" = None
 
     # -- construction -----------------------------------------------------
 
@@ -58,7 +78,9 @@ class Graph:
 
     def add_node(self, u: Node) -> None:
         """Add an isolated node (no-op when already present)."""
-        self._adj.setdefault(u, {})
+        if u not in self._adj:
+            self._adj[u] = {}
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node, weight: float) -> None:
         """Add (or overwrite) the edge {u, v} with the given weight."""
@@ -67,11 +89,13 @@ class Graph:
             raise ValueError(f"self-loops are not allowed: {u!r}")
         self._adj.setdefault(u, {})[v] = w
         self._adj.setdefault(v, {})[u] = w
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge {u, v}; raises KeyError when absent."""
         del self._adj[u][v]
         del self._adj[v][u]
+        self._version += 1
 
     # -- queries ----------------------------------------------------------
 
@@ -156,6 +180,24 @@ class Graph:
         if not self._adj:
             return True
         return len(self.connected_components()) == 1
+
+    # -- indexed snapshot --------------------------------------------------
+
+    def to_indexed(self) -> "IndexedGraph":
+        """CSR snapshot with interned int node/edge ids (cached).
+
+        The snapshot is immutable; it is rebuilt lazily after any mutation
+        (keyed by an internal version counter), so hot paths that intern the
+        same graph repeatedly pay for construction once.
+        """
+        from repro.graphs.core import IndexedGraph
+
+        cached = self._indexed_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        ig = IndexedGraph(self.nodes, self.edges())
+        self._indexed_cache = (self._version, ig)
+        return ig
 
     # -- derived graphs ---------------------------------------------------
 

@@ -10,6 +10,9 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, List, Set, Tuple
 
+import numpy as np
+
+from repro.graphs.core import IntUnionFind
 from repro.graphs.graph import Edge, Graph, Node, canonical_edge, _sort_key
 from repro.graphs.unionfind import UnionFind
 
@@ -24,13 +27,28 @@ def kruskal_mst(graph: Graph) -> List[Edge]:
 
     Returns the tree's edges in canonical form.  Raises ``ValueError`` when
     the graph is disconnected (a broadcast game needs all players reachable).
+
+    Runs over the indexed snapshot: node ids are interned in ``_sort_key``
+    order, so the ``(weight, id_u, id_v)`` lexsort reproduces the legacy
+    deterministic tie-break ``(weight, _sort_key(u), _sort_key(v))`` exactly
+    while sorting ints instead of calling ``repr`` per comparison.
     """
-    uf = UnionFind(graph.nodes)
+    ig = graph.to_indexed()
+    n = ig.num_nodes
+    if n == 0:
+        return []
+    order = np.lexsort((ig.edge_v, ig.edge_u, ig.edge_weights))
+    eu = ig.edge_u.tolist()
+    ev = ig.edge_v.tolist()
+    edge_labels = ig.edge_labels
+    uf = IntUnionFind(n)
     tree: List[Edge] = []
-    for u, v, _w in sorted(graph.edges(), key=_edge_order_key):
-        if uf.union(u, v):
-            tree.append(canonical_edge(u, v))
-    if graph.num_nodes and len(tree) != graph.num_nodes - 1:
+    for i in order.tolist():
+        if uf.union(eu[i], ev[i]):
+            tree.append(edge_labels[i])
+            if len(tree) == n - 1:
+                break
+    if len(tree) != n - 1:
         raise ValueError("graph is disconnected; no spanning tree exists")
     return tree
 

@@ -27,9 +27,16 @@ def dijkstra(
     ``weight_fn(u, v)`` must be nonnegative; when omitted the stored graph
     weight is used.  When ``target`` is given the search stops as soon as the
     target is settled.
+
+    Stored-weight queries run over the interned int-id CSR snapshot
+    (:mod:`repro.graphs.core`); the hashable-keyed loop below remains for
+    ``weight_fn`` overrides, whose costs may be exact types (Fractions) or
+    defined only on the edges the search actually relaxes.
     """
     if source not in graph:
         raise KeyError(f"source node {source!r} not in graph")
+    if weight_fn is None:
+        return _dijkstra_stored(graph, source, target)
     # Distances start from integer 0 so exact numeric types survive: with a
     # Fraction-valued weight_fn, 0 + Fraction stays a Fraction, whereas a
     # float seed would silently degrade every distance to float.
@@ -57,6 +64,22 @@ def dijkstra(
                 parent[v] = u
                 counter += 1
                 heapq.heappush(heap, (nd, counter, v))
+    return dist, parent
+
+
+def _dijkstra_stored(
+    graph: Graph, source: Node, target: Optional[Node]
+) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Stored-weight Dijkstra over the indexed core, re-keyed to labels."""
+    from repro.graphs.core import dijkstra_indexed
+
+    ig = graph.to_indexed()
+    target_id = ig.id_of(target) if target is not None and target in graph else -1
+    dist_arr, pred_arr, _ = dijkstra_indexed(ig, ig.id_of(source), target=target_id)
+    labels = ig.labels
+    inf = math.inf
+    dist = {labels[i]: d for i, d in enumerate(dist_arr) if d != inf}
+    parent = {labels[i]: labels[p] for i, p in enumerate(pred_arr) if p >= 0}
     return dist, parent
 
 

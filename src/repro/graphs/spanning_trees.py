@@ -4,17 +4,22 @@ Exact price-of-stability computations (and the Theorem 3/5 reduction checks)
 need *all* spanning trees of small graphs.  Enumeration uses include/exclude
 backtracking with connectivity pruning; counting uses the Matrix-Tree theorem
 so tests can cross-check the enumerator against a determinant.
+
+The backtracking runs entirely over interned int ids
+(:class:`~repro.graphs.core.IndexedGraph` + array union-find); only the
+yielded trees are converted back to canonical label edges, in the same fixed
+edge order the dict-based implementation used.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Set
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
-from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.core import IndexedGraph, IntUnionFind
+from repro.graphs.graph import Edge, Graph
 from repro.graphs.mst import kruskal_mst
-from repro.graphs.unionfind import UnionFind
 
 
 def count_spanning_trees(graph: Graph) -> int:
@@ -23,20 +28,18 @@ def count_spanning_trees(graph: Graph) -> int:
     Uses an unweighted Laplacian minor determinant (LU via numpy).  Exact for
     counts comfortably below 2^52; plenty for test-sized graphs.
     """
-    nodes = graph.nodes
-    if len(nodes) <= 1:
+    ig = graph.to_indexed()
+    n = ig.num_nodes
+    if n <= 1:
         return 1
     if not graph.is_connected():
         return 0
-    index = {u: i for i, u in enumerate(nodes)}
-    n = len(nodes)
     lap = np.zeros((n, n))
-    for u, v, _w in graph.edges():
-        i, j = index[u], index[v]
-        lap[i, i] += 1
-        lap[j, j] += 1
-        lap[i, j] -= 1
-        lap[j, i] -= 1
+    eu, ev = ig.edge_u, ig.edge_v
+    np.add.at(lap, (eu, eu), 1.0)
+    np.add.at(lap, (ev, ev), 1.0)
+    np.add.at(lap, (eu, ev), -1.0)
+    np.add.at(lap, (ev, eu), -1.0)
     minor = lap[1:, 1:]
     sign, logdet = np.linalg.slogdet(minor)
     if sign <= 0:
@@ -44,12 +47,16 @@ def count_spanning_trees(graph: Graph) -> int:
     return int(round(float(np.exp(logdet))))
 
 
-def _remaining_connects(graph: Graph, allowed: Set[Edge]) -> bool:
-    """Can the graph still be spanned using only edges in ``allowed``?"""
-    uf = UnionFind(graph.nodes)
-    for u, v in allowed:
+def _remaining_connects(n: int, id_pairs: List[Tuple[int, int]]) -> bool:
+    """Can all ``n`` nodes still be spanned using only the given id pairs?"""
+    uf = IntUnionFind(n)
+    for u, v in id_pairs:
         uf.union(u, v)
     return uf.n_components == 1
+
+
+def _id_pairs(ig: IndexedGraph) -> List[Tuple[int, int]]:
+    return list(zip(ig.edge_u.tolist(), ig.edge_v.tolist()))
 
 
 def enumerate_spanning_trees(graph: Graph, limit: int | None = None) -> Iterator[List[Edge]]:
@@ -65,41 +72,43 @@ def enumerate_spanning_trees(graph: Graph, limit: int | None = None) -> Iterator
     spanning trees (times m for the connectivity check).  ``limit`` caps the
     number of trees yielded.
     """
-    n = graph.num_nodes
+    ig = graph.to_indexed()
+    n = ig.num_nodes
     if n == 0:
         return
-    edges = [canonical_edge(u, v) for u, v, _ in graph.edges()]
-    m = len(edges)
+    pairs = _id_pairs(ig)
+    edge_labels = ig.edge_labels
+    m = len(pairs)
     produced = 0
 
-    def backtrack(idx: int, chosen: List[Edge], uf_edges: List[Edge]) -> Iterator[List[Edge]]:
+    def backtrack(idx: int, chosen: List[int]) -> Iterator[List[Edge]]:
         nonlocal produced
         if limit is not None and produced >= limit:
             return
         if len(chosen) == n - 1:
             produced += 1
-            yield list(chosen)
+            yield [edge_labels[i] for i in chosen]
             return
         if idx == m:
             return
         # Rebuild a union-find for the current partial forest.  Partial
         # forests are tiny (< n edges) so this stays cheap relative to the
         # exponential number of trees enumerated.
-        uf = UnionFind(graph.nodes)
-        for u, v in chosen:
-            uf.union(u, v)
-        u, v = edges[idx]
+        uf = IntUnionFind(n)
+        for i in chosen:
+            uf.union(*pairs[i])
+        u, v = pairs[idx]
         # Branch 1: include the edge when it joins two components.
         if not uf.connected(u, v):
-            chosen.append(edges[idx])
-            yield from backtrack(idx + 1, chosen, uf_edges)
+            chosen.append(idx)
+            yield from backtrack(idx + 1, chosen)
             chosen.pop()
         # Branch 2: exclude the edge when the rest can still span.
-        allowed = set(chosen) | set(edges[idx + 1 :])
-        if _remaining_connects(graph, allowed):
-            yield from backtrack(idx + 1, chosen, uf_edges)
+        allowed = [pairs[i] for i in chosen] + pairs[idx + 1 :]
+        if _remaining_connects(n, allowed):
+            yield from backtrack(idx + 1, chosen)
 
-    yield from backtrack(0, [], [])
+    yield from backtrack(0, [])
 
 
 def enumerate_minimum_spanning_trees(
@@ -123,49 +132,49 @@ def enumerate_minimum_spanning_trees(
 
 def _enumerate_weight_bounded(graph: Graph, budget: float) -> Iterator[List[Edge]]:
     """All spanning trees of total weight <= budget (branch and bound)."""
-    n = graph.num_nodes
+    ig = graph.to_indexed()
+    n = ig.num_nodes
     if n == 0:
         return
-    edges = sorted(
-        (canonical_edge(u, v) for u, v, _ in graph.edges()),
-        key=lambda e: graph.weight(*e),
-    )
-    m = len(edges)
-    weights = [graph.weight(u, v) for u, v in edges]
+    order = np.argsort(ig.edge_weights, kind="stable").tolist()
+    pairs_all = _id_pairs(ig)
+    pairs = [pairs_all[i] for i in order]
+    weights = [float(ig.edge_weights[i]) for i in order]
+    edge_labels = [ig.edge_labels[i] for i in order]
+    m = len(pairs)
 
-    def mst_completion_bound(chosen: List[Edge], idx: int) -> float:
+    def mst_completion_bound(chosen: List[int], idx: int) -> float:
         """Weight of the cheapest completion using edges[idx:] (Kruskal-style)."""
-        uf = UnionFind(graph.nodes)
+        uf = IntUnionFind(n)
         total = 0.0
-        for u, v in chosen:
-            uf.union(u, v)
-            total += graph.weight(u, v)
+        for i in chosen:
+            uf.union(*pairs[i])
+            total += weights[i]
         for k in range(idx, m):
-            u, v = edges[k]
-            if uf.union(u, v):
+            if uf.union(*pairs[k]):
                 total += weights[k]
         if uf.n_components != 1:
             return float("inf")
         return total
 
-    def backtrack(idx: int, chosen: List[Edge]) -> Iterator[List[Edge]]:
+    def backtrack(idx: int, chosen: List[int]) -> Iterator[List[Edge]]:
         if len(chosen) == n - 1:
-            yield list(chosen)
+            yield [edge_labels[i] for i in chosen]
             return
         if idx == m:
             return
         if mst_completion_bound(chosen, idx) > budget:
             return
-        uf = UnionFind(graph.nodes)
-        for u, v in chosen:
-            uf.union(u, v)
-        u, v = edges[idx]
+        uf = IntUnionFind(n)
+        for i in chosen:
+            uf.union(*pairs[i])
+        u, v = pairs[idx]
         if not uf.connected(u, v):
-            chosen.append(edges[idx])
+            chosen.append(idx)
             yield from backtrack(idx + 1, chosen)
             chosen.pop()
-        allowed = set(chosen) | set(edges[idx + 1 :])
-        if _remaining_connects(graph, allowed):
+        allowed = [pairs[i] for i in chosen] + pairs[idx + 1 :]
+        if _remaining_connects(n, allowed):
             yield from backtrack(idx + 1, chosen)
 
     yield from backtrack(0, [])

@@ -12,7 +12,7 @@ from itertools import combinations
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.graphs.graph import Edge, Graph, Node, canonical_edge
-from repro.graphs.shortest_paths import dijkstra, reconstruct_path
+from repro.graphs.shortest_paths import reconstruct_path
 
 
 def steiner_tree(graph: Graph, terminals: Sequence[Node]) -> Tuple[List[Edge], float]:
@@ -26,15 +26,19 @@ def steiner_tree(graph: Graph, terminals: Sequence[Node]) -> Tuple[List[Edge], f
             raise KeyError(f"terminal {t!r} not in graph")
     if len(terms) <= 1:
         return [], 0.0
-    nodes = graph.nodes
+    # All-pairs shortest paths from each node: one indexed Dijkstra per
+    # node over the CSR snapshot, re-keyed to labels for the DP below.
+    from repro.graphs.core import dijkstra_indexed
 
-    # All-pairs shortest paths from each node (Dijkstra per node).
+    ig = graph.to_indexed()
+    nodes = ig.labels
+    INF0 = float("inf")
     sp_dist: Dict[Node, Dict[Node, float]] = {}
     sp_parent: Dict[Node, Dict[Node, Node]] = {}
     for v in nodes:
-        d, p = dijkstra(graph, v)
-        sp_dist[v] = d
-        sp_parent[v] = p
+        dist_arr, pred_arr, _ = dijkstra_indexed(ig, ig.id_of(v))
+        sp_dist[v] = {nodes[i]: d for i, d in enumerate(dist_arr) if d != INF0}
+        sp_parent[v] = {nodes[i]: nodes[p] for i, p in enumerate(pred_arr) if p >= 0}
 
     if len(terms) == 2:
         a, b = terms

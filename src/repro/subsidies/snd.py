@@ -46,11 +46,19 @@ class SNDResult:
 def _enforcement_cost(
     game: BroadcastGame, edges: List[Edge], all_or_nothing: bool, method: str
 ) -> Tuple[Optional[SubsidyAssignment], float]:
+    """Minimum enforcement cost of one candidate tree.
+
+    Candidate scoring skips the LP solver's redundant equilibrium re-check
+    (``verify=False``): the exact tree enumeration and the local search call
+    this once per candidate, and the consumers of the winning design
+    (``repro.api`` adapters, experiments) re-verify the returned subsidies
+    through the engine-backed :func:`~repro.games.equilibrium.check_equilibrium`.
+    """
     state = game.tree_state(edges)
     if all_or_nothing:
         res_aon = solve_aon_sne_exact(state, method=method)
         return res_aon.subsidies, res_aon.cost
-    res = solve_sne_broadcast_lp3(state, method=method)
+    res = solve_sne_broadcast_lp3(state, method=method, verify=False)
     if not res.feasible:  # pragma: no cover - SNE is always feasible
         return None, float("inf")
     return res.subsidies, res.cost

@@ -25,10 +25,11 @@ import numpy as np
 from repro.graphs.graph import Edge, Graph, Node, canonical_edge
 from repro.lp import LinearProgram, LPStatus, solve_lp, solve_with_cutting_planes
 from repro.games.broadcast import TreeState
-from repro.games.equilibrium import best_deviation_from_tree, best_response, check_equilibrium
+from repro.games.engine import BestResponseEngine
+from repro.games.equilibrium import check_equilibrium
 from repro.games.game import State
 from repro.subsidies.assignment import SubsidyAssignment
-from repro.utils.tolerances import LP_TOL, is_improvement
+from repro.utils.tolerances import LP_TOL
 
 AnyState = Union[State, TreeState]
 
@@ -139,37 +140,6 @@ def solve_sne_broadcast_lp3(
 # ---------------------------------------------------------------------------
 
 
-def _deviation_cut(
-    graph: Graph,
-    index: Dict[Edge, int],
-    n_vars: int,
-    current_path: List[Edge],
-    usage: Dict[Edge, int],
-    own: set,
-    deviation_path: List[Edge],
-) -> Tuple[np.ndarray, float]:
-    """Build the LP (1) row for one player deviation.
-
-    Constraint: cost on current path <= cost on deviation path, i.e.::
-
-        sum_{a in T_i} (w_a - b_a)/n_a  -  sum_{a in T'} (w_a - b_a)/d_a <= 0
-
-    with ``d_a = n_a + 1 - n_a^i``.  Edges on both paths have ``d_a = n_a``
-    and cancel exactly.
-    """
-    row = np.zeros(n_vars)
-    rhs = 0.0
-    for e in current_path:
-        n_a = usage[e]
-        row[index[e]] -= 1.0 / n_a
-        rhs -= graph.weight(*e) / n_a
-    for e in deviation_path:
-        d = usage.get(e, 0) + 1 - (1 if e in own else 0)
-        row[index[e]] += 1.0 / d
-        rhs += graph.weight(*e) / d
-    return row, rhs
-
-
 def solve_sne_cutting_plane_lp1(
     state: AnyState,
     method: str = "highs",
@@ -181,58 +151,51 @@ def solve_sne_cutting_plane_lp1(
     Works for general and broadcast states.  Variables cover *all* graph
     edges (as in the paper's presentation); optimal solutions put nothing on
     non-target edges, which the tests assert.
+
+    The separation oracle is the vectorized
+    :class:`~repro.games.engine.BestResponseEngine`: the target state is
+    bound to id arrays once, and every cutting-plane round re-prices the
+    edges from the LP iterate and runs one int-id Dijkstra per player.  LP
+    variable ``e`` is edge id ``e`` of the interned graph, so iterates and
+    cut rows need no dict translation at all.
+
+    Each violated deviation contributes the LP (1) row::
+
+        sum_{a in T_i} (w_a - b_a)/n_a  -  sum_{a in T'} (w_a - b_a)/d_a <= 0
+
+    with ``d_a = n_a + 1 - n_a^i``; edges on both paths have ``d_a = n_a``
+    and cancel exactly.
     """
-    if isinstance(state, TreeState):
-        graph = state.game.graph
-        player_items: List[Tuple[object, List[Edge], set]] = [
-            (u, state.tree.path_to_root(u), set(state.tree.path_to_root(u)))
-            for u in state.game.player_nodes()
-        ]
-        usage: Dict[Edge, int] = dict(state.loads)
+    graph = state.game.graph
+    engine = BestResponseEngine.for_graph(graph)
+    binding = engine.bind(state)
+    ig = engine.ig
+    n_vars = engine.num_edges
+    all_edges: List[Edge] = list(ig.edge_labels)
+    weights = ig.edge_weights
+    usage = binding.usage
+    cur_paths = [binding.current_path_eids(pos) for pos in range(len(binding.player_keys))]
+    own_sets = [set(p) for p in cur_paths]
 
-        def oracle_devs(subsidies):
-            out = []
-            for u, path, own in player_items:
-                dev = best_deviation_from_tree(state, u, subsidies)
-                if is_improvement(dev.deviation_cost, dev.current_cost, LP_TOL):
-                    dev_edges = [
-                        canonical_edge(a, b)
-                        for a, b in zip(dev.path_nodes, dev.path_nodes[1:])
-                    ]
-                    out.append((path, own, dev_edges))
-            return out
-
-    else:
-        graph = state.game.graph
-        player_items = [
-            (i, list(state.edge_paths[i]), state.edge_sets[i])
-            for i in range(state.game.n_players)
-        ]
-        usage = dict(state.usage)
-
-        def oracle_devs(subsidies):
-            out = []
-            for i, path, own in player_items:
-                dev = best_response(state, int(i), subsidies)
-                if is_improvement(dev.deviation_cost, dev.current_cost, LP_TOL):
-                    dev_edges = [
-                        canonical_edge(a, b)
-                        for a, b in zip(dev.path_nodes, dev.path_nodes[1:])
-                    ]
-                    out.append((path, own, dev_edges))
-            return out
-
-    all_edges = [canonical_edge(u, v) for u, v, _ in graph.edges()]
-    index = {e: i for i, e in enumerate(all_edges)}
-    n_vars = len(all_edges)
-    upper = np.array([graph.weight(*e) for e in all_edges])
-    lp = LinearProgram(n_vars=n_vars, c=np.ones(n_vars), upper=upper)
+    lp = LinearProgram(n_vars=n_vars, c=np.ones(n_vars), upper=weights.copy())
 
     def oracle(x: np.ndarray):
-        subsidies = {e: float(x[index[e]]) for e in all_edges if x[index[e]] > 1e-12}
+        b = np.where(x > 1e-12, x, 0.0)
+        wb = np.maximum(0.0, weights - b)
         cuts = []
-        for path, own, dev_edges in oracle_devs(subsidies):
-            cuts.append(_deviation_cut(graph, index, n_vars, path, usage, own, dev_edges))
+        for rec in binding.scan(wb, tol=LP_TOL, find_all=True):
+            row = np.zeros(n_vars)
+            rhs = 0.0
+            for e in cur_paths[rec.position]:
+                n_a = usage[e]
+                row[e] -= 1.0 / n_a
+                rhs -= weights[e] / n_a
+            own = own_sets[rec.position]
+            for e in rec.edge_ids:
+                d = usage[e] + 1 - (1 if e in own else 0)
+                row[e] += 1.0 / d
+                rhs += weights[e] / d
+            cuts.append((row, float(rhs)))
         return cuts
 
     out = solve_with_cutting_planes(lp, oracle, method=method, max_rounds=max_rounds)

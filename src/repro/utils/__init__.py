@@ -13,7 +13,7 @@ from repro.utils.tolerances import (
     leq_with_tol,
     nonnegative,
 )
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import child_seeds, ensure_rng
 from repro.utils.timing import Timer
 from repro.utils.validation import (
     check_edge_weight,
@@ -29,6 +29,7 @@ __all__ = [
     "leq_with_tol",
     "nonnegative",
     "ensure_rng",
+    "child_seeds",
     "Timer",
     "check_edge_weight",
     "check_positive_int",

@@ -1,0 +1,149 @@
+"""Cross-checks: the vectorized BestResponseEngine vs the legacy oracles.
+
+The acceptance bar for the engine refactor is *verdict identity*: on
+randomized instances (broadcast trees and general games, with and without
+subsidies) the engine-backed :func:`check_equilibrium` must agree with the
+dict-based :func:`check_equilibrium_legacy` — same equilibrium verdict,
+same deviating players when scanning all of them.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.games import (
+    BestResponseEngine,
+    BroadcastGame,
+    EngineProfile,
+    NetworkDesignGame,
+    check_equilibrium,
+    check_equilibrium_legacy,
+    rosenthal_potential,
+)
+from repro.games.dynamics import best_response_dynamics
+from repro.graphs.generators import random_connected_gnp, random_tree_plus_chords
+from repro.subsidies.sne_lp import solve_sne_broadcast_lp3
+from repro.utils.rng import ensure_rng
+
+
+def _random_tree_state(n, seed):
+    g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.2)
+    game = BroadcastGame(g, root=0)
+    rng = ensure_rng(seed + 1)
+    if rng.random() < 0.5:
+        return game.mst_state()
+    # A random (BFS from a random relabeling) spanning tree: usually worse
+    # than the MST, so this exercises the "deviation found" branch too.
+    from repro.graphs.spanning_trees import enumerate_spanning_trees
+
+    tree = next(enumerate_spanning_trees(g, limit=1))
+    return game.tree_state(tree)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(5, 14), st.integers(0, 10_000))
+def test_tree_verdicts_match_legacy(n, seed):
+    state = _random_tree_state(n, seed)
+    a = check_equilibrium(state, find_all=True)
+    b = check_equilibrium_legacy(state, find_all=True)
+    assert a.is_equilibrium == b.is_equilibrium
+    assert [d.player for d in a.deviations] == [d.player for d in b.deviations]
+    for da, db in zip(a.deviations, b.deviations):
+        assert da.current_cost == pytest.approx(db.current_cost)
+        assert da.deviation_cost == pytest.approx(db.deviation_cost)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(5, 12), st.integers(0, 10_000))
+def test_tree_verdicts_match_legacy_with_subsidies(n, seed):
+    state = _random_tree_state(n, seed)
+    # LP(3) subsidies enforce the state; both checkers must agree on that
+    # and on partially-withdrawn subsidies.
+    res = solve_sne_broadcast_lp3(state, verify=False)
+    full = res.subsidies
+    half = {e: 0.5 * b for e, b in full.items()}
+    for subsidies in (full, half, None):
+        a = check_equilibrium(state, subsidies, find_all=True)
+        b = check_equilibrium_legacy(state, subsidies, find_all=True)
+        assert a.is_equilibrium == b.is_equilibrium
+        assert [d.player for d in a.deviations] == [d.player for d in b.deviations]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(4, 10), st.integers(0, 10_000))
+def test_general_verdicts_match_legacy(n, seed):
+    g = random_connected_gnp(n, 0.5, seed=seed)
+    rng = ensure_rng(seed)
+    nodes = g.nodes
+    pairs = []
+    for _ in range(min(4, n - 1)):
+        s, t = rng.choice(len(nodes), size=2, replace=False)
+        pairs.append((nodes[int(s)], nodes[int(t)]))
+    game = NetworkDesignGame(g, pairs)
+    state = game.shortest_path_state()
+    a = check_equilibrium(state, find_all=True)
+    b = check_equilibrium_legacy(state, find_all=True)
+    assert a.is_equilibrium == b.is_equilibrium
+    assert [d.player for d in a.deviations] == [d.player for d in b.deviations]
+
+
+def test_multiplicity_and_zero_weight_edges_match_legacy():
+    from repro.graphs import Graph
+
+    g = Graph.from_edges([(0, 1, 0.0), (1, 2, 1.0), (0, 2, 1.2), (2, 3, 0.4)])
+    game = BroadcastGame(g, root=0, multiplicity={1: 0, 2: 5, 3: 2})
+    state = game.tree_state([(0, 1), (1, 2), (2, 3)])
+    a = check_equilibrium(state, find_all=True)
+    b = check_equilibrium_legacy(state, find_all=True)
+    assert a.is_equilibrium == b.is_equilibrium
+    assert [d.player for d in a.deviations] == [d.player for d in b.deviations]
+
+
+class TestEngineProfile:
+    def _profile(self, n=8, seed=13):
+        g = random_connected_gnp(n, 0.45, seed=seed)
+        game = BroadcastGame(g, root=0).to_network_design_game()
+        state = game.shortest_path_state()
+        engine = BestResponseEngine.for_graph(game.graph)
+        wb = engine.net_weights(engine.subsidy_vector(None))
+        return state, engine, EngineProfile(engine, state, wb)
+
+    def test_initial_costs_and_potential_match_state(self):
+        state, _, profile = self._profile()
+        assert profile.potential() == pytest.approx(rosenthal_potential(state))
+        for i in range(state.game.n_players):
+            assert profile.player_cost(i) == pytest.approx(state.player_cost(i))
+
+    def test_incremental_usage_matches_rebuilt_state(self):
+        state, engine, profile = self._profile()
+        moved = 0
+        for i in range(state.game.n_players):
+            rec = profile.best_response(i)
+            if rec.deviation_cost < rec.current_cost:
+                profile.apply(i, rec.node_ids, rec.edge_ids)
+                moved += 1
+        rebuilt = profile.to_state()
+        fresh = EngineProfile(engine, rebuilt, profile.wb)
+        assert profile.usage.tolist() == fresh.usage.tolist()
+        assert profile.potential() == pytest.approx(rosenthal_potential(rebuilt))
+        assert moved > 0  # the shortest-path profile is not an equilibrium here
+
+    def test_engine_cache_invalidated_on_graph_mutation(self):
+        state, engine, _ = self._profile()
+        graph = state.game.graph
+        assert BestResponseEngine.for_graph(graph) is engine
+        graph.add_edge(0, 100, 5.0)
+        assert BestResponseEngine.for_graph(graph) is not engine
+
+
+def test_dynamics_final_state_is_engine_equilibrium():
+    g = random_connected_gnp(10, 0.4, seed=99)
+    game = BroadcastGame(g, root=0).to_network_design_game()
+    start = game.shortest_path_state()
+    result = best_response_dynamics(start, seed=1)
+    assert result.converged
+    assert check_equilibrium(result.final_state).is_equilibrium
+    assert check_equilibrium_legacy(result.final_state).is_equilibrium
+    assert result.potential_trace[0] == pytest.approx(rosenthal_potential(start))
+    assert result.potential_trace[-1] == pytest.approx(
+        rosenthal_potential(result.final_state)
+    )
