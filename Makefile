@@ -1,0 +1,26 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: docs test bench sweep-demo clean-docs
+
+## build the documentation site (mkdocs when installed, else the
+## zero-dependency fallback builder; both fail on warnings/broken links)
+docs:
+	@if $(PYTHON) -c "import mkdocs" 2>/dev/null; then \
+		$(PYTHON) -m mkdocs build --strict; \
+	fi
+	$(PYTHON) tools/docsite.py build --strict
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest -q --benchmark-disable benchmarks/bench_*.py
+
+## a tiny end-to-end sweep: run it twice to watch the cache work
+sweep-demo:
+	$(PYTHON) -m repro.cli sweep --solver sne-lp3 --solver theorem6 \
+		--model tree-chords --n 16 --count 2 --jobs 2
+
+clean-docs:
+	rm -rf docs/_build

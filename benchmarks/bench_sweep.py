@@ -1,0 +1,110 @@
+"""Sweep-runtime benchmark — multi-core scaling and warm-cache reruns.
+
+The acceptance bar for the :mod:`repro.runtime` orchestration layer, on a
+3-solver x 4-instance grid:
+
+* ``--jobs 4`` beats ``--jobs 1`` by >= 1.7x wall clock on a cold cache
+  (multi-core machines only; the ratio gate skips itself under CI and on
+  starved runners, following the repo's benchmark convention),
+* a warm cache beats the cold run by >= 10x,
+* the deterministic result JSON is byte-identical across all of the above.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import ResultCache, SweepRunner, SweepSpec
+
+#: the acceptance grid: 3 solvers x (2 sizes x 2 replicas) = 12 jobs
+GRID = dict(
+    solvers=["sne-lp3", "sne-cutting-plane", "aon-exact"],
+    models=["tree-chords"],
+    sizes=[24, 30],
+    count=2,
+    seed=11,
+)
+
+
+def expand():
+    return SweepSpec(**GRID).expand()
+
+
+def result_bytes(result):
+    return json.dumps(result.to_json(), sort_keys=True).encode()
+
+
+@pytest.fixture(scope="module")
+def cold_baseline(tmp_path_factory):
+    """One serial cold run: the reference for bytes and wall clock."""
+    cache = ResultCache(tmp_path_factory.mktemp("cache-base"))
+    result = SweepRunner(cache=cache, jobs=1).run(expand())
+    assert result.ok and result.cache_hits == 0
+    return result, cache
+
+
+def test_sweep_serial(benchmark, tmp_path_factory):
+    cache_root = tmp_path_factory.mktemp("cache-serial")
+
+    def run():
+        cache = ResultCache(cache_root)
+        cache.clear()
+        return SweepRunner(cache=cache, jobs=1).run(expand())
+
+    result = benchmark(run)
+    assert result.ok and len(result) == 12
+
+
+def test_sweep_warm_cache(benchmark, cold_baseline):
+    baseline, cache = cold_baseline
+
+    def rerun():
+        return SweepRunner(cache=cache, jobs=1).run(expand())
+
+    result = benchmark(rerun)
+    assert result.cache_hits == len(result) == 12
+    assert result_bytes(result) == result_bytes(baseline)
+
+
+def test_parallel_results_byte_identical(cold_baseline):
+    baseline, _ = cold_baseline
+    parallel = SweepRunner(cache=False, jobs=4).run(expand())
+    assert parallel.ok
+    assert result_bytes(parallel) == result_bytes(baseline)
+
+
+@pytest.mark.skipif(
+    os.environ.get("CI", "") != "",
+    reason="wall-clock ratio assertion; shared CI runners are too noisy for it",
+)
+def test_warm_cache_speedup_at_least_10x(cold_baseline):
+    baseline, cache = cold_baseline
+    warm = SweepRunner(cache=cache, jobs=1).run(expand())
+    assert warm.cache_hits == 12
+    ratio = baseline.wall_seconds / max(warm.wall_seconds, 1e-9)
+    assert ratio >= 10.0, (
+        f"warm cache only {ratio:.1f}x faster "
+        f"({baseline.wall_seconds:.3f}s cold vs {warm.wall_seconds:.3f}s warm)"
+    )
+
+
+@pytest.mark.skipif(
+    os.environ.get("CI", "") != "",
+    reason="wall-clock ratio assertion; shared CI runners are too noisy for it",
+)
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="multi-core scaling needs >= 4 cores",
+)
+def test_jobs4_speedup_at_least_1_7x(tmp_path_factory):
+    jobs = expand()
+    serial = SweepRunner(cache=False, jobs=1).run(jobs)
+    parallel = SweepRunner(cache=False, jobs=4).run(jobs)
+    assert serial.ok and parallel.ok
+    assert result_bytes(serial) == result_bytes(parallel)
+    ratio = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
+    assert ratio >= 1.7, (
+        f"--jobs 4 only {ratio:.2f}x faster "
+        f"({serial.wall_seconds:.3f}s serial vs {parallel.wall_seconds:.3f}s parallel)"
+    )

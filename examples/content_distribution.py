@@ -15,6 +15,15 @@ This example exercises all three extensions on one scenario:
    tenants coordinate.
 
 Run:  python examples/content_distribution.py
+
+Usage (doctested) — only subscribers play in a multicast game::
+
+    >>> from repro.games import MulticastGame
+    >>> from repro.graphs import Graph
+    >>> g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 3, 5.0)])
+    >>> game = MulticastGame(g, root=0, terminals=[2])
+    >>> game.n_players                          # node 3 is not subscribed
+    1
 """
 
 from repro.games import (

@@ -6,6 +6,15 @@
    subsidies exist — with exact rational arithmetic.
 
 Run:  python examples/hardness_tour.py
+
+Usage (doctested) — the Bypass gadget tempts its connector::
+
+    >>> from repro.games.equilibrium import best_deviation_from_tree
+    >>> from repro.hardness.bypass import build_bypass_game
+    >>> game, state, gadget = build_bypass_game(5, 3)
+    >>> dev = best_deviation_from_tree(state, gadget.connector)
+    >>> dev.deviation_cost < dev.current_cost   # the bypass is cheaper
+    True
 """
 
 from repro.games.equilibrium import best_deviation_from_tree, check_equilibrium

@@ -14,6 +14,17 @@ This example measures, over random geometric deployments:
 * what the regulator gets for intermediate budgets (SND sweep).
 
 Run:  python examples/isp_backbone.py
+
+Usage (doctested) — the Theorem 6 guarantee on one deployment::
+
+    >>> from repro.games import BroadcastGame
+    >>> from repro.graphs.generators import random_geometric_graph
+    >>> from repro.subsidies import theorem6_subsidies
+    >>> g = random_geometric_graph(12, 0.6, seed=4)
+    >>> state = BroadcastGame(g, root=0).mst_state()
+    >>> res = theorem6_subsidies(state)
+    >>> res.fraction <= 1 / 2.718281828        # never above wgt(T)/e
+    True
 """
 
 import math

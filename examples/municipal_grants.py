@@ -11,6 +11,16 @@ towns:
 * the paper's asymptotic worst case e/(2e-1) ~ 61.3% of the network cost.
 
 Run:  python examples/municipal_grants.py
+
+Usage (doctested) — exact never spends more than greedy::
+
+    >>> from repro.bounds.instances import theorem21_path_instance
+    >>> from repro.subsidies import greedy_aon_sne, solve_aon_sne_exact
+    >>> _game, state = theorem21_path_instance(5)
+    >>> exact = solve_aon_sne_exact(state)
+    >>> greedy = greedy_aon_sne(state)
+    >>> exact.subsidies.cost <= greedy.subsidies.cost + 1e-9
+    True
 """
 
 import math

@@ -8,6 +8,16 @@ stabilizes it three ways through the unified ``repro.api`` facade:
 3. an all-or-nothing assignment (Section 5): ``solver="aon-exact"``.
 
 Run:  python examples/quickstart.py
+
+Usage (doctested)::
+
+    >>> from repro import api
+    >>> from repro.games import BroadcastGame
+    >>> from repro.graphs import Graph
+    >>> g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.2)])
+    >>> report = api.solve(BroadcastGame(g, root=0), solver="sne-lp3")
+    >>> report.verified and report.budget_used < report.target_cost
+    True
 """
 
 from repro import api

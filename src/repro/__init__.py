@@ -13,7 +13,9 @@ Public API highlights
 - SND solvers and heuristics,
 - hardness-reduction constructors in :mod:`repro.hardness`,
 - lower-bound instance families and constants in :mod:`repro.bounds`,
-- the experiment harness in :mod:`repro.experiments` (CLI: ``repro-experiments``).
+- the experiment harness in :mod:`repro.experiments` (CLI: ``repro-experiments``),
+- the parallel sweep runtime with its content-addressed result cache in
+  :mod:`repro.runtime` (CLI: ``repro-experiments sweep``).
 
 Subpackages are imported lazily (PEP 562) so ``import repro`` stays cheap —
 ``repro.api`` and friends materialize on first attribute access.
@@ -22,7 +24,7 @@ Subpackages are imported lazily (PEP 562) so ``import repro`` stays cheap —
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: lazily importable public subpackages
 _SUBMODULES = (
@@ -33,6 +35,7 @@ _SUBMODULES = (
     "graphs",
     "hardness",
     "lp",
+    "runtime",
     "subsidies",
     "utils",
 )
@@ -48,6 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         graphs,
         hardness,
         lp,
+        runtime,
         subsidies,
         utils,
     )

@@ -128,6 +128,7 @@ def _report_from_sne(
     description="LP (3): one row per non-tree incidence (Lemma 2; broadcast)",
     broadcast_only=True,
     requires_tree_state=True,
+    version="1",
 )
 def solve_sne_lp3(instance: AnyInstance, method: str = "highs", verify: bool = True) -> SolveReport:
     state = as_tree_state(instance)
@@ -143,6 +144,7 @@ def solve_sne_lp3(instance: AnyInstance, method: str = "highs", verify: bool = T
     broadcast_only=False,
     requires_tree_state=False,
     aliases=("sne-lp1",),
+    version="1",
 )
 def solve_sne_cutting_plane(
     instance: AnyInstance,
@@ -165,6 +167,7 @@ def solve_sne_cutting_plane(
     broadcast_only=False,
     requires_tree_state=False,
     aliases=("sne-lp2",),
+    version="1",
 )
 def solve_sne_poly(instance: AnyInstance, method: str = "highs", verify: bool = True) -> SolveReport:
     state = as_any_state(instance)
@@ -185,6 +188,7 @@ def solve_sne_poly(instance: AnyInstance, method: str = "highs", verify: bool = 
     broadcast_only=True,
     requires_tree_state=True,
     exact=False,  # matches the 1/e guarantee, not the instance optimum
+    version="1",
 )
 def solve_theorem6(instance: AnyInstance, check_level_totals: bool = True) -> SolveReport:
     state = as_tree_state(instance)
@@ -243,6 +247,7 @@ def _report_from_aon(
     description="all-or-nothing SNE: exact branch & bound over edge funding",
     broadcast_only=True,
     requires_tree_state=True,
+    version="1",
 )
 def solve_aon_exact(
     instance: AnyInstance,
@@ -263,6 +268,7 @@ def solve_aon_exact(
     broadcast_only=True,
     requires_tree_state=True,
     exact=False,
+    version="1",
 )
 def solve_aon_greedy(instance: AnyInstance, max_steps: Optional[int] = None) -> SolveReport:
     state = as_tree_state(instance)
@@ -283,6 +289,7 @@ def solve_aon_greedy(instance: AnyInstance, max_steps: Optional[int] = None) -> 
     broadcast_only=True,
     requires_tree_state=True,
     exact=False,
+    version="1",
 )
 def solve_combinatorial(
     instance: AnyInstance,
@@ -368,6 +375,7 @@ def _default_budget(game: BroadcastGame, budget: Optional[float]) -> float:
     description="SND: exact spanning-tree enumeration under a subsidy budget",
     broadcast_only=True,
     requires_tree_state=False,
+    version="1",
 )
 def solve_snd_exact_adapter(
     instance: AnyInstance,
@@ -393,6 +401,7 @@ def solve_snd_exact_adapter(
     requires_tree_state=False,
     exact=False,
     aliases=("snd-heuristic",),
+    version="1",
 )
 def solve_snd_local_search(
     instance: AnyInstance,

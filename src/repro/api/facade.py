@@ -13,7 +13,6 @@ otherwise).  Keyword options are forwarded to the solver adapter — e.g.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.api import adapters  # noqa: F401  (import populates the registry)
@@ -43,52 +42,52 @@ def solve_many(
     solvers: Union[str, Sequence[str]],
     workers: Optional[int] = None,
     opts: Optional[Dict[str, Any]] = None,
+    executor: str = "thread",
+    cache: Any = False,
+    timeout: Optional[float] = None,
 ) -> Union[List[SolveReport], List[List[SolveReport]]]:
-    """Batch execution over an instance sweep.
+    """Batch execution over an instance sweep (a thin front for
+    :func:`repro.runtime.run_solve_batch`).
 
     Parameters
     ----------
     instances:
-        The instances to solve (states and/or games).
+        The instances to solve (states and/or games; ``executor="process"``
+        needs serializable games).
     solvers:
         One solver name — returns a flat ``List[SolveReport]`` aligned with
         ``instances`` — or a sequence of names, returning one inner list per
         instance (``result[i][j]`` is solver ``j`` on instance ``i``).
     workers:
-        ``None``/``0``/``1`` runs serially; ``N > 1`` dispatches jobs to a
-        ``concurrent.futures`` thread pool.  Output order (and content, for
-        the deterministic built-in solvers) is identical either way.
+        ``None``/``0``/``1`` runs serially; ``N > 1`` fans out to a pool.
+        Output order (and content, for the deterministic built-in solvers)
+        is identical either way.
     opts:
         Options applied to every solve.
+    executor:
+        ``"thread"`` (default) shares live objects across a thread pool;
+        ``"process"`` routes through the :mod:`repro.runtime` sweep runner —
+        true multi-core execution plus the content-addressed result cache.
+    cache:
+        (process executor only) ``False`` disables caching (default),
+        ``None`` uses the default cache directory, or pass a
+        :class:`repro.runtime.ResultCache`.
+    timeout:
+        (process executor only) per-job wall-clock budget in seconds.
     """
+    from repro.runtime.runner import run_solve_batch
+
     single = isinstance(solvers, str)
     names: List[str] = [solvers] if single else list(solvers)
-    # Fail fast on unknown names before launching any work.
-    for name in names:
-        get_solver(name)
-    kwargs = dict(opts or {})
-
-    jobs = [
-        (i, j, instance, name)
-        for i, instance in enumerate(instances)
-        for j, name in enumerate(names)
-    ]
-    grid: List[List[SolveReport]] = [
-        [None] * len(names) for _ in range(len(instances))  # type: ignore[list-item]
-    ]
-
-    if workers is not None and workers > 1 and len(jobs) > 1:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(solve, instance, name, **kwargs): (i, j)
-                for i, j, instance, name in jobs
-            }
-            for future, (i, j) in futures.items():
-                grid[i][j] = future.result()
-    else:
-        for i, j, instance, name in jobs:
-            grid[i][j] = solve(instance, name, **kwargs)
-
+    grid = run_solve_batch(
+        instances,
+        names,
+        opts=opts,
+        workers=workers,
+        executor=executor,
+        cache=cache,
+        timeout=timeout,
+    )
     if single:
         return [row[0] for row in grid]
     return grid

@@ -54,6 +54,9 @@ class SolverSpec:
     exact: bool = True
     #: alternative lookup names
     aliases: Tuple[str, ...] = field(default=())
+    #: algorithm version; part of the result-cache key, so bump it whenever
+    #: the solver's output for a fixed instance can change
+    version: str = "1"
 
 
 _REGISTRY: Dict[str, SolverSpec] = {}
@@ -71,12 +74,18 @@ def register_solver(
     requires_tree_state: bool = False,
     exact: bool = True,
     aliases: Tuple[str, ...] = (),
+    version: str = "1",
 ) -> Callable[[Callable[..., object]], Callable[..., object]]:
     """Decorator registering an adapter function under ``name``.
 
     The decorated function keeps working as a plain callable; registration
     only records it in the catalogue.  Re-registering a taken name (or
     alias) raises ``ValueError`` — names are a public API surface.
+
+    ``version`` feeds the :mod:`repro.runtime` result cache: cached reports
+    are keyed by (instance, solver name, ``version``, options), so bumping
+    it is how a solver declares "my outputs changed" and invalidates every
+    previously cached cell.
     """
     if problem not in PROBLEMS:
         raise ValueError(f"problem must be one of {PROBLEMS}, got {problem!r}")
@@ -94,6 +103,7 @@ def register_solver(
             requires_tree_state=requires_tree_state,
             exact=exact,
             aliases=tuple(aliases),
+            version=version,
         )
         _REGISTRY[name] = spec
         for alias in aliases:

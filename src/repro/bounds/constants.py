@@ -1,4 +1,11 @@
-"""The paper's headline constants."""
+"""The paper's headline constants, as importable, documented values.
+
+Every threshold a theorem pins down — the ``1/e`` fractional-subsidy
+bound (Theorems 6/11), the ``e/(2e-1)`` all-or-nothing bound
+(Theorem 21), the ``571/570`` PoS inapproximability ratio (Theorem 5) —
+lives here exactly once, so experiments, tests and docs compare against
+the same numbers the paper states rather than re-deriving them inline.
+"""
 
 from __future__ import annotations
 

@@ -4,23 +4,39 @@ Usage::
 
     repro-experiments list
     repro-experiments run E3 [--seed 7]
-    repro-experiments run all [--seed 7]           # tolerant sweep + timings
+    repro-experiments run all [--jobs 4]           # cached tolerant sweep
     repro-experiments solvers                      # the repro.api registry
     repro-experiments gen --n 10 --count 3 --out instances.json
     repro-experiments solve instances.json --solver sne-lp3 --json
     repro-experiments solve-batch instances.json --solver sne-lp3 \
         --solver theorem6 --workers 4 --json
+    repro-experiments sweep --solver sne-lp3 --solver theorem6 \
+        --model gnp --n 12 --n 16 --count 2 --jobs 4 --json-out grid.json
+    repro-experiments sweep --spec sweep.toml --jobs 8
+
+``sweep`` and ``run all`` execute through :mod:`repro.runtime`: jobs fan
+out over worker processes and finished cells land in a content-addressed
+result cache (``~/.cache/repro``; ``--cache-dir`` / ``REPRO_CACHE_DIR``
+override, ``--no-cache`` disables), so re-runs only recompute what
+changed and interrupted sweeps resume where they stopped.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, List, Optional
 
 from repro import api
-from repro.experiments import EXPERIMENTS, run_all_tolerant, run_experiment, sweep_summary
+from repro.experiments import (
+    EXPERIMENTS,
+    error_text,
+    run_all_tolerant,
+    run_experiment,
+    sweep_summary,
+)
 
 _DESCRIPTIONS = {
     "E1": "Theorem 1: LP formulations (1)/(2)/(3) agree",
@@ -37,6 +53,21 @@ _DESCRIPTIONS = {
     "A1": "Ablations: packing rule & decomposition",
     "A2": "Section 6 extensions: multicast/weighted/coalitions/combinatorial",
 }
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser, prefix: str = "") -> None:
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"{prefix}recompute everything; neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=f"{prefix}result-cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +97,27 @@ def build_parser() -> argparse.ArgumentParser:
             "defaults to <out>.json when --out is given"
         ),
     )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="('run all' only) worker processes (default 1 = in-process)",
+    )
+    run_p.add_argument(
+        "--skip",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="('run all' only) skip this experiment (repeatable); skips are "
+        "reported distinctly from failures and do not fail the sweep",
+    )
+    run_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="('run all' only) per-experiment wall-clock budget in seconds",
+    )
+    _add_cache_flags(run_p, "('run all' only) ")
 
     gen_p = sub.add_parser(
         "gen", help="generate random broadcast instances as a JSON file"
@@ -144,7 +196,105 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--method", default=None, help="LP backend (highs/simplex)")
     batch_p.add_argument("--json", action="store_true", help="emit reports as JSON")
     batch_p.add_argument("--out", default=None, help="also write output to this file")
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a (model x size x seed x solver) grid through the parallel "
+        "runtime with the content-addressed result cache",
+    )
+    sweep_p.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="sweep spec as JSON or TOML (flags below override/extend it)",
+    )
+    sweep_p.add_argument(
+        "--instances",
+        default=None,
+        metavar="FILE",
+        help="solve an existing instance-set JSON file (from 'gen') instead "
+        "of generating a grid",
+    )
+    sweep_p.add_argument(
+        "--solver",
+        action="append",
+        default=[],
+        help="registry solver name (repeatable)",
+    )
+    sweep_p.add_argument(
+        "--model",
+        action="append",
+        default=[],
+        choices=("tree-chords", "gnp", "geometric"),
+        help="generator model (repeatable; default tree-chords)",
+    )
+    sweep_p.add_argument(
+        "--n",
+        action="append",
+        default=[],
+        type=int,
+        metavar="N",
+        help="instance size (repeatable; default 12)",
+    )
+    sweep_p.add_argument(
+        "--count", type=int, default=None, help="instances per (model, size) cell"
+    )
+    sweep_p.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    sweep_p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="generator parameter, e.g. --param density=0.3 (repeatable)",
+    )
+    sweep_p.add_argument(
+        "--opt",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="solver option applied to every job, e.g. --opt budget=2.5",
+    )
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = in-process)",
+    )
+    sweep_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds",
+    )
+    _add_cache_flags(sweep_p)
+    sweep_p.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write the deterministic sweep result JSON here (byte-identical "
+        "across --jobs values and cache states)",
+    )
+    sweep_p.add_argument(
+        "--out", default=None, help="also write the text table to this file"
+    )
+    sweep_p.add_argument(
+        "--quiet", action="store_true", help="no per-job progress on stderr"
+    )
     return parser
+
+
+def _sigpipe_exit() -> int:
+    """Conventional SIGPIPE exit, with the broken stdout silenced.
+
+    Redirecting stdout to /dev/null before returning stops the
+    interpreter's exit-time buffer flush from printing an
+    "Exception ignored" traceback for the same broken pipe.
+    """
+    try:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except OSError:  # pragma: no cover - nothing left to silence
+        pass
+    return 141
 
 
 def _emit(text: str, out: Optional[str]) -> None:
@@ -161,14 +311,19 @@ def _read_payload(path: str) -> Any:
         return json.load(fh)
 
 
-def _load_instances(path: str) -> List[Any]:
-    """Read one game or a whole instance set from a JSON file."""
+def _instance_payloads(path: str) -> List[Any]:
+    """Raw game payload dicts from a JSON file (instance-set or single)."""
     data = _read_payload(path)
     if isinstance(data, dict) and data.get("kind") == "instance-set":
         data = data["instances"]
     if isinstance(data, dict):
         data = [data]
-    return [api.serialize.game_from_json(entry) for entry in data]
+    return list(data)
+
+
+def _load_instances(path: str) -> List[Any]:
+    """Read one game or a whole instance set from a JSON file."""
+    return [api.serialize.game_from_json(entry) for entry in _instance_payloads(path)]
 
 
 def _solver_opts(args: argparse.Namespace) -> dict:
@@ -197,39 +352,32 @@ def _cmd_solvers() -> int:
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
-    from repro.games.broadcast import BroadcastGame
-    from repro.graphs.generators import (
-        random_connected_gnp,
-        random_geometric_graph,
-        random_tree_plus_chords,
-    )
+    from repro.runtime import generate_instance
     from repro.utils.rng import child_seeds
 
-    chords = args.chords if args.chords is not None else args.n // 2
+    if args.model == "gnp":
+        params: dict = {
+            "density": args.density,
+            "weight_low": args.weight_low,
+            "weight_high": args.weight_high,
+        }
+    elif args.model == "geometric":
+        params = {"radius": args.radius}
+    else:
+        params = {
+            "chords": args.chords if args.chords is not None else args.n // 2,
+            "chord_factor": args.chord_factor,
+            "weight_low": args.weight_low,
+            "weight_high": args.weight_high,
+        }
     instances = []
     # One independent child stream per instance (SeedSequence spawning), so
-    # sweeps with neighbouring base seeds never share instances.
+    # sweeps with neighbouring base seeds never share instances.  The same
+    # construction path backs sweep-grid expansion (repro.runtime.spec), so
+    # generated files and grid cells agree cell for cell.
     for seed in child_seeds(args.seed, args.count):
-        if args.model == "gnp":
-            g = random_connected_gnp(
-                args.n,
-                args.density,
-                seed=seed,
-                weight_low=args.weight_low,
-                weight_high=args.weight_high,
-            )
-        elif args.model == "geometric":
-            g = random_geometric_graph(args.n, args.radius, seed=seed)
-        else:
-            g = random_tree_plus_chords(
-                args.n,
-                chords,
-                seed=seed,
-                weight_low=args.weight_low,
-                weight_high=args.weight_high,
-                chord_factor=args.chord_factor,
-            )
-        instances.append(api.serialize.game_to_json(BroadcastGame(g, root=0)))
+        game = generate_instance(args.model, args.n, seed, **params)
+        instances.append(api.serialize.game_to_json(game))
     payload = {"kind": "instance-set", "instances": instances}
     _emit(json.dumps(payload, indent=2), args.out)
     return 0
@@ -271,28 +419,141 @@ def _cmd_solve_batch(args: argparse.Namespace) -> int:
     return 0 if all(r.feasible for row in grid for r in row) else 1
 
 
+def _cache_from_args(args: argparse.Namespace):
+    """The cache object selected by ``--no-cache`` / ``--cache-dir``."""
+    from repro.runtime import coerce_cache
+
+    if getattr(args, "no_cache", False):
+        return coerce_cache(False)
+    return coerce_cache(getattr(args, "cache_dir", None))
+
+
+def _parse_kv(pairs: List[str], flag: str) -> dict:
+    """Parse repeatable ``KEY=VALUE`` flags; values are JSON when possible."""
+    out: dict = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"{flag} expects KEY=VALUE, got {pair!r}")
+        try:
+            out[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            out[key] = raw  # bare strings, e.g. --opt method=simplex
+    return out
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a parameter grid through the parallel, cached sweep runtime."""
+    from repro.runtime import SweepRunner, SweepSpec, read_spec_file
+
+    # Flags refine the spec file (overlaid onto the raw mapping before
+    # validation, so e.g. a solvers-less grid file plus --solver works):
+    # repeatable flags replace, scalars override only when given.
+    data: dict = read_spec_file(args.spec) if args.spec else {}
+    if args.solver:
+        data["solvers"] = list(args.solver)
+    if args.model:
+        data["models"] = list(args.model)
+    if args.n:
+        data["sizes"] = list(args.n)
+    if args.count is not None:
+        data["count"] = args.count
+    if args.seed is not None:
+        data["seed"] = args.seed
+    if args.param:
+        data["params"] = {**data.get("params", {}), **_parse_kv(args.param, "--param")}
+    if args.opt:
+        data["opts"] = {**data.get("opts", {}), **_parse_kv(args.opt, "--opt")}
+    if "solvers" not in data:
+        raise ValueError("sweep needs --solver (repeatable) or a --spec FILE listing solvers")
+    spec = SweepSpec.from_mapping(data)
+    if args.instances:
+        if args.model or args.n or args.count is not None or args.seed is not None or args.param:
+            raise ValueError(
+                "--instances replaces the generator grid; drop "
+                "--model/--n/--count/--seed/--param"
+            )
+        spec.instances = _instance_payloads(args.instances)
+
+    jobs = spec.expand()
+
+    def progress(outcome, done, total):
+        if not args.quiet:
+            mark = " (cached)" if outcome.cached else ""
+            print(
+                f"[{done}/{total}] {outcome.job.label}: {outcome.status}{mark}",
+                file=sys.stderr,
+            )
+
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=_cache_from_args(args),
+        timeout=args.timeout,
+        progress=progress,
+    )
+    result = runner.run(jobs)
+
+    lines = []
+    for o in result:
+        if o.ok:
+            budget = o.report["budget_used"]
+            cost = o.report["target_cost"]
+            detail = f"budget {budget:.6g} on wgt {cost:.6g}"
+            if o.cached:
+                detail += " [cached]"
+            else:
+                detail += f" ({o.elapsed_seconds * 1e3:.1f} ms)"
+        else:
+            detail = o.error or o.status
+        lines.append(f"{o.job.label:40s} {o.status:8s} {detail}")
+    lines += ["", result.summary_text()]
+    _emit("\n".join(lines), args.out)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if result.ok else 1
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     """Tolerant sweep: report per-experiment timing, survive failures."""
-    items = run_all_tolerant(seed=args.seed)
+    items = run_all_tolerant(
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_cache_from_args(args),
+        timeout=args.timeout,
+        skip=args.skip,
+    )
     chunks = []
     for item in items:
-        if item.ok:
+        if item.skipped:
+            chunks.append(f"[{item.experiment_id}] skipped (--skip)")
+        elif item.ok:
             assert item.result is not None
             chunks.append(item.result.to_text())
         else:
             chunks.append(
                 f"[{item.experiment_id}] FAILED after {item.elapsed_seconds:.2f}s: "
-                f"{type(item.error).__name__}: {item.error}"
+                f"{error_text(item.error)}"
             )
     summary = ["", "== sweep summary =="]
     for item in items:
-        status = "ok" if item.ok else "FAILED"
-        summary.append(f"{item.experiment_id:4s} {status:6s} {item.elapsed_seconds:8.2f}s")
-    failures = [i for i in items if not i.ok]
-    summary.append(
-        f"{len(items) - len(failures)}/{len(items)} experiments passed, "
-        f"total {sum(i.elapsed_seconds for i in items):.2f}s"
+        label = {"failed": "FAILED"}.get(item.status, item.status)
+        summary.append(
+            f"{item.experiment_id:4s} {label:8s} {item.elapsed_seconds:8.2f}s"
+        )
+    failures = [i for i in items if i.status == "failed"]
+    skipped = [i for i in items if i.skipped]
+    hits = [i for i in items if i.cached]
+    ran = [i for i in items if not i.skipped]
+    tail = (
+        f"{len(ran) - len(failures)}/{len(ran)} experiments passed "
+        f"({len(hits)} cache hits"
     )
+    if skipped:
+        tail += f", {len(skipped)} skipped"
+    tail += f"), total {sum(i.elapsed_seconds for i in ran):.2f}s"
+    summary.append(tail)
     _emit("\n\n".join(chunks) + "\n" + "\n".join(summary), args.out)
     json_out = args.json_out
     if json_out is None and args.out:
@@ -312,18 +573,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "solvers":
         return _cmd_solvers()
-    if args.command in ("gen", "solve", "solve-batch"):
+    if args.command in ("gen", "solve", "solve-batch", "sweep"):
         handler = {
             "gen": _cmd_gen,
             "solve": _cmd_solve,
             "solve-batch": _cmd_solve_batch,
+            "sweep": _cmd_sweep,
         }[args.command]
         try:
             return handler(args)
         except BrokenPipeError:
             # Downstream consumer (e.g. `| head`) closed stdout: not a user
-            # error.  Conventional SIGPIPE exit, no message.
-            return 141
+            # error, no message.
+            return _sigpipe_exit()
         except json.JSONDecodeError as exc:
             print(f"error: invalid JSON in instance file: {exc}", file=sys.stderr)
             return 2
@@ -342,15 +604,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     # command == "run"
-    if args.experiment.lower() == "all":
-        return _cmd_run_all(args)
     try:
+        if args.experiment.lower() == "all":
+            return _cmd_run_all(args)
         result = run_experiment(args.experiment, seed=args.seed)
+        _emit(result.to_text(), args.out)
+        return 0
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed stdout: not a user
+        # error, no message.
+        return _sigpipe_exit()
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    _emit(result.to_text(), args.out)
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,7 +11,9 @@ from repro.experiments.records import ExperimentResult
 from repro.experiments.tables import render_table
 from repro.experiments.runner import (
     EXPERIMENTS,
+    RemoteFailure,
     SweepItem,
+    error_text,
     run_all,
     run_all_tolerant,
     run_experiment,
@@ -22,7 +24,9 @@ __all__ = [
     "ExperimentResult",
     "render_table",
     "EXPERIMENTS",
+    "RemoteFailure",
     "SweepItem",
+    "error_text",
     "run_all",
     "run_all_tolerant",
     "run_experiment",

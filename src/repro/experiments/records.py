@@ -1,9 +1,39 @@
-"""Result containers for experiments."""
+"""Result containers for experiments.
+
+Every experiment driver (``exp_*.run``) returns an
+:class:`ExperimentResult`: a one-line *headline* comparing the paper's
+claim against the measured value, a table of rows backing it, and optional
+notes.  The CLI renders it with :meth:`ExperimentResult.to_text`; the sweep
+runtime round-trips it as JSON (:meth:`to_json` / :meth:`from_json`) so
+cached and cross-process runs reproduce the exact report.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
+
+
+def _jsonify(value: object) -> object:
+    """Coerce one table value to a JSON-safe equivalent.
+
+    Rows may carry numpy scalars (measurements) or exotic exact types
+    (``Fraction`` in the hardness experiments); numbers map to Python
+    numbers, everything else degrades to ``str`` — tables are a display
+    surface, so display fidelity is the contract.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    try:
+        import numpy as np
+
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, (np.floating, np.bool_)):
+            return value.item()
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    return str(value)
 
 
 @dataclass
@@ -32,3 +62,33 @@ class ExperimentResult:
             parts.append(self.notes)
         parts.append(f"(elapsed: {self.elapsed_seconds:.2f}s)")
         return "\n".join(parts)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-data form for caching and process boundaries."""
+        return {
+            "kind": "experiment-result",
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headline": self.headline,
+            "rows": [
+                {str(k): _jsonify(v) for k, v in row.items()} for row in self.rows
+            ],
+            "notes": self.notes,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_json` (table values may have become str)."""
+        if data.get("kind") != "experiment-result":
+            raise ValueError(
+                f"expected kind 'experiment-result', got {data.get('kind')!r}"
+            )
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            headline=data["headline"],
+            rows=[dict(row) for row in data.get("rows", [])],
+            notes=data.get("notes"),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        )

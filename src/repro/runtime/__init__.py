@@ -1,0 +1,80 @@
+"""``repro.runtime`` — parallel sweep execution with a content-addressed cache.
+
+The orchestration layer above :mod:`repro.api`: where the facade solves one
+instance, the runtime runs *grids* — model × size × seed × solver — across
+worker processes, reusing previously computed cells from an on-disk cache.
+
+* :class:`SweepSpec` / :class:`SweepJob` — declarative grids expanded into
+  process-safe job payloads (:mod:`repro.runtime.spec`);
+* :class:`SweepRunner` / :class:`SweepResult` — cache-aware parallel
+  execution with per-job timeouts and live progress
+  (:mod:`repro.runtime.runner`);
+* :class:`ResultCache` — content-addressed storage keyed by
+  (instance JSON, solver, solver version, options)
+  (:mod:`repro.runtime.cache`).
+
+>>> from repro.runtime import SweepSpec, SweepRunner
+>>> spec = SweepSpec(solvers=["theorem6"], sizes=[8], count=1, seed=0)
+>>> result = SweepRunner(cache=False).run(spec.expand())
+>>> [o.status for o in result]
+['ok']
+
+The CLI front ends are ``repro-experiments sweep`` and the cache-aware
+``repro-experiments run all``.
+"""
+
+from repro.runtime.cache import (
+    CACHE_SCHEMA_VERSION,
+    NullCache,
+    ResultCache,
+    coerce_cache,
+    default_cache_dir,
+    experiment_job_key,
+    solve_job_key,
+)
+from repro.runtime.runner import (
+    JobOutcome,
+    SweepResult,
+    SweepRunner,
+    execute_payloads,
+    run_solve_batch,
+)
+from repro.runtime.spec import (
+    MODELS,
+    SweepJob,
+    SweepSpec,
+    generate_instance,
+    jobs_from_instances,
+    read_spec_file,
+)
+from repro.runtime.workers import (
+    JobTimeout,
+    experiment_source_digest,
+    run_experiment_job,
+    run_solve_job,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "JobOutcome",
+    "JobTimeout",
+    "MODELS",
+    "NullCache",
+    "ResultCache",
+    "SweepJob",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "coerce_cache",
+    "default_cache_dir",
+    "read_spec_file",
+    "execute_payloads",
+    "experiment_job_key",
+    "experiment_source_digest",
+    "generate_instance",
+    "jobs_from_instances",
+    "run_experiment_job",
+    "run_solve_batch",
+    "run_solve_job",
+    "solve_job_key",
+]

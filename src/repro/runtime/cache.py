@@ -1,0 +1,243 @@
+"""Content-addressed on-disk result cache for the sweep runtime.
+
+Every sweep job — one (instance, solver, options) cell, or one experiment
+run — is identified by a SHA-256 key over the *content* that determines its
+result (see :func:`solve_job_key` / :func:`experiment_job_key`).  Completed
+results are stored one-file-per-key under a sharded directory tree::
+
+    <cache_dir>/v1/<first two hex chars>/<key>.json
+
+which makes three properties fall out for free:
+
+* **incremental sweeps** — re-running a grid only recomputes cells whose
+  instance, solver version or options changed;
+* **resumability** — each job's entry is written atomically the moment it
+  finishes, so an interrupted sweep resumes from the completed prefix;
+* **invalidation without bookkeeping** — bumping a solver's
+  :attr:`~repro.api.registry.SolverSpec.version` (or editing an experiment
+  module, whose source is digested into the key) changes the key, orphaning
+  the stale entries instead of serving them.
+
+The default location is ``~/.cache/repro`` (override with the
+``REPRO_CACHE_DIR`` environment variable or the CLI's ``--cache-dir``).
+Entries are plain JSON, safe to inspect or delete by hand; concurrent
+writers are safe because entries are immutable for a given key and writes
+go through ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+from repro.utils.hashing import stable_hash
+
+JSONDict = Dict[str, Any]
+
+#: bump when the on-disk entry layout changes (old trees are simply ignored)
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The cache root used when none is given explicitly.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/repro`` or
+    ``~/.cache/repro``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def solve_job_key(
+    instance: JSONDict,
+    solver: str,
+    solver_version: str,
+    opts: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Content hash identifying one (instance, solver, options) cell.
+
+    ``instance`` is the serialized game payload
+    (:func:`repro.api.serialize.game_to_json`), which is canonical for a
+    given game, so logically-equal instances share cache cells no matter
+    where they were generated.  Raises
+    :class:`repro.utils.hashing.UnhashablePayloadError` when ``opts``
+    contains values that cannot be hashed deterministically (such jobs run
+    uncached).
+    """
+    return stable_hash(
+        {
+            "kind": "solve-job",
+            "schema": CACHE_SCHEMA_VERSION,
+            "instance": instance,
+            "solver": solver,
+            "solver_version": solver_version,
+            "opts": dict(opts or {}),
+        }
+    )
+
+
+def experiment_job_key(experiment_id: str, seed: int, source_digest: str) -> str:
+    """Content hash identifying one experiment run.
+
+    There is no hand-maintained version for experiments: ``source_digest``
+    (a hash of the experiment module's source, see
+    :func:`repro.runtime.workers.experiment_source_digest`) plays that
+    role, so editing the experiment invalidates its cached results.
+    """
+    return stable_hash(
+        {
+            "kind": "experiment-job",
+            "schema": CACHE_SCHEMA_VERSION,
+            "experiment": experiment_id,
+            "seed": seed,
+            "source": source_digest,
+        }
+    )
+
+
+class ResultCache:
+    """One directory of content-addressed job results.
+
+    ``get``/``put`` speak plain JSON dicts (the *entry*); the runtime stores
+    ``{"kind": ..., "key": ..., "result": ..., "elapsed_seconds": ...}`` but
+    the cache itself does not interpret entries beyond requiring a dict.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # the versioned subtree actually holding entries
+    @property
+    def _tree(self) -> Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self._tree / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[JSONDict]:
+        """The stored entry for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (truncated write from a killed process predating
+        atomic replace, manual edit) counts as a miss and is removed, so
+        one bad file cannot wedge a sweep.  A merely *unreadable* entry
+        (permissions, I/O error) is a miss but is left in place — another
+        process may still be able to read it.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except json.JSONDecodeError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        except OSError:
+            return None
+        return entry if isinstance(entry, dict) else None
+
+    def put(self, key: str, entry: Mapping[str, Any]) -> None:
+        """Atomically store ``entry`` under ``key`` (last writer wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(dict(entry), fh)
+                fh.write("\n")
+            os.replace(tmp, path)  # atomic on POSIX: readers never see partial JSON
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def _entry_paths(self) -> Iterator[Path]:
+        """Entry files of the current schema (skips .tmp-* leftovers)."""
+        if not self._tree.is_dir():
+            return
+        for shard in sorted(self._tree.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                # a worker killed between mkstemp and os.replace leaves a
+                # ".tmp-*" file behind; it is not an entry
+                if not path.name.startswith("."):
+                    yield path
+
+    def keys(self) -> Iterator[str]:
+        """All stored keys (current schema version only)."""
+        for path in self._entry_paths():
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry of the current schema; returns the count."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class NullCache:
+    """The ``--no-cache`` object: always misses, never stores.
+
+    Lets the runner treat caching uniformly instead of branching on
+    ``cache is None`` at every touch point.
+    """
+
+    root: Optional[Path] = None
+
+    def get(self, key: str) -> Optional[JSONDict]:
+        return None
+
+    def put(self, key: str, entry: Mapping[str, Any]) -> None:
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+
+AnyCache = Union[ResultCache, NullCache]
+
+
+def coerce_cache(value: Union[AnyCache, str, Path, bool, None]) -> AnyCache:
+    """Normalize the cache-argument convention used across the runtime.
+
+    ``False`` → :class:`NullCache`; ``None``/``True`` → a
+    :class:`ResultCache` at the default directory; a path → a
+    :class:`ResultCache` there; cache objects pass through.  Every entry
+    point (``SweepRunner``, ``run_all_tolerant``, the CLI) funnels its
+    ``cache`` parameter through here so the convention lives in one place.
+    """
+    if value is False:
+        return NullCache()
+    if value is None or value is True:
+        return ResultCache()
+    if isinstance(value, (str, Path)):
+        return ResultCache(value)
+    return value

@@ -1,0 +1,460 @@
+"""The sweep runner: cache-aware parallel execution of expanded jobs.
+
+:class:`SweepRunner` takes the flat job list produced by
+:meth:`repro.runtime.spec.SweepSpec.expand` and drives it to completion:
+
+1. **cache pass** — every job's content key is looked up in the
+   :class:`~repro.runtime.cache.ResultCache`; hits are finished before any
+   process spawns;
+2. **execute pass** — misses run through
+   :func:`repro.runtime.workers.run_solve_job`, inline for ``jobs <= 1``
+   or on a ``ProcessPoolExecutor`` otherwise (fork start method where the
+   platform offers it, so workers inherit the warm interpreter);
+3. **store pass** — each successful outcome is written to the cache *as it
+   completes*, which is what makes interrupted sweeps resumable.
+
+Failures never abort the sweep: a job that raises or times out becomes a
+``"failed"`` / ``"timeout"`` outcome and the remaining cells keep going.
+Progress is observable live via the ``progress`` callback (the CLI renders
+it to stderr).
+
+Determinism: expansion is done before the runner sees anything, the same
+worker function runs in every mode, and :meth:`SweepResult.to_json` strips
+wall-clock timings — so the JSON result of a sweep is byte-identical
+across ``--jobs 1``, ``--jobs N``, and warm-cache reruns.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.runtime.cache import AnyCache, coerce_cache, solve_job_key
+from repro.runtime.spec import SweepJob, jobs_from_instances
+from repro.runtime.workers import run_solve_job
+from repro.utils.hashing import UnhashablePayloadError
+
+JSONDict = Dict[str, Any]
+ProgressFn = Callable[["JobOutcome", int, int], None]
+
+#: outcome statuses a job can end in
+STATUSES = ("ok", "failed", "timeout")
+
+
+def _pool(max_workers: int) -> ProcessPoolExecutor:
+    """A process pool preferring the fork start method.
+
+    Forked workers inherit the parent's already-imported numpy/scipy, so
+    per-worker startup is milliseconds instead of a full interpreter boot;
+    on platforms without fork (Windows) the default method is used.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    return ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
+
+
+#: pool respawns tolerated per execute_payloads call before giving up
+_MAX_POOL_RESPAWNS = 5
+
+#: times one job may be implicated in a pool death before it is failed
+_MAX_JOB_RETRIES = 2
+
+
+def execute_payloads(
+    payloads: Sequence[JSONDict],
+    worker: Callable[[JSONDict], JSONDict],
+    jobs: int = 1,
+) -> Iterator[Tuple[int, JSONDict]]:
+    """Run ``worker(payload)`` for every payload, yielding ``(index, outcome)``.
+
+    ``jobs <= 1`` runs inline (same code path, no processes); otherwise a
+    process pool executes them and outcomes are yielded as they complete —
+    out of order, which is why the index travels with the outcome.
+
+    A worker dying (segfault, OOM kill) breaks the whole pool, failing
+    every in-flight future without telling us which job was the culprit —
+    so all implicated jobs are retried on a fresh pool, up to
+    ``_MAX_JOB_RETRIES`` implications per job and ``_MAX_POOL_RESPAWNS``
+    respawns per call.  The repeatedly implicated culprit ends up
+    ``"failed"`` while healthy cells still complete: one bad cell cannot
+    take the whole sweep down with it.
+    """
+    if jobs <= 1 or len(payloads) <= 1:
+        for i, payload in enumerate(payloads):
+            yield i, worker(payload)
+        return
+
+    queued: List[int] = list(range(len(payloads)))
+    retries: Dict[int, int] = {}
+    respawns = 0
+    while queued:
+        implicated: Dict[int, str] = {}
+        with _pool(min(jobs, len(queued))) as pool:
+            try:
+                pending = {pool.submit(worker, payloads[i]): i for i in queued}
+                queued = []
+                while pending:
+                    done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = pending.pop(future)
+                        try:
+                            yield i, future.result()
+                        except Exception as exc:  # noqa: BLE001 - pool breakage
+                            implicated[i] = f"{type(exc).__name__}: {exc}"
+                    if implicated:
+                        # The pool is broken; everything still pending will
+                        # fail the same way the moment we wait on it.
+                        implicated.update(
+                            (i, "worker pool died") for i in pending.values()
+                        )
+                        break
+            except BaseException:
+                # Interrupt / consumer error: drop queued work but keep
+                # already finished results on disk (the caller cached them
+                # as they came).
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        if not implicated:
+            continue
+        respawns += 1
+        exhausted = respawns > _MAX_POOL_RESPAWNS
+        for i in sorted(implicated):
+            retries[i] = retries.get(i, 0) + 1
+            if exhausted or retries[i] >= _MAX_JOB_RETRIES:
+                yield i, {
+                    "status": "failed",
+                    "error": f"worker process died ({implicated[i]})",
+                    "elapsed_seconds": 0.0,
+                }
+            else:
+                queued.append(i)
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one sweep job."""
+
+    job: SweepJob
+    #: ``"ok"``, ``"failed"`` or ``"timeout"``
+    status: str
+    #: the result was served from the cache (status is necessarily ``"ok"``)
+    cached: bool = False
+    #: content-address of the cell; ``None`` when the options are uncacheable
+    key: Optional[str] = None
+    #: full report JSON (``report_to_json`` shape) when ``status == "ok"``
+    report: Optional[JSONDict] = None
+    error: Optional[str] = None
+    #: solve time for fresh runs; the *original* solve time for cache hits
+    elapsed_seconds: float = 0.0
+    #: False when a requested timeout could not be armed on this platform
+    #: (no SIGALRM / non-main thread); deliberately absent from to_json()
+    timeout_enforced: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class SweepResult:
+    """Every outcome of one sweep, in job order."""
+
+    outcomes: List[JobOutcome]
+    #: end-to-end runner time (cache pass + execution), in seconds
+    wall_seconds: float = 0.0
+    cache_root: Optional[str] = None
+
+    def __iter__(self) -> Iterator[JobOutcome]:
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def ok(self) -> bool:
+        """True when every job finished with an ``"ok"`` outcome."""
+        return all(o.ok for o in self.outcomes)
+
+    def to_json(self) -> JSONDict:
+        """Deterministic plain-data form of the sweep's *results*.
+
+        Wall-clock times and cache provenance are deliberately excluded:
+        this payload is byte-identical across ``--jobs 1`` / ``--jobs N``
+        and cold / warm cache runs of the same sweep (timings live in the
+        text summary instead).
+        """
+        return {
+            "kind": "sweep-result",
+            "schema": 1,
+            "jobs": [
+                {
+                    "label": o.job.label,
+                    "solver": o.job.solver,
+                    "key": o.key,
+                    "status": o.status,
+                    "report": _strip_wall_clock(o.report),
+                    "error": o.error,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+    def summary_text(self) -> str:
+        """The human sweep summary (counts, timings, cache hits)."""
+        n = len(self.outcomes)
+        parts = [f"{n} job{'s' if n != 1 else ''}: {self.count('ok')} ok"]
+        if self.cache_hits:
+            parts[-1] += f" ({self.cache_hits} cached)"
+        for status in ("failed", "timeout"):
+            if self.count(status):
+                parts.append(f"{self.count(status)} {status}")
+        solve_time = sum(o.elapsed_seconds for o in self.outcomes if not o.cached)
+        parts.append(f"wall {self.wall_seconds:.2f}s (solve {solve_time:.2f}s)")
+        return " · ".join(parts)
+
+
+def _strip_wall_clock(report: Optional[JSONDict]) -> Optional[JSONDict]:
+    if report is None:
+        return None
+    return {k: v for k, v in report.items() if k != "wall_clock_seconds"}
+
+
+class SweepRunner:
+    """Executes expanded sweep jobs with caching, parallelism and timeouts.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs inline in this process.
+    cache:
+        A :class:`ResultCache`, ``None`` for the default cache directory,
+        or ``False`` / a :class:`NullCache` to disable caching entirely.
+    timeout:
+        Per-job wall-clock budget in seconds (enforced inside workers via
+        ``SIGALRM`` where the platform supports it).
+    progress:
+        ``progress(outcome, done, total)`` fired after every job —
+        cache hits included — in completion order.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Union[AnyCache, bool, None] = None,
+        timeout: Optional[float] = None,
+        progress: Optional[ProgressFn] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache: AnyCache = coerce_cache(cache)
+        self.timeout = timeout
+        self.progress = progress
+
+    # -- key computation ----------------------------------------------------
+
+    def _key_of(self, job: SweepJob) -> Optional[str]:
+        from repro.api.registry import get_solver
+
+        spec = get_solver(job.solver)  # raises UnknownSolverError up front
+        try:
+            return solve_job_key(job.instance, spec.name, spec.version, job.opts)
+        except UnhashablePayloadError:
+            return None  # runnable, just not cacheable
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, sweep_jobs: Sequence[SweepJob]) -> SweepResult:
+        """Drive every job to a terminal outcome (never raises per-job)."""
+        start = time.perf_counter()
+        total = len(sweep_jobs)
+        done = 0
+        outcomes: Dict[int, JobOutcome] = {}
+        misses: List[SweepJob] = []
+        keys: Dict[int, Optional[str]] = {}
+
+        def finish(outcome: JobOutcome) -> None:
+            nonlocal done
+            outcomes[outcome.job.index] = outcome
+            done += 1
+            if self.progress is not None:
+                self.progress(outcome, done, total)
+
+        # 1. cache pass (also validates every solver name up front)
+        for job in sweep_jobs:
+            key = keys[job.index] = self._key_of(job)
+            entry = self.cache.get(key) if key else None
+            if entry is not None and entry.get("status") == "ok":
+                finish(
+                    JobOutcome(
+                        job=job,
+                        status="ok",
+                        cached=True,
+                        key=key,
+                        report=entry.get("report"),
+                        elapsed_seconds=entry.get("elapsed_seconds", 0.0),
+                    )
+                )
+            else:
+                misses.append(job)
+
+        # 2 + 3. execute misses, caching each success as it completes
+        payloads = [
+            {
+                "instance": job.instance,
+                "solver": job.solver,
+                "opts": job.opts,
+                "timeout": self.timeout,
+            }
+            for job in misses
+        ]
+        for i, raw in execute_payloads(payloads, run_solve_job, jobs=self.jobs):
+            job = misses[i]
+            key = keys[job.index]
+            outcome = JobOutcome(
+                job=job,
+                status=raw["status"],
+                key=key,
+                report=raw.get("report"),
+                error=raw.get("error"),
+                elapsed_seconds=raw.get("elapsed_seconds", 0.0),
+                timeout_enforced=raw.get("timeout_enforced", True),
+            )
+            if outcome.ok and key is not None:
+                try:
+                    self.cache.put(
+                        key,
+                        {
+                            "kind": "solve-entry",
+                            "key": key,
+                            "status": "ok",
+                            "solver": job.solver,
+                            "report": outcome.report,
+                            "elapsed_seconds": outcome.elapsed_seconds,
+                            "created_at": time.time(),
+                        },
+                    )
+                except OSError:
+                    pass  # unwritable cache degrades to uncached, not a crash
+            finish(outcome)
+
+        ordered = [outcomes[i] for i in sorted(outcomes)]
+        root = getattr(self.cache, "root", None)
+        return SweepResult(
+            outcomes=ordered,
+            wall_seconds=time.perf_counter() - start,
+            cache_root=str(root) if root else None,
+        )
+
+
+# ---------------------------------------------------------------------------
+# solve_many's engine
+# ---------------------------------------------------------------------------
+
+
+def run_solve_batch(
+    instances: Sequence[Any],
+    solvers: Sequence[str],
+    opts: Optional[Mapping[str, Any]] = None,
+    workers: Optional[int] = None,
+    executor: str = "thread",
+    cache: Union[AnyCache, bool, None] = False,
+    timeout: Optional[float] = None,
+):
+    """The engine behind :func:`repro.api.solve_many`.
+
+    ``executor="thread"`` keeps instances as live objects (states allowed,
+    nothing serialized, no caching) and fans out over a thread pool —
+    cheap, and fine for the many solvers that release little of the GIL
+    only briefly.  ``executor="process"`` serializes every instance
+    (games only), runs through :class:`SweepRunner` — gaining true
+    multi-core execution, per-job timeouts and the result cache — and
+    rehydrates the canonical reports.
+
+    Returns the ``grid[i][j]`` = solver ``j`` on instance ``i`` nested-list
+    shape in both modes.
+    """
+    from repro.api.facade import solve
+    from repro.api.registry import get_solver
+
+    names = list(solvers)
+    for name in names:
+        get_solver(name)  # fail fast before launching any work
+    kwargs = dict(opts or {})
+    n_workers = workers or 1
+
+    if executor == "thread":
+        if cache is not False or timeout is not None:
+            # Silently ignoring these would look like they were active.
+            raise ValueError(
+                "cache= and timeout= require executor='process' "
+                "(the thread executor shares live objects and cannot "
+                "content-address or bound jobs)"
+            )
+        from concurrent.futures import ThreadPoolExecutor
+
+        jobs = [
+            (i, j, instance, name)
+            for i, instance in enumerate(instances)
+            for j, name in enumerate(names)
+        ]
+        grid: List[List[Any]] = [[None] * len(names) for _ in range(len(instances))]
+        if n_workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                futures = {
+                    pool.submit(solve, instance, name, **kwargs): (i, j)
+                    for i, j, instance, name in jobs
+                }
+                for future, (i, j) in futures.items():
+                    grid[i][j] = future.result()
+        else:
+            for i, j, instance, name in jobs:
+                grid[i][j] = solve(instance, name, **kwargs)
+        return grid
+
+    if executor != "process":
+        raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
+
+    from repro.api import serialize
+
+    payloads = []
+    for instance in instances:
+        try:
+            payloads.append(serialize.game_to_json(instance))
+        except TypeError as exc:
+            raise TypeError(
+                "executor='process' needs serializable game instances "
+                "(BroadcastGame / NetworkDesignGame); pass games or use "
+                f"executor='thread' — {exc}"
+            ) from None
+    sweep_jobs = jobs_from_instances(payloads, names, opts=kwargs)
+    result = SweepRunner(
+        jobs=n_workers, cache=cache, timeout=timeout
+    ).run(sweep_jobs)
+    bad = next((o for o in result if not o.ok), None)
+    if bad is not None:
+        raise RuntimeError(f"sweep job {bad.job.label!r} {bad.status}: {bad.error}")
+    reports = [serialize.report_from_json(o.report) for o in result]
+    k = len(names)
+    return [reports[i * k : (i + 1) * k] for i in range(len(instances))]

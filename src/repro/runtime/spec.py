@@ -1,0 +1,318 @@
+"""Sweep specifications: parameter grids expanded into runnable jobs.
+
+A :class:`SweepSpec` describes a sweep declaratively — which solvers, which
+instance grid (generator model × sizes × count, or an explicit instance
+list), which solver options — and :meth:`SweepSpec.expand` turns it into a
+flat list of :class:`SweepJob` cells.  Expansion happens once, in the
+parent process, so every execution mode (serial, ``--jobs N`` process pool,
+warm cache) sees the *same* job payloads in the same order; determinism of
+the whole sweep reduces to determinism of the individual solvers.
+
+Seeding follows the repo-wide rule (:func:`repro.utils.rng.child_seeds`):
+one ``SeedSequence`` child per grid cell, assigned in a fixed enumeration
+order (model-major, then size, then replica), so the instance behind
+``gnp-n20[3]`` is identical whether the sweep runs on one core or eight,
+with or without the other grid dimensions.
+
+Specs load from JSON or TOML files (see :meth:`SweepSpec.from_file`)::
+
+    solvers = ["sne-lp3", "theorem6"]
+    models  = ["tree-chords", "gnp"]
+    sizes   = [12, 16]
+    count   = 2
+    seed    = 7
+
+    [params]
+    density = 0.3
+
+    [opts]
+    verify = true
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+JSONDict = Dict[str, Any]
+
+#: generator models `expand` understands (mirrors ``repro-experiments gen``)
+MODELS = ("tree-chords", "gnp", "geometric")
+
+#: the generator knobs each model accepts; grid expansion scopes a shared
+#: params dict per model with this, so mixed-model grids can carry
+#: model-specific parameters (gnp's density next to tree-chords' chords)
+MODEL_PARAMS = {
+    "tree-chords": ("chords", "chord_factor", "weight_low", "weight_high"),
+    "gnp": ("density", "weight_low", "weight_high"),
+    "geometric": ("radius",),
+}
+
+#: spec-file keys accepted by :meth:`SweepSpec.from_mapping`
+_SPEC_KEYS = (
+    "solvers",
+    "models",
+    "sizes",
+    "count",
+    "seed",
+    "params",
+    "opts",
+    "instances",
+)
+
+
+def generate_instance(model: str, n: int, seed: int, **params: Any):
+    """Build one random broadcast game for a grid cell.
+
+    This is the single instance-construction path shared by the ``gen``
+    CLI command and sweep expansion, so a grid cell and a generated
+    instance file with the same (model, n, seed, params) are the same
+    game.  ``params`` accepts the generator family's knobs (``chords``,
+    ``chord_factor``, ``weight_low``/``weight_high`` for tree-chords;
+    ``density`` for gnp; ``radius`` for geometric) and rejects unknown
+    names.
+    """
+    from repro.games.broadcast import BroadcastGame
+    from repro.graphs.generators import (
+        random_connected_gnp,
+        random_geometric_graph,
+        random_tree_plus_chords,
+    )
+
+    params = dict(params)
+
+    def take(name: str, default: Any) -> Any:
+        return params.pop(name, default)
+
+    if model == "gnp":
+        graph = random_connected_gnp(
+            n,
+            take("density", 0.3),
+            seed=seed,
+            weight_low=take("weight_low", 0.5),
+            weight_high=take("weight_high", 2.0),
+        )
+    elif model == "geometric":
+        graph = random_geometric_graph(n, take("radius", 0.5), seed=seed)
+    elif model == "tree-chords":
+        chords = take("chords", None)
+        graph = random_tree_plus_chords(
+            n,
+            n // 2 if chords is None else int(chords),
+            seed=seed,
+            weight_low=take("weight_low", 0.5),
+            weight_high=take("weight_high", 2.0),
+            chord_factor=take("chord_factor", 1.1),
+        )
+    else:
+        raise ValueError(f"unknown instance model {model!r}; known: {', '.join(MODELS)}")
+    if params:
+        raise ValueError(
+            f"unknown generator parameter(s) for model {model!r}: "
+            f"{', '.join(sorted(params))}"
+        )
+    return BroadcastGame(graph, root=0)
+
+
+def read_spec_file(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a ``.json`` or ``.toml`` sweep-spec file as a plain dict.
+
+    Separate from :meth:`SweepSpec.from_file` so callers (the CLI) can
+    overlay command-line refinements onto the raw mapping *before*
+    validation — a spec file without ``solvers`` plus ``--solver`` flags
+    is a valid combination.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError as exc:  # pragma: no cover - 3.10 only
+            raise ValueError(
+                "TOML sweep specs need Python >= 3.11 (tomllib); "
+                "use a JSON spec instead"
+            ) from exc
+        with open(path, "rb") as fh:
+            data: Any = tomllib.load(fh)
+    else:
+        with open(path) as fh:
+            data = json.load(fh)
+    if not isinstance(data, Mapping):
+        raise ValueError(f"sweep spec {path} must be a table/object at top level")
+    return dict(data)
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One cell of an expanded sweep: solve ``instance`` with ``solver``.
+
+    ``instance`` is the serialized game payload (not a live object): jobs
+    must cross process boundaries and feed content-addressed cache keys,
+    and the JSON form is canonical for both.
+    """
+
+    #: position in the expanded sweep (stable output ordering)
+    index: int
+    #: human-readable cell id, e.g. ``"gnp-n20[1] x sne-lp3"``
+    label: str
+    #: serialized game (:func:`repro.api.serialize.game_to_json` payload)
+    instance: JSONDict
+    #: registry solver name (canonical or alias)
+    solver: str
+    #: solver options forwarded to :func:`repro.api.solve`
+    opts: JSONDict = field(default_factory=dict)
+
+
+@dataclass
+class SweepSpec:
+    """Declarative description of a sweep grid.
+
+    Either give ``instances`` (serialized game payloads, e.g. from
+    ``repro-experiments gen``) or a generator grid (``models`` × ``sizes``
+    × ``count`` replicas seeded from ``seed``).  ``opts`` are applied to
+    every solve.
+    """
+
+    solvers: List[str]
+    models: List[str] = field(default_factory=lambda: ["tree-chords"])
+    sizes: List[int] = field(default_factory=lambda: [12])
+    count: int = 1
+    seed: int = 0
+    params: JSONDict = field(default_factory=dict)
+    opts: JSONDict = field(default_factory=dict)
+    instances: Optional[List[JSONDict]] = None
+
+    def __post_init__(self) -> None:
+        self.solvers = list(self.solvers)
+        if not self.solvers:
+            raise ValueError("a sweep needs at least one solver")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            # seed=None would pull OS entropy into child_seeds, silently
+            # defeating both the cache and the byte-identical-JSON contract
+            raise ValueError(
+                f"seed must be an int for deterministic expansion, got {self.seed!r}"
+            )
+        self.models = list(self.models)
+        self.sizes = [int(n) for n in self.sizes]
+        if self.instances is None:
+            if not self.models or not self.sizes:
+                raise ValueError("a generator grid needs >=1 model and >=1 size")
+            if self.count < 1:
+                raise ValueError(f"count must be >= 1, got {self.count}")
+            for model in self.models:
+                if model not in MODELS:
+                    raise ValueError(
+                        f"unknown instance model {model!r}; known: {', '.join(MODELS)}"
+                    )
+            known = {k for model in self.models for k in MODEL_PARAMS[model]}
+            unknown = sorted(set(self.params) - known)
+            if unknown:
+                raise ValueError(
+                    f"generator parameter(s) {', '.join(unknown)} fit none of "
+                    f"the grid's models ({', '.join(self.models)})"
+                )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Build a spec from a plain dict (the JSON/TOML file contents)."""
+        unknown = sorted(set(data) - set(_SPEC_KEYS))
+        if unknown:
+            raise ValueError(
+                f"unknown sweep-spec key(s): {', '.join(unknown)}; "
+                f"accepted: {', '.join(_SPEC_KEYS)}"
+            )
+        if "solvers" not in data:
+            raise ValueError("sweep spec must list 'solvers'")
+        kwargs: Dict[str, Any] = {"solvers": list(data["solvers"])}
+        for key in ("models", "sizes", "count", "seed", "params", "opts", "instances"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "SweepSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        return cls.from_mapping(read_spec_file(path))
+
+    def to_mapping(self) -> JSONDict:
+        """The inverse of :meth:`from_mapping` (for ``--json-out`` echoes)."""
+        out: JSONDict = {"solvers": list(self.solvers)}
+        if self.instances is not None:
+            out["instances"] = list(self.instances)
+        else:
+            out.update(
+                models=list(self.models),
+                sizes=list(self.sizes),
+                count=self.count,
+                seed=self.seed,
+            )
+        if self.params:
+            out["params"] = dict(self.params)
+        if self.opts:
+            out["opts"] = dict(self.opts)
+        return out
+
+    # -- expansion ----------------------------------------------------------
+
+    def _grid_instances(self) -> List[Tuple[str, JSONDict]]:
+        """(label stem, game payload) per instance, in enumeration order."""
+        from repro.api.serialize import game_to_json
+        from repro.utils.rng import child_seeds
+
+        if self.instances is not None:
+            return [
+                (f"inst{i}", dict(payload))
+                for i, payload in enumerate(self.instances)
+            ]
+        cells = [
+            (model, n, k)
+            for model in self.models
+            for n in self.sizes
+            for k in range(self.count)
+        ]
+        seeds = child_seeds(self.seed, len(cells))
+        out: List[Tuple[str, JSONDict]] = []
+        for (model, n, k), cell_seed in zip(cells, seeds):
+            # scope the shared params dict to what this model understands,
+            # so mixed-model grids can carry model-specific knobs
+            params = {
+                key: v for key, v in self.params.items() if key in MODEL_PARAMS[model]
+            }
+            game = generate_instance(model, n, cell_seed, **params)
+            out.append((f"{model}-n{n}[{k}]", game_to_json(game)))
+        return out
+
+    def expand(self) -> List[SweepJob]:
+        """Materialize the full (instance × solver) job list.
+
+        Instance-major order: all solvers of instance 0, then instance 1,
+        … — matching :func:`repro.api.solve_many`'s grid convention.
+        """
+        jobs: List[SweepJob] = []
+        for stem, payload in self._grid_instances():
+            for solver in self.solvers:
+                jobs.append(
+                    SweepJob(
+                        index=len(jobs),
+                        label=f"{stem} x {solver}",
+                        instance=payload,
+                        solver=solver,
+                        opts=dict(self.opts),
+                    )
+                )
+        return jobs
+
+
+def jobs_from_instances(
+    instances: Sequence[JSONDict],
+    solvers: Sequence[str],
+    opts: Optional[Mapping[str, Any]] = None,
+) -> List[SweepJob]:
+    """Jobs for explicit instance payloads (the ``solve-batch`` path)."""
+    spec = SweepSpec(
+        solvers=list(solvers), instances=[dict(p) for p in instances], opts=dict(opts or {})
+    )
+    return spec.expand()

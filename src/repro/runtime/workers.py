@@ -1,0 +1,183 @@
+"""Process-pool worker entry points for the sweep runtime.
+
+Everything a worker touches crosses a process boundary, so the contract is
+JSON-shaped in both directions: a *payload* dict in (instance JSON, solver
+name, plain-data options), an *outcome* dict out (status, serialized
+result, elapsed seconds, error text).  The same functions also run inline
+for ``--jobs 1``, which is what makes "parallel equals serial" a structural
+property rather than a test hope: both modes execute literally this code.
+
+Per-job timeouts use ``SIGALRM``'s interval timer inside the worker — the
+only reliable way to bound a *CPU-bound* job without killing the whole
+pool.  On platforms without ``SIGALRM`` (Windows), or when a job runs on a
+non-main thread, timeouts degrade to unenforced; outcomes then carry
+``"timeout_enforced": false`` so callers can tell the budget was never
+armed rather than merely not hit.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.utils.hashing import source_digest
+
+JSONDict = Dict[str, Any]
+
+
+class JobTimeout(Exception):
+    """A sweep job exceeded its wall-clock budget."""
+
+
+def _timeout_supported() -> bool:
+    return hasattr(signal, "SIGALRM") and (
+        threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def job_timeout(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`JobTimeout` in the current (main) thread after ``seconds``.
+
+    A no-op when ``seconds`` is falsy or enforcement is unsupported here
+    (no ``SIGALRM``, or not the main thread).  On exit the previous handler
+    is restored and an outer interval timer is re-armed with whatever time
+    it had left (firing ~immediately when already overdue), so nesting is
+    safe.
+    """
+    if not seconds or not _timeout_supported():
+        yield
+        return
+
+    def _raise(_signum: int, _frame: Any) -> None:
+        raise JobTimeout(f"job exceeded {seconds:g}s timeout")
+
+    start = time.monotonic()
+    previous = signal.signal(signal.SIGALRM, _raise)
+    outer_delay, _ = signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+        if outer_delay:
+            remaining = outer_delay - (time.monotonic() - start)
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6))
+
+
+def _failure(exc: BaseException, elapsed: float) -> JSONDict:
+    if isinstance(exc, JobTimeout):
+        return {"status": "timeout", "error": str(exc), "elapsed_seconds": elapsed}
+    return {
+        "status": "failed",
+        "error": f"{type(exc).__name__}: {exc}",
+        "traceback": traceback.format_exc(limit=8),
+        "elapsed_seconds": elapsed,
+    }
+
+
+def run_solve_job(payload: JSONDict) -> JSONDict:
+    """Execute one solve cell: deserialize, solve, serialize.
+
+    ``payload`` keys: ``instance`` (game JSON), ``solver`` (registry name),
+    ``opts`` (dict), optional ``timeout`` (seconds).  Returns an outcome
+    dict with ``status`` in ``{"ok", "failed", "timeout"}`` and, on
+    success, the full ``report`` JSON (:func:`report_to_json` shape).
+    """
+    from repro.api import serialize, solve
+
+    start = time.perf_counter()
+    extra = _timeout_note(payload)
+    try:
+        with job_timeout(payload.get("timeout")):
+            game = serialize.game_from_json(payload["instance"])
+            report = solve(game, payload["solver"], **payload.get("opts", {}))
+    except Exception as exc:  # noqa: BLE001 - outcomes must cross the pool
+        return {**_failure(exc, time.perf_counter() - start), **extra}
+    return {
+        "status": "ok",
+        "report": serialize.report_to_json(report),
+        "elapsed_seconds": time.perf_counter() - start,
+        **extra,
+    }
+
+
+def _timeout_note(payload: JSONDict) -> JSONDict:
+    """``{"timeout_enforced": False}`` when a requested budget cannot be armed."""
+    if payload.get("timeout") and not _timeout_supported():
+        return {"timeout_enforced": False}
+    return {}
+
+
+_PACKAGE_DIGEST: Optional[str] = None
+
+
+def package_source_digest() -> str:
+    """Digest of every ``.py`` file in the installed ``repro`` package.
+
+    Experiments exercise the whole library, so their cache cells must
+    invalidate when *any* library source changes — not just the experiment
+    module.  Hashing the full tree costs a few milliseconds and is
+    computed once per process.
+    """
+    global _PACKAGE_DIGEST
+    if _PACKAGE_DIGEST is None:
+        from pathlib import Path
+
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        parts = [repro.__version__]
+        for path in sorted(root.rglob("*.py")):
+            parts.append(str(path.relative_to(root)))
+            parts.append(path.read_text(errors="replace"))
+        _PACKAGE_DIGEST = source_digest(*parts)
+    return _PACKAGE_DIGEST
+
+
+def experiment_source_digest(experiment_id: str) -> str:
+    """Digest of the sources that determine one experiment's output.
+
+    Combines the experiment module's own source with
+    :func:`package_source_digest`, so editing the experiment *or any
+    library module it might call* invalidates exactly the affected cache
+    generation — there is no version number to forget to bump, and a
+    stale-library cell can never be served as current.
+    """
+    import inspect
+
+    from repro.experiments import EXPERIMENTS
+
+    fn = EXPERIMENTS[experiment_id.upper()]
+    module = inspect.getmodule(fn)
+    source = inspect.getsource(module) if module is not None else repr(fn)
+    return source_digest(package_source_digest(), experiment_id.upper(), source)
+
+
+def run_experiment_job(payload: JSONDict) -> JSONDict:
+    """Execute one experiment: ``payload`` keys ``experiment``, ``seed``,
+    optional ``timeout``.
+
+    On success the outcome carries the full
+    :class:`~repro.experiments.records.ExperimentResult` as JSON
+    (:meth:`to_json`), which is also what the cache stores.
+    """
+    from repro.experiments import run_experiment
+
+    start = time.perf_counter()
+    extra = _timeout_note(payload)
+    try:
+        with job_timeout(payload.get("timeout")):
+            result = run_experiment(payload["experiment"], seed=payload.get("seed", 0))
+    except Exception as exc:  # noqa: BLE001 - outcomes must cross the pool
+        return {**_failure(exc, time.perf_counter() - start), **extra}
+    return {
+        "status": "ok",
+        "result": result.to_json(),
+        "elapsed_seconds": time.perf_counter() - start,
+        **extra,
+    }

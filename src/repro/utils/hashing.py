@@ -1,0 +1,64 @@
+"""Stable content hashing for cache keys and payload digests.
+
+The sweep runtime (:mod:`repro.runtime`) addresses results by the *content*
+of the work that produced them: the instance JSON, the solver name and
+version, and the solver options.  Two ingredients make that key stable:
+
+* :func:`canonical_json` — a deterministic JSON rendering (sorted keys, no
+  whitespace, no NaN) so logically-equal payloads serialize identically
+  across processes, platforms and Python versions;
+* :func:`stable_hash` — SHA-256 over that rendering, returned as lowercase
+  hex.  Unlike the built-in ``hash()``, it is not salted per process, so
+  keys computed in a worker match keys computed in the parent.
+
+>>> stable_hash({"b": 1, "a": 2}) == stable_hash({"a": 2, "b": 1})
+True
+>>> len(stable_hash([1, 2, 3]))
+64
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+class UnhashablePayloadError(TypeError):
+    """The payload contains values JSON cannot represent deterministically."""
+
+
+def canonical_json(obj: Any) -> str:
+    """Render ``obj`` as deterministic JSON text.
+
+    Keys are sorted, separators are minimal, and non-finite floats are
+    rejected (``NaN != NaN`` would silently break key equality).  Raises
+    :class:`UnhashablePayloadError` for values JSON cannot encode.
+    """
+    try:
+        return json.dumps(
+            obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise UnhashablePayloadError(
+            f"payload is not canonically JSON-serializable: {exc}"
+        ) from exc
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def source_digest(*texts: str) -> str:
+    """SHA-256 hex digest of one or more source-code strings.
+
+    The experiment cache keys include a digest of the experiment module's
+    source, so editing an experiment invalidates its cached results without
+    anyone remembering to bump a version number.
+    """
+    h = hashlib.sha256()
+    for text in texts:
+        h.update(text.encode("utf-8"))
+        h.update(b"\x00")  # unambiguous concatenation boundary
+    return h.hexdigest()

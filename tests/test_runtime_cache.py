@@ -1,0 +1,188 @@
+"""Content-addressed cache: keys, storage, and invalidation semantics."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api.registry import _REGISTRY, get_solver
+from repro.api.serialize import game_to_json
+from repro.games.broadcast import BroadcastGame
+from repro.graphs.generators import random_tree_plus_chords
+from repro.runtime import (
+    NullCache,
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    experiment_job_key,
+    solve_job_key,
+)
+from repro.utils.hashing import (
+    UnhashablePayloadError,
+    canonical_json,
+    source_digest,
+    stable_hash,
+)
+
+
+@pytest.fixture()
+def instance_json():
+    g = random_tree_plus_chords(8, 4, seed=3)
+    return game_to_json(BroadcastGame(g, root=0))
+
+
+class TestHashing:
+    def test_key_order_invariant(self):
+        assert stable_hash({"a": 1, "b": [2, 3]}) == stable_hash({"b": [2, 3], "a": 1})
+
+    def test_value_sensitivity(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_canonical_json_is_minimal_and_sorted(self):
+        assert canonical_json({"b": 1, "a": True}) == '{"a":true,"b":1}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(UnhashablePayloadError):
+            stable_hash({"x": float("nan")})
+
+    def test_non_json_rejected(self):
+        with pytest.raises(UnhashablePayloadError):
+            stable_hash({"x": object()})
+
+    def test_source_digest_boundary(self):
+        # concatenation must be unambiguous: ("ab","c") != ("a","bc")
+        assert source_digest("ab", "c") != source_digest("a", "bc")
+
+
+class TestKeys:
+    def test_same_content_same_key(self, instance_json):
+        k1 = solve_job_key(instance_json, "sne-lp3", "1", {"verify": True})
+        k2 = solve_job_key(
+            json.loads(json.dumps(instance_json)), "sne-lp3", "1", {"verify": True}
+        )
+        assert k1 == k2
+
+    def test_key_varies_with_each_ingredient(self, instance_json):
+        base = solve_job_key(instance_json, "sne-lp3", "1", {})
+        other = game_to_json(
+            BroadcastGame(random_tree_plus_chords(8, 4, seed=4), root=0)
+        )
+        assert solve_job_key(other, "sne-lp3", "1", {}) != base
+        assert solve_job_key(instance_json, "theorem6", "1", {}) != base
+        assert solve_job_key(instance_json, "sne-lp3", "2", {}) != base
+        assert solve_job_key(instance_json, "sne-lp3", "1", {"verify": False}) != base
+
+    def test_experiment_key_tracks_source(self):
+        a = experiment_job_key("E3", 0, "digest-a")
+        assert experiment_job_key("E3", 0, "digest-b") != a
+        assert experiment_job_key("E3", 1, "digest-a") != a
+        assert experiment_job_key("E4", 0, "digest-a") != a
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" * 32) is None
+        cache.put("ab" * 32, {"status": "ok", "x": 1})
+        assert cache.get("ab" * 32) == {"status": "ok", "x": 1}
+        assert ("ab" * 32) in cache
+        assert len(cache) == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"v": 1})
+        assert cache.path_for(key).parent.name == "cd"
+        assert cache.path_for(key).is_file()
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"v": 1})
+        cache.path_for(key).write_text("{truncated")
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_unreadable_entry_is_a_miss_but_survives(self, tmp_path):
+        import os
+
+        if os.geteuid() == 0:
+            pytest.skip("root ignores file permissions")
+        cache = ResultCache(tmp_path)
+        key = "0a" * 32
+        cache.put(key, {"v": 1})
+        cache.path_for(key).chmod(0o000)
+        try:
+            assert cache.get(key) is None
+            assert cache.path_for(key).exists()  # not deleted
+        finally:
+            cache.path_for(key).chmod(0o644)
+
+    def test_coerce_cache_convention(self, tmp_path):
+        from repro.runtime import coerce_cache
+
+        assert isinstance(coerce_cache(False), NullCache)
+        assert isinstance(coerce_cache(None), ResultCache)
+        assert coerce_cache(tmp_path).root == tmp_path
+        cache = ResultCache(tmp_path)
+        assert coerce_cache(cache) is cache
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(stable_hash(i), {"i": i})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_tmp_leftovers_are_not_entries(self, tmp_path):
+        # a worker killed between mkstemp and os.replace leaves .tmp-* files
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, {"v": 1})
+        (cache.path_for(key).parent / ".tmp-dead.json").write_text("{")
+        assert list(cache.keys()) == [key]
+        assert len(cache) == 1
+        assert cache.clear() == 1
+
+    def test_null_cache_never_stores(self):
+        cache = NullCache()
+        cache.put("k", {"v": 1})
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_env_var_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert ResultCache().root == tmp_path / "custom"
+
+
+class TestInvalidation:
+    """Bumping a solver's version orphans its cached cells."""
+
+    def test_version_bump_forces_recompute(self, tmp_path, monkeypatch):
+        spec = SweepSpec(solvers=["theorem6"], sizes=[8], count=2, seed=1)
+        jobs = spec.expand()
+        cache = ResultCache(tmp_path)
+        cold = SweepRunner(cache=cache).run(jobs)
+        assert cold.cache_hits == 0 and cold.ok
+
+        warm = SweepRunner(cache=cache).run(jobs)
+        assert warm.cache_hits == len(jobs)
+
+        bumped = dataclasses.replace(get_solver("theorem6"), version="2-test")
+        monkeypatch.setitem(_REGISTRY, "theorem6", bumped)
+        after_bump = SweepRunner(cache=cache).run(jobs)
+        assert after_bump.cache_hits == 0 and after_bump.ok
+        # both generations coexist on disk (content-addressed, no overwrite)
+        assert len(cache) == 2 * len(jobs)
+
+    def test_opts_change_forces_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = SweepSpec(solvers=["sne-lp3"], sizes=[8], seed=1).expand()
+        assert SweepRunner(cache=cache).run(jobs).cache_hits == 0
+        jobs2 = SweepSpec(
+            solvers=["sne-lp3"], sizes=[8], seed=1, opts={"verify": False}
+        ).expand()
+        assert SweepRunner(cache=cache).run(jobs2).cache_hits == 0
+        # and each repeats as a hit against its own cell
+        assert SweepRunner(cache=cache).run(jobs).cache_hits == 1
+        assert SweepRunner(cache=cache).run(jobs2).cache_hits == 1

@@ -1,0 +1,328 @@
+"""Sweep runtime: expansion determinism, parallel equality, resumability."""
+
+import json
+import time
+
+import pytest
+
+from repro.api import solve_many
+from repro.api.serialize import game_from_json
+from repro.experiments import run_all_tolerant
+from repro.games.broadcast import BroadcastGame
+from repro.graphs.generators import random_tree_plus_chords
+from repro.runtime import (
+    JobTimeout,
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    run_solve_job,
+)
+from repro.runtime.workers import job_timeout
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        solvers=["sne-lp3", "theorem6"],
+        models=["tree-chords"],
+        sizes=[8],
+        count=2,
+        seed=5,
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+def result_bytes(result):
+    return json.dumps(result.to_json(), sort_keys=True)
+
+
+class TestSpecExpansion:
+    def test_deterministic_across_expansions(self):
+        jobs_a = small_spec().expand()
+        jobs_b = small_spec().expand()
+        assert [j.label for j in jobs_a] == [j.label for j in jobs_b]
+        assert [j.instance for j in jobs_a] == [j.instance for j in jobs_b]
+
+    def test_instance_major_order(self):
+        labels = [j.label for j in small_spec().expand()]
+        assert labels == [
+            "tree-chords-n8[0] x sne-lp3",
+            "tree-chords-n8[0] x theorem6",
+            "tree-chords-n8[1] x sne-lp3",
+            "tree-chords-n8[1] x theorem6",
+        ]
+
+    def test_replicas_differ(self):
+        jobs = small_spec().expand()
+        assert jobs[0].instance != jobs[2].instance  # distinct child seeds
+
+    def test_payloads_deserialize(self):
+        game = game_from_json(small_spec().expand()[0].instance)
+        assert isinstance(game, BroadcastGame)
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {"solvers": ["theorem6"], "models": ["gnp"], "sizes": [9],
+                 "params": {"density": 0.5}, "seed": 2}
+            )
+        )
+        spec = SweepSpec.from_file(path)
+        assert spec.solvers == ["theorem6"]
+        assert spec.params == {"density": 0.5}
+        assert len(spec.expand()) == 1
+
+    def test_from_toml_file(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            'solvers = ["theorem6", "sne-lp3"]\n'
+            "sizes = [8, 10]\ncount = 2\nseed = 3\n"
+            "[opts]\nverify = true\n"
+        )
+        spec = SweepSpec.from_file(path)
+        assert len(spec.expand()) == 2 * 2 * 2
+        assert spec.opts == {"verify": True}
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep-spec key"):
+            SweepSpec.from_mapping({"solvers": ["theorem6"], "sizess": [8]})
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown instance model"):
+            small_spec(models=["smallworld"])
+
+    def test_entropy_seed_rejected(self):
+        # seed=None would silently defeat the cache and byte-identity
+        with pytest.raises(ValueError, match="deterministic"):
+            small_spec(seed=None)
+
+    def test_unknown_generator_param_rejected(self):
+        with pytest.raises(ValueError, match="fit none of the grid's models"):
+            small_spec(params={"dencity": 0.3})
+
+    def test_mixed_model_grid_scopes_params_per_model(self):
+        spec = small_spec(
+            models=["tree-chords", "gnp"],
+            params={"density": 0.5, "chord_factor": 1.2},
+        )
+        jobs = spec.expand()  # must not reject gnp's density for tree-chords
+        assert len(jobs) == 2 * 2 * 2  # 2 models x 2 replicas x 2 solvers
+
+
+class TestRunner:
+    def test_parallel_equals_serial_byte_for_byte(self, tmp_path):
+        jobs = small_spec().expand()
+        serial = SweepRunner(cache=False, jobs=1).run(jobs)
+        parallel = SweepRunner(cache=False, jobs=4).run(jobs)
+        assert serial.ok and parallel.ok
+        assert result_bytes(serial) == result_bytes(parallel)
+
+    def test_warm_cache_identical_and_all_hits(self, tmp_path):
+        jobs = small_spec().expand()
+        cache = ResultCache(tmp_path)
+        cold = SweepRunner(cache=cache).run(jobs)
+        warm = SweepRunner(cache=cache).run(jobs)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(jobs)
+        assert result_bytes(cold) == result_bytes(warm)
+
+    def test_deterministic_seeds_across_job_counts(self, tmp_path):
+        # Fresh expansion + fresh cache per mode: everything recomputed, and
+        # the generated instances (not just the reports) must agree.
+        r1 = SweepRunner(cache=ResultCache(tmp_path / "a"), jobs=1).run(
+            small_spec().expand()
+        )
+        r4 = SweepRunner(cache=ResultCache(tmp_path / "b"), jobs=4).run(
+            small_spec().expand()
+        )
+        assert r1.cache_hits == r4.cache_hits == 0
+        assert result_bytes(r1) == result_bytes(r4)
+
+    def test_failure_captured_not_raised(self):
+        jobs = small_spec(opts={"bogus_option": 123}).expand()
+        result = SweepRunner(cache=False).run(jobs)
+        assert not result.ok
+        assert {o.status for o in result} == {"failed"}
+        assert all("bogus_option" in (o.error or "") for o in result)
+
+    def test_unknown_solver_fails_fast(self):
+        spec = small_spec(solvers=["definitely-not-a-solver"])
+        with pytest.raises(KeyError):
+            SweepRunner(cache=False).run(spec.expand())
+
+    def test_resumable_after_interruption(self, tmp_path):
+        """A killed sweep resumes from the cells already on disk."""
+        jobs = small_spec().expand()
+        cache = ResultCache(tmp_path)
+        completed = []
+
+        def interrupt_after_two(outcome, done, total):
+            completed.append(outcome)
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(cache=cache, progress=interrupt_after_two).run(jobs)
+        assert len(cache) == 2  # the finished prefix survived
+
+        resumed = SweepRunner(cache=cache).run(jobs)
+        assert resumed.ok
+        assert resumed.cache_hits == 2
+        fresh = SweepRunner(cache=ResultCache(tmp_path / "fresh")).run(jobs)
+        assert result_bytes(resumed) == result_bytes(fresh)
+
+    def test_progress_reports_every_job(self):
+        jobs = small_spec().expand()
+        seen = []
+        SweepRunner(
+            cache=False, progress=lambda o, done, total: seen.append((done, total))
+        ).run(jobs)
+        assert seen == [(i + 1, len(jobs)) for i in range(len(jobs))]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+def _die_once_worker(payload):
+    """Test worker: hard-kills its process on first attempt of the marked job."""
+    import os
+    from pathlib import Path
+
+    marker = Path(payload["marker"])
+    if payload.get("die") and not marker.exists():
+        marker.write_text("died")
+        os._exit(1)  # simulates a segfault/OOM kill: breaks the whole pool
+    return {"status": "ok", "echo": payload["i"], "elapsed_seconds": 0.0}
+
+
+class TestPoolBreakage:
+    def test_worker_death_does_not_poison_sweep(self, tmp_path):
+        from repro.runtime import execute_payloads
+
+        payloads = [
+            {"i": i, "die": i == 2, "marker": str(tmp_path / "died")}
+            for i in range(6)
+        ]
+        outcomes = dict(execute_payloads(payloads, _die_once_worker, jobs=2))
+        assert (tmp_path / "died").exists()  # the kill actually happened
+        assert len(outcomes) == 6
+        # every job — including the one whose first attempt killed its
+        # worker — completes on the respawned pool
+        assert [outcomes[i]["status"] for i in range(6)] == ["ok"] * 6
+
+
+class TestTimeouts:
+    def test_job_timeout_context_fires(self):
+        with pytest.raises(JobTimeout):
+            with job_timeout(0.05):
+                time.sleep(1.0)
+
+    def test_job_timeout_noop_when_disabled(self):
+        with job_timeout(None):
+            pass
+        with job_timeout(0):
+            pass
+
+    def test_timed_out_job_reports_timeout_status(self):
+        job = small_spec().expand()[0]
+        payload = {
+            "instance": job.instance,
+            "solver": "__slow__",
+            "opts": {},
+            "timeout": 0.05,
+        }
+        # Patch in a deliberately slow solver through the registry.
+        from repro.api import registry
+
+        def slow(instance, **opts):
+            time.sleep(1.0)
+
+        spec = registry.SolverSpec(
+            name="__slow__", fn=slow, problem="sne", description="test"
+        )
+        registry._REGISTRY["__slow__"] = spec
+        try:
+            outcome = run_solve_job(payload)
+        finally:
+            del registry._REGISTRY["__slow__"]
+        assert outcome["status"] == "timeout"
+        assert "timeout" in outcome["error"]
+
+
+class TestSolveManyProcessExecutor:
+    @pytest.fixture()
+    def games(self):
+        return [
+            BroadcastGame(random_tree_plus_chords(8, 4, seed=s), root=0)
+            for s in (1, 2, 3)
+        ]
+
+    def test_matches_thread_executor(self, games):
+        thread = solve_many(games, ["sne-lp3", "theorem6"], workers=2)
+        process = solve_many(
+            games, ["sne-lp3", "theorem6"], workers=2, executor="process"
+        )
+        assert thread == process
+
+    def test_single_solver_flat_shape(self, games):
+        reports = solve_many(games, "theorem6", executor="process")
+        assert len(reports) == 3 and all(r.verified for r in reports)
+
+    def test_cache_round_trip(self, games, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = solve_many(games, "theorem6", executor="process", cache=cache)
+        assert len(cache) == 3
+        again = solve_many(games, "theorem6", executor="process", cache=cache)
+        assert first == again
+
+    def test_states_rejected_with_clear_error(self, games):
+        with pytest.raises(TypeError, match="process"):
+            solve_many([games[0].mst_state()], "theorem6", executor="process")
+
+    def test_bad_executor_name(self, games):
+        with pytest.raises(ValueError, match="executor"):
+            solve_many(games, "theorem6", executor="fiber")
+
+    def test_thread_executor_rejects_cache_and_timeout(self, games, tmp_path):
+        # Silently ignoring them would look like they were active.
+        with pytest.raises(ValueError, match="executor='process'"):
+            solve_many(games, "theorem6", cache=ResultCache(tmp_path))
+        with pytest.raises(ValueError, match="executor='process'"):
+            solve_many(games, "theorem6", timeout=5.0)
+
+
+class TestExperimentSweep:
+    def test_cache_hit_and_skip_reporting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        skip = [k for k in ("E1", "E4", "E6", "E8", "E11") ]
+        cold = run_all_tolerant(seed=0, cache=cache, skip=skip)
+        warm = run_all_tolerant(seed=0, cache=cache, skip=skip)
+        by_status = lambda items, s: [i.experiment_id for i in items if i.status == s]
+        assert by_status(cold, "skipped") == skip
+        assert by_status(warm, "skipped") == skip
+        assert by_status(cold, "cached") == []
+        assert by_status(warm, "cached") == by_status(cold, "ok")
+        # cached results reproduce the original reports
+        for a, b in zip(cold, warm):
+            if a.status == "ok":
+                assert b.result.headline == a.result.headline
+                assert b.result.rows == json.loads(
+                    json.dumps(a.result.to_json())
+                )["rows"]
+
+    def test_unknown_skip_rejected(self):
+        with pytest.raises(KeyError, match="E99"):
+            run_all_tolerant(skip=["E99"])
+
+    def test_seed_changes_cache_cell(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        skip = [k for k in (
+            "E1", "E2", "E3", "E4", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2"
+        )]  # keep only E5 (fast, deterministic)
+        run_all_tolerant(seed=0, cache=cache, skip=skip)
+        items = run_all_tolerant(seed=1, cache=cache, skip=skip)
+        (e5,) = [i for i in items if i.experiment_id == "E5"]
+        assert e5.status == "ok"  # different seed, not a cache hit
