@@ -1,0 +1,106 @@
+"""Game-family benchmark — engine-backed weighted check vs legacy oracle.
+
+The acceptance bar for the unified game-family layer: on a 200-node
+weighted broadcast-shaped instance the engine-backed
+:func:`check_weighted_equilibrium` must beat the dict-based
+:func:`check_weighted_equilibrium_legacy` by at least 2x, with identical
+verdicts on randomized cross-checks — the same bar PR 2 set for the
+broadcast checker, now extended to the weighted family.  The directed
+binding is exercised alongside (same engine, plus the CSR arc mask).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.games.directed import DirectedNetworkDesignGame
+from repro.games.equilibrium import check_equilibrium
+from repro.games.weighted import (
+    WeightedNetworkDesignGame,
+    check_weighted_equilibrium,
+    check_weighted_equilibrium_legacy,
+)
+from repro.graphs.generators import random_tree_plus_chords
+
+
+def _weighted_state(n, seed):
+    g = random_tree_plus_chords(n, n // 2, seed=seed, chord_factor=1.1)
+    others = [u for u in g.nodes if u != 0]
+    demands = [1.0 + (i % 4) * 0.5 for i in range(len(others))]
+    game = WeightedNetworkDesignGame(g, [(u, 0) for u in others], demands)
+    return game.shortest_path_state()
+
+
+@pytest.fixture(scope="module")
+def weighted_200():
+    return _weighted_state(200, seed=7)
+
+
+def _engine_full_scan(state):
+    """Engine-backed weighted check in full-scan mode (no early exit)."""
+    return check_equilibrium(state, find_all=True).is_equilibrium
+
+
+def _legacy_full_scan(state):
+    return check_weighted_equilibrium_legacy(state, find_all=True)
+
+
+def test_engine_weighted_check(benchmark, weighted_200):
+    stable = benchmark(_engine_full_scan, weighted_200)
+    assert isinstance(stable, bool)
+
+
+def test_legacy_weighted_check(benchmark, weighted_200):
+    stable = benchmark(_legacy_full_scan, weighted_200)
+    assert isinstance(stable, bool)
+
+
+def test_directed_engine_check(benchmark):
+    g = random_tree_plus_chords(200, 100, seed=7, chord_factor=1.1)
+    others = [u for u in g.nodes if u != 0]
+    game = DirectedNetworkDesignGame(g, [(u, 0) for u in others])
+    state = game.shortest_path_state()
+    report = benchmark(check_equilibrium, state, find_all=True)
+    assert isinstance(report.is_equilibrium, bool)
+
+
+def test_verdicts_identical_on_randomized_instances(weighted_200):
+    states = [weighted_200] + [
+        _weighted_state(n, seed)
+        for n, seed in [(60, 1), (60, 2), (80, 3), (100, 4), (120, 5)]
+    ]
+    for state in states:
+        assert check_weighted_equilibrium(state) == (
+            check_weighted_equilibrium_legacy(state)
+        )
+        assert _engine_full_scan(state) == _legacy_full_scan(state)
+
+
+@pytest.mark.skipif(
+    os.environ.get("CI", "") != "",
+    reason="wall-clock ratio assertion; shared CI runners are too noisy for it",
+)
+def test_engine_beats_legacy_2x(weighted_200):
+    """min-of-5 wall-clock: engine at least 2x faster than the legacy oracle.
+
+    Full-scan mode on both sides (find-first exits on the first improving
+    deviation, which measures nothing but the first player's query).
+    """
+
+    def best_of(fn, reps=5):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn(weighted_200)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    _engine_full_scan(weighted_200)  # warm the interned caches
+    t_engine = best_of(_engine_full_scan)
+    t_legacy = best_of(_legacy_full_scan)
+    speedup = t_legacy / t_engine
+    assert speedup >= 2.0, (
+        f"engine {t_engine * 1e3:.2f}ms vs legacy {t_legacy * 1e3:.2f}ms "
+        f"-> {speedup:.2f}x (< 2x)"
+    )

@@ -7,7 +7,11 @@ Public API highlights
   solver="sne-lp3")``, batch execution via ``solve_many``, the solver
   registry, and JSON serialization for instances and results,
 - :class:`repro.graphs.Graph` and the graph substrate,
-- :class:`repro.games.NetworkDesignGame` / :class:`repro.games.BroadcastGame`,
+- the game-family layer in :mod:`repro.games` — broadcast / multicast /
+  general / weighted / directed games over pluggable cost-sharing rules
+  (:mod:`repro.games.base`),
+- the scenario catalogue in :mod:`repro.scenarios` (named, seeded instance
+  families behind ``repro-experiments gen --family`` and sweep grids),
 - SNE solvers in :mod:`repro.subsidies` (LP formulations (1)-(3) of the paper,
   the Theorem 6 constructive ``wgt(T)/e`` algorithm, all-or-nothing solvers),
 - SND solvers and heuristics,
@@ -24,7 +28,7 @@ Subpackages are imported lazily (PEP 562) so ``import repro`` stays cheap —
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: lazily importable public subpackages
 _SUBMODULES = (
@@ -36,6 +40,7 @@ _SUBMODULES = (
     "hardness",
     "lp",
     "runtime",
+    "scenarios",
     "subsidies",
     "utils",
 )
@@ -52,6 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         hardness,
         lp,
         runtime,
+        scenarios,
         subsidies,
         utils,
     )

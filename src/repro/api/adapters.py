@@ -1,22 +1,35 @@
 """Adapters wrapping every legacy solver behind the canonical report shape.
 
-Each adapter takes one *instance* — a :class:`~repro.games.broadcast.TreeState`,
-a general :class:`~repro.games.game.State`, a
-:class:`~repro.games.broadcast.BroadcastGame` or a
-:class:`~repro.games.game.NetworkDesignGame`, whichever the solver supports —
-coerces it to what the underlying solver expects (games default to their MST
-/ shortest-path target state), runs the solver, and returns a
-:class:`~repro.api.report.SolveReport`.  Importing this module populates the
-registry with the nine built-in solvers.
+Each adapter takes one *instance* — a target state (``TreeState``,
+``State``, ``WeightedState``, ``DirectedState``) or a game of any
+:data:`~repro.games.base.GAME_FAMILIES` family — coerces it to what the
+underlying solver expects, runs the solver, and returns a
+:class:`~repro.api.report.SolveReport`.  Games default to their family's
+natural target state (``default_state()``: the MST for broadcast, the
+Steiner optimum for multicast, all shortest paths otherwise).
+
+Family-restricted solvers serve *any* family instance that lies inside
+their domain via the exact downgrades of :mod:`repro.games.base`
+(:func:`~repro.games.base.to_broadcast` / :func:`~repro.games.base.
+to_general`): a weighted game with uniform demands, a symmetric directed
+game, or a multicast game whose terminals cover every node coerces
+losslessly; anything outside the overlap raises a
+:class:`~repro.games.base.FamilyCoercionError` naming the obstruction.
+Importing this module populates the registry with the nine built-in
+solvers.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Tuple, Union
 
+from repro.games.base import FamilyCoercionError, to_broadcast
 from repro.games.broadcast import BroadcastGame, TreeState
+from repro.games.directed import DirectedNetworkDesignGame, DirectedState
 from repro.games.equilibrium import check_equilibrium
 from repro.games.game import NetworkDesignGame, State
+from repro.games.multicast import MulticastGame
+from repro.games.weighted import WeightedNetworkDesignGame, WeightedState
 from repro.graphs.graph import Edge
 from repro.subsidies.aon import AONResult, greedy_aon_sne, solve_aon_sne_exact
 from repro.subsidies.assignment import SubsidyAssignment
@@ -34,8 +47,24 @@ from repro.api.report import SolveReport
 from repro.utils.timing import Timer
 from repro.utils.tolerances import LP_TOL
 
-AnyInstance = Union[TreeState, State, BroadcastGame, NetworkDesignGame]
-AnyState = Union[TreeState, State]
+AnyGame = Union[
+    BroadcastGame,
+    MulticastGame,
+    NetworkDesignGame,
+    WeightedNetworkDesignGame,
+    DirectedNetworkDesignGame,
+]
+AnyState = Union[TreeState, State, WeightedState, DirectedState]
+AnyInstance = Union[AnyState, AnyGame]
+
+_GAME_TYPES = (
+    BroadcastGame,
+    MulticastGame,
+    NetworkDesignGame,
+    WeightedNetworkDesignGame,
+    DirectedNetworkDesignGame,
+)
+_STATE_TYPES = (TreeState, State, WeightedState)
 
 
 # ---------------------------------------------------------------------------
@@ -44,44 +73,59 @@ AnyState = Union[TreeState, State]
 
 
 def as_tree_state(instance: AnyInstance) -> TreeState:
-    """Coerce to a broadcast tree state (games default to their MST)."""
+    """Coerce to a broadcast tree state (games default to their MST).
+
+    Any family instance inside the broadcast overlap qualifies: a
+    multicast game covering every node, a weighted game with uniform
+    demands, a symmetric directed game (each with one player per non-root
+    node and a common destination).
+    """
     if isinstance(instance, TreeState):
         return instance
-    if isinstance(instance, BroadcastGame):
-        return instance.mst_state()
+    if isinstance(instance, _GAME_TYPES):
+        try:
+            return to_broadcast(instance).mst_state()
+        except FamilyCoercionError as exc:
+            raise FamilyCoercionError(
+                f"this solver needs a broadcast target: {exc}"
+            ) from None
     raise TypeError(
-        f"this solver needs a broadcast TreeState (or a BroadcastGame, whose "
-        f"MST becomes the target); got {type(instance).__name__}"
+        f"this solver needs a broadcast TreeState (or a game inside the "
+        f"broadcast overlap, whose MST becomes the target); got "
+        f"{type(instance).__name__}"
     )
 
 
 def as_any_state(instance: AnyInstance) -> AnyState:
-    """Coerce to a target state of either game model.
+    """Coerce to a target state of any game family.
 
-    ``BroadcastGame`` defaults to its MST state (the socially optimal
-    design); ``NetworkDesignGame`` defaults to the all-shortest-paths
-    profile.
+    States pass through; games default to their family's natural target
+    (``default_state()``: MST for broadcast, Steiner optimum for
+    multicast, all shortest paths otherwise).
     """
-    if isinstance(instance, (TreeState, State)):
+    if isinstance(instance, _STATE_TYPES):
         return instance
-    if isinstance(instance, BroadcastGame):
-        return instance.mst_state()
-    if isinstance(instance, NetworkDesignGame):
-        return instance.shortest_path_state()
+    if isinstance(instance, _GAME_TYPES):
+        return instance.default_state()
     raise TypeError(
-        f"expected a TreeState/State target or a game; got {type(instance).__name__}"
+        f"expected a target state or a game; got {type(instance).__name__}"
     )
 
 
 def as_broadcast_game(instance: AnyInstance) -> BroadcastGame:
     """Coerce to a broadcast game (design solvers pick their own tree)."""
-    if isinstance(instance, BroadcastGame):
-        return instance
     if isinstance(instance, TreeState):
         return instance.game
+    if isinstance(instance, _GAME_TYPES):
+        try:
+            return to_broadcast(instance)
+        except FamilyCoercionError as exc:
+            raise FamilyCoercionError(
+                f"SND solvers design a broadcast tree: {exc}"
+            ) from None
     raise TypeError(
-        f"SND solvers design the tree themselves and need a BroadcastGame; "
-        f"got {type(instance).__name__}"
+        f"SND solvers design the tree themselves and need a BroadcastGame "
+        f"(or a game inside the broadcast overlap); got {type(instance).__name__}"
     )
 
 
@@ -144,7 +188,9 @@ def solve_sne_lp3(instance: AnyInstance, method: str = "highs", verify: bool = T
     broadcast_only=False,
     requires_tree_state=False,
     aliases=("sne-lp1",),
-    version="1",
+    # version 2: the oracle prices through the game-family engine bindings,
+    # widening the domain to weighted/per-edge-split/directed instances
+    version="2",
 )
 def solve_sne_cutting_plane(
     instance: AnyInstance,
@@ -167,7 +213,9 @@ def solve_sne_cutting_plane(
     broadcast_only=False,
     requires_tree_state=False,
     aliases=("sne-lp2",),
-    version="1",
+    # version 2: rule-aware coefficients + arc-restricted relaxations widen
+    # the domain to weighted/per-edge-split/directed instances
+    version="2",
 )
 def solve_sne_poly(instance: AnyInstance, method: str = "highs", verify: bool = True) -> SolveReport:
     state = as_any_state(instance)

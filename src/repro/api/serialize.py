@@ -21,14 +21,24 @@ from typing import Any, Dict, List, Mapping, Tuple, Union
 
 import numpy as np
 
+from repro.games.base import ProportionalSharing, rule_from_json
 from repro.games.broadcast import BroadcastGame
+from repro.games.directed import DirectedNetworkDesignGame
 from repro.games.game import NetworkDesignGame
-from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+from repro.games.multicast import MulticastGame
+from repro.games.weighted import WeightedNetworkDesignGame
+from repro.graphs.graph import Edge, Graph, Node, _sort_key, canonical_edge
 from repro.subsidies.assignment import SubsidyAssignment
 from repro.api.report import SolveReport
 
 JSONDict = Dict[str, Any]
-AnyGame = Union[BroadcastGame, NetworkDesignGame]
+AnyGame = Union[
+    BroadcastGame,
+    MulticastGame,
+    NetworkDesignGame,
+    WeightedNetworkDesignGame,
+    DirectedNetworkDesignGame,
+]
 
 
 # ---------------------------------------------------------------------------
@@ -113,8 +123,24 @@ def graph_from_json(data: Union[str, JSONDict]) -> Graph:
 # ---------------------------------------------------------------------------
 
 
+def _encode_pairs(game: AnyGame) -> List[List[Any]]:
+    return [[encode_node(p.source), encode_node(p.target)] for p in game.players]
+
+
+def _decode_pairs(data: JSONDict) -> List[Tuple[Node, Node]]:
+    return [(decode_node(s), decode_node(t)) for s, t in data["pairs"]]
+
+
 def game_to_json(game: AnyGame) -> JSONDict:
-    """Serialize either game model (dispatch on type)."""
+    """Serialize a game of any family (dispatch on type).
+
+    Every :data:`repro.games.base.GAME_FAMILIES` member has a JSON kind:
+    ``broadcast-game``, ``multicast-game``, ``network-design-game``
+    (general), ``weighted-game`` and ``directed-game``.  Payloads are
+    deterministic for a given game (set-valued fields are emitted in
+    canonical sort order), which the content-addressed result cache relies
+    on.
+    """
     if isinstance(game, BroadcastGame):
         return {
             "kind": "broadcast-game",
@@ -124,19 +150,43 @@ def game_to_json(game: AnyGame) -> JSONDict:
                 [encode_node(u), k] for u, k in game.multiplicity.items()
             ],
         }
+    if isinstance(game, MulticastGame):
+        return {
+            "kind": "multicast-game",
+            "graph": graph_to_json(game.graph),
+            "root": encode_node(game.root),
+            "terminals": [encode_node(t) for t in game.terminals],
+        }
+    if isinstance(game, WeightedNetworkDesignGame):
+        payload: JSONDict = {
+            "kind": "weighted-game",
+            "graph": graph_to_json(game.graph),
+            "pairs": _encode_pairs(game),
+            "demands": [p.demand for p in game.players],
+        }
+        rule = game.cost_sharing
+        if rule != ProportionalSharing(payload["demands"]):
+            payload["sharing"] = rule.to_json()
+        return payload
+    if isinstance(game, DirectedNetworkDesignGame):
+        arcs = sorted(game.arcs, key=lambda a: (_sort_key(a[0]), _sort_key(a[1])))
+        return {
+            "kind": "directed-game",
+            "graph": graph_to_json(game.graph),
+            "pairs": _encode_pairs(game),
+            "arcs": [[encode_node(u), encode_node(v)] for u, v in arcs],
+        }
     if isinstance(game, NetworkDesignGame):
         return {
             "kind": "network-design-game",
             "graph": graph_to_json(game.graph),
-            "pairs": [
-                [encode_node(p.source), encode_node(p.target)] for p in game.players
-            ],
+            "pairs": _encode_pairs(game),
         }
     raise TypeError(f"cannot serialize game of type {type(game).__name__}")
 
 
 def game_from_json(data: Union[str, JSONDict]) -> AnyGame:
-    """Reconstruct a game of either model (dispatch on ``kind``)."""
+    """Reconstruct a game of any family (dispatch on ``kind``)."""
     if isinstance(data, str):
         data = json.loads(data)
     if not isinstance(data, dict):
@@ -146,10 +196,27 @@ def game_from_json(data: Union[str, JSONDict]) -> AnyGame:
         graph = graph_from_json(data["graph"])
         multiplicity = {decode_node(enc): k for enc, k in data["multiplicity"]}
         return BroadcastGame(graph, decode_node(data["root"]), multiplicity)
+    if kind == "multicast-game":
+        graph = graph_from_json(data["graph"])
+        terminals = [decode_node(t) for t in data["terminals"]]
+        return MulticastGame(graph, decode_node(data["root"]), terminals)
+    if kind == "weighted-game":
+        graph = graph_from_json(data["graph"])
+        sharing = data.get("sharing")
+        # An absent "sharing" key means the default demand-proportional
+        # rule; an explicit rule (FairSharing included — it differs from
+        # proportional whenever demands are non-unit) passes through as is.
+        rule = rule_from_json(sharing) if sharing is not None else None
+        return WeightedNetworkDesignGame(
+            graph, _decode_pairs(data), data["demands"], cost_sharing=rule
+        )
+    if kind == "directed-game":
+        graph = graph_from_json(data["graph"])
+        arcs = [(decode_node(u), decode_node(v)) for u, v in data["arcs"]]
+        return DirectedNetworkDesignGame(graph, _decode_pairs(data), arcs)
     if kind == "network-design-game":
         graph = graph_from_json(data["graph"])
-        pairs = [(decode_node(s), decode_node(t)) for s, t in data["pairs"]]
-        return NetworkDesignGame(graph, pairs)
+        return NetworkDesignGame(graph, _decode_pairs(data))
     raise ValueError(f"unknown game kind {kind!r}")
 
 
@@ -224,8 +291,11 @@ def dumps(obj: Union[Graph, AnyGame, SolveReport, SubsidyAssignment], **kwargs: 
     """``json.dumps`` any serializable object (dispatch on type)."""
     if isinstance(obj, Graph):
         payload: Mapping[str, Any] = graph_to_json(obj)
-    elif isinstance(obj, (BroadcastGame, NetworkDesignGame)):
-        payload = game_to_json(obj)
+    elif isinstance(
+        obj,
+        (BroadcastGame, MulticastGame, NetworkDesignGame, WeightedNetworkDesignGame),
+    ):
+        payload = game_to_json(obj)  # DirectedNetworkDesignGame subclasses general
     elif isinstance(obj, SolveReport):
         payload = report_to_json(obj)
     elif isinstance(obj, SubsidyAssignment):
@@ -238,7 +308,10 @@ def dumps(obj: Union[Graph, AnyGame, SolveReport, SubsidyAssignment], **kwargs: 
 _LOADERS = {
     "graph": graph_from_json,
     "broadcast-game": game_from_json,
+    "multicast-game": game_from_json,
     "network-design-game": game_from_json,
+    "weighted-game": game_from_json,
+    "directed-game": game_from_json,
     "solve-report": report_from_json,
 }
 

@@ -6,12 +6,16 @@ Usage::
     repro-experiments run E3 [--seed 7]
     repro-experiments run all [--jobs 4]           # cached tolerant sweep
     repro-experiments solvers                      # the repro.api registry
+    repro-experiments families                     # the repro.scenarios catalogue
     repro-experiments gen --n 10 --count 3 --out instances.json
+    repro-experiments gen --family grid --game weighted --param demands=random \
+        --n 16 --count 3 --out weighted-grids.json
     repro-experiments solve instances.json --solver sne-lp3 --json
     repro-experiments solve-batch instances.json --solver sne-lp3 \
         --solver theorem6 --workers 4 --json
     repro-experiments sweep --solver sne-lp3 --solver theorem6 \
-        --model gnp --n 12 --n 16 --count 2 --jobs 4 --json-out grid.json
+        --model gnp --model hypercube --n 12 --n 16 --count 2 \
+        --jobs 4 --json-out grid.json
     repro-experiments sweep --spec sweep.toml --jobs 8
 
 ``sweep`` and ``run all`` execute through :mod:`repro.runtime`: jobs fan
@@ -52,6 +56,7 @@ _DESCRIPTIONS = {
     "E11": "SND budget sweep (exact vs heuristic)",
     "A1": "Ablations: packing rule & decomposition",
     "A2": "Section 6 extensions: multicast/weighted/coalitions/combinatorial",
+    "S1": "Scenario-family tour across all game families",
 }
 
 
@@ -78,9 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
             "equilibria in network design games via subsidies' (SPAA 2012)."
         ),
     )
+    from repro.runtime.spec import GENERATOR_MODELS, MODELS
+
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("solvers", help="list the repro.api solver registry")
+    sub.add_parser(
+        "families",
+        help="list the repro.scenarios instance families and the game families",
+    )
 
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
     run_p.add_argument("experiment", help="experiment id (E1..E11, A1, A2) or 'all'")
@@ -120,14 +131,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(run_p, "('run all' only) ")
 
     gen_p = sub.add_parser(
-        "gen", help="generate random broadcast instances as a JSON file"
+        "gen", help="generate game instances (random models or named "
+        "scenario families) as a JSON file"
     )
     gen_p.add_argument("--n", type=int, default=10, help="nodes per instance")
     gen_p.add_argument(
         "--model",
-        choices=("tree-chords", "gnp", "geometric"),
-        default="tree-chords",
-        help="generator family (default: random tree plus chords)",
+        choices=GENERATOR_MODELS,
+        default=None,
+        help="random generator family (default: random tree plus chords)",
+    )
+    gen_p.add_argument(
+        "--family",
+        choices=tuple(m for m in MODELS if m not in GENERATOR_MODELS),
+        default=None,
+        help="generate from a named scenario family instead of --model "
+        "(see 'families'); topology/game knobs go through --param",
+    )
+    gen_p.add_argument(
+        "--game",
+        choices=("broadcast", "multicast", "general", "weighted", "directed"),
+        default=None,
+        help="(--family only) game family to wrap the scenario topology in "
+        "(default broadcast)",
+    )
+    gen_p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="(--family only) scenario parameter, e.g. --param jitter=0.4 "
+        "or --param demands=random (repeatable)",
     )
     gen_p.add_argument(
         "--chords", type=int, default=None, help="tree-chords: extra chords (default n // 2)"
@@ -135,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen_p.add_argument(
         "--chord-factor",
         type=float,
-        default=1.1,
+        default=None,
         help="tree-chords: chord weight multiplier (default 1.1)",
     )
     gen_p.add_argument(
@@ -143,27 +177,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--p",
         dest="density",
         type=float,
-        default=0.3,
+        default=None,
         help="gnp: edge probability p (default 0.3)",
     )
     gen_p.add_argument(
         "--radius",
         type=float,
-        default=0.5,
+        default=None,
         help="geometric: connection radius in the unit square (default 0.5)",
     )
     gen_p.add_argument(
         "--weight-low",
         type=float,
-        default=0.5,
-        help="tree-chords/gnp: uniform weight lower bound "
+        default=None,
+        help="tree-chords/gnp: uniform weight lower bound (default 0.5) "
         "(geometric weights are Euclidean distances)",
     )
     gen_p.add_argument(
         "--weight-high",
         type=float,
-        default=2.0,
-        help="tree-chords/gnp: uniform weight upper bound",
+        default=None,
+        help="tree-chords/gnp: uniform weight upper bound (default 2.0)",
     )
     gen_p.add_argument("--count", type=int, default=1, help="number of instances")
     gen_p.add_argument("--seed", type=int, default=0, help="base RNG seed")
@@ -225,8 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--model",
         action="append",
         default=[],
-        choices=("tree-chords", "gnp", "geometric"),
-        help="generator model (repeatable; default tree-chords)",
+        choices=MODELS,
+        help="instance model: a random generator or a scenario family "
+        "(repeatable; default tree-chords)",
     )
     sweep_p.add_argument(
         "--n",
@@ -351,32 +386,79 @@ def _cmd_solvers() -> int:
     return 0
 
 
+def _cmd_families() -> int:
+    from repro.games.base import describe_families
+    from repro.scenarios import SCENARIOS, scenario_names
+
+    print("scenario families (repro-experiments gen --family NAME):")
+    for name in scenario_names():
+        fam = SCENARIOS[name]
+        knobs = ", ".join(f"{k}={v!r}" for k, v in fam.params.items()) or "-"
+        tag = "seeded" if fam.stochastic else "deterministic"
+        print(f"  {name:18s} [{tag}] {fam.description} (params: {knobs})")
+    print(
+        "  shared game knobs: game=broadcast|multicast|general|weighted|"
+        "directed, terminals=all|half, demands=unit|random, "
+        "orientation=symmetric|oneway-chords, pairs=broadcast|random"
+    )
+    print("\ngame families:")
+    for row in describe_families():
+        print(f"  {row['family']:18s} {row['description']}")
+    return 0
+
+
 def _cmd_gen(args: argparse.Namespace) -> int:
     from repro.runtime import generate_instance
     from repro.utils.rng import child_seeds
 
-    if args.model == "gnp":
-        params: dict = {
-            "density": args.density,
-            "weight_low": args.weight_low,
-            "weight_high": args.weight_high,
-        }
-    elif args.model == "geometric":
-        params = {"radius": args.radius}
+    generator_flags = {
+        "--model": args.model,
+        "--chords": args.chords,
+        "--chord-factor": args.chord_factor,
+        "--density": args.density,
+        "--radius": args.radius,
+        "--weight-low": args.weight_low,
+        "--weight-high": args.weight_high,
+    }
+    if args.family is not None:
+        used = [name for name, value in generator_flags.items() if value is not None]
+        if used:
+            raise ValueError(
+                f"--family selects a scenario; drop generator flag(s) "
+                f"{', '.join(used)} (scenario knobs go through --param)"
+            )
+        model = args.family
+        params: dict = _parse_kv(args.param, "--param")
+        if args.game is not None:
+            params["game"] = args.game
+    elif args.param or args.game is not None:
+        raise ValueError("--param/--game apply to scenario families; add --family NAME")
     else:
-        params = {
-            "chords": args.chords if args.chords is not None else args.n // 2,
-            "chord_factor": args.chord_factor,
-            "weight_low": args.weight_low,
-            "weight_high": args.weight_high,
-        }
+        model = args.model or "tree-chords"
+        weight_low = 0.5 if args.weight_low is None else args.weight_low
+        weight_high = 2.0 if args.weight_high is None else args.weight_high
+        if model == "gnp":
+            params = {
+                "density": 0.3 if args.density is None else args.density,
+                "weight_low": weight_low,
+                "weight_high": weight_high,
+            }
+        elif model == "geometric":
+            params = {"radius": 0.5 if args.radius is None else args.radius}
+        else:
+            params = {
+                "chords": args.chords if args.chords is not None else args.n // 2,
+                "chord_factor": 1.1 if args.chord_factor is None else args.chord_factor,
+                "weight_low": weight_low,
+                "weight_high": weight_high,
+            }
     instances = []
     # One independent child stream per instance (SeedSequence spawning), so
     # sweeps with neighbouring base seeds never share instances.  The same
     # construction path backs sweep-grid expansion (repro.runtime.spec), so
     # generated files and grid cells agree cell for cell.
     for seed in child_seeds(args.seed, args.count):
-        game = generate_instance(args.model, args.n, seed, **params)
+        game = generate_instance(model, args.n, seed, **params)
         instances.append(api.serialize.game_to_json(game))
     payload = {"kind": "instance-set", "instances": instances}
     _emit(json.dumps(payload, indent=2), args.out)
@@ -567,12 +649,19 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        for key in EXPERIMENTS:
-            print(f"{key:4s} {_DESCRIPTIONS.get(key, '')}")
-        return 0
-    if args.command == "solvers":
-        return _cmd_solvers()
+    if args.command in ("list", "solvers", "families"):
+        try:
+            if args.command == "list":
+                for key in EXPERIMENTS:
+                    print(f"{key:4s} {_DESCRIPTIONS.get(key, '')}")
+                return 0
+            if args.command == "solvers":
+                return _cmd_solvers()
+            return _cmd_families()
+        except BrokenPipeError:
+            # Downstream consumer (e.g. `| head`) closed stdout: not a user
+            # error, no message.
+            return _sigpipe_exit()
     if args.command in ("gen", "solve", "solve-batch", "sweep"):
         handler = {
             "gen": _cmd_gen,

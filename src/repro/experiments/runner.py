@@ -25,6 +25,7 @@ from repro.experiments import (
     exp_lp_agreement,
     exp_pos_potential,
     exp_sat_reduction,
+    exp_scenarios,
     exp_snd,
     exp_theorem6,
     exp_virtual_cost,
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E11": exp_snd.run,
     "A1": exp_ablation.run,
     "A2": exp_extensions.run,
+    "S1": exp_scenarios.run,
 }
 
 
@@ -128,11 +130,27 @@ def sweep_summary(items: List[SweepItem], seed: int = 0) -> dict:
                 "status": item.status,
                 "seconds": item.elapsed_seconds,
                 "headline": item.result.headline if item.ok and item.result else None,
+                "families": _row_families(item),
                 "error": error_text(item.error) if item.error is not None else None,
             }
             for item in items
         ],
     }
+
+
+def _row_families(item: SweepItem) -> Optional[List[str]]:
+    """Game-family names named by an experiment's per-instance rows.
+
+    The scenario tour (S1) tags each row with the instance's game family;
+    surfacing them here lets ``run all --json-out`` consumers see which
+    families a sweep covered without parsing row tables.
+    """
+    if item.result is None:
+        return None
+    families = sorted(
+        {str(row["family"]) for row in item.result.rows if "family" in row}
+    )
+    return families or None
 
 
 def run_all_tolerant(

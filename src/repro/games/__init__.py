@@ -1,13 +1,34 @@
 """Network design games (Section 2 of the paper).
 
+* :mod:`repro.games.base` — the game-family layer: the five first-class
+  families (broadcast, multicast, general, weighted, directed) and the
+  pluggable :class:`CostSharingRule` (fair/Shapley, demand-proportional,
+  arbitrary per-edge splits).
 * :class:`NetworkDesignGame` — arbitrary source/destination pairs, states are
   per-player paths with fair (Shapley) cost sharing.
 * :class:`BroadcastGame` — one player per non-root node (optionally with
   co-located player *multiplicities*), states are spanning trees.
-* Equilibrium checking via best-response shortest-path oracles, Rosenthal's
-  potential, best-response dynamics, and exact price of stability/anarchy.
+* :class:`DirectedNetworkDesignGame` — per-direction traversal constraints
+  on the shared undirected cost model.
+* Equilibrium checking, coalition scans and equilibrium stretch run on the
+  vectorized :class:`BestResponseEngine` for every family; Rosenthal's
+  potential and best-response dynamics additionally require fair sharing
+  (weighted/per-edge splits have no exact potential) and cover the
+  broadcast/multicast/general/directed families.
 """
 
+from repro.games.base import (
+    GAME_FAMILIES,
+    CostSharingRule,
+    FairSharing,
+    FamilyCoercionError,
+    PerEdgeSplit,
+    ProportionalSharing,
+    family_of,
+    rule_from_json,
+    to_broadcast,
+    to_general,
+)
 from repro.games.game import NetworkDesignGame, Player, State
 from repro.games.broadcast import BroadcastGame, TreeState
 from repro.games.equilibrium import (
@@ -27,10 +48,12 @@ from repro.games.efficiency import (
     price_of_stability,
 )
 from repro.games.multicast import MulticastGame
+from repro.games.directed import DirectedNetworkDesignGame, DirectedState
 from repro.games.weighted import (
     WeightedNetworkDesignGame,
     WeightedState,
     check_weighted_equilibrium,
+    check_weighted_equilibrium_legacy,
     solve_weighted_sne,
 )
 from repro.games.coalitions import (
@@ -45,9 +68,21 @@ from repro.games.approx import (
 )
 
 __all__ = [
+    "GAME_FAMILIES",
+    "CostSharingRule",
+    "FairSharing",
+    "FamilyCoercionError",
+    "PerEdgeSplit",
+    "ProportionalSharing",
+    "family_of",
+    "rule_from_json",
+    "to_broadcast",
+    "to_general",
     "NetworkDesignGame",
     "Player",
     "State",
+    "DirectedNetworkDesignGame",
+    "DirectedState",
     "BroadcastGame",
     "TreeState",
     "Deviation",
@@ -69,6 +104,7 @@ __all__ = [
     "WeightedNetworkDesignGame",
     "WeightedState",
     "check_weighted_equilibrium",
+    "check_weighted_equilibrium_legacy",
     "solve_weighted_sne",
     "CoalitionDeviation",
     "StrongEquilibriumReport",

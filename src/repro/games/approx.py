@@ -17,7 +17,6 @@ import numpy as np
 from repro.graphs.graph import canonical_edge
 from repro.lp import LinearProgram, LPStatus, solve_lp
 from repro.games.broadcast import TreeState
-from repro.games.equilibrium import best_deviation_from_tree, best_response
 from repro.games.game import State, Subsidies
 from repro.subsidies.assignment import SubsidyAssignment
 
@@ -30,27 +29,23 @@ def equilibrium_stretch(state: AnyState, subsidies: Optional[Subsidies] = None) 
     ``max_i cost_i / best_response_i`` (1.0 at an exact equilibrium; a
     player whose best response is free while she pays something gives
     ``inf``).
+
+    Runs on the engine binding of the state's game family — broadcast
+    trees, general paths, weighted/per-edge-split demands and directed
+    arcs all price through the same vectorized scan.
     """
+    from repro.games.engine import BestResponseEngine
+
+    engine = BestResponseEngine.for_graph(state.game.graph)
+    binding = engine.bind(state)
+    wb = engine.net_weights(engine.subsidy_vector(subsidies))
     worst = 1.0
-    if isinstance(state, TreeState):
-        players = state.game.player_nodes()
-
-        def get(u):
-            return best_deviation_from_tree(state, u, subsidies)
-
-    else:
-        players = range(state.game.n_players)
-
-        def get(i):
-            return best_response(state, i, subsidies)
-
-    for p in players:
-        dev = get(p)
-        if dev.current_cost <= 0:
+    for rec in binding.scan(wb, find_all=True, improving_only=False):
+        if rec.current_cost <= 0:
             continue
-        if dev.deviation_cost <= 0:
+        if rec.deviation_cost <= 0:
             return float("inf")
-        worst = max(worst, dev.current_cost / dev.deviation_cost)
+        worst = max(worst, rec.current_cost / rec.deviation_cost)
     return worst
 
 

@@ -1,0 +1,364 @@
+"""The game-family layer: one contract over every game shape.
+
+The paper's machinery (LP (1)-(3), SND, the virtual-cost analysis) is
+defined per game *shape* — broadcast trees, multicast terminals, general
+source/target pairs, weighted demands, directed arcs — but the quantities
+every solver actually consumes are the same three: a strategy space per
+player, per-edge usage loads, and a *cost-sharing rule* mapping an edge's
+(subsidized) weight and its load to each user's share.  This module names
+that contract:
+
+* :class:`CostSharingRule` — the pluggable sharing layer.  A rule assigns
+  each player a per-edge **load contribution** ``alpha_i(a) > 0``; her
+  share of edge ``a`` is ``alpha_i(a) * (w_a - b_a) / L_a`` where ``L_a``
+  is the total contribution of ``a``'s users.  :class:`FairSharing`
+  (``alpha = 1``: the Shapley/equal split of the paper's Section 2),
+  :class:`ProportionalSharing` (``alpha_i = d_i``: Chen-Roughgarden
+  demand-proportional shares, Section 6) and :class:`PerEdgeSplit`
+  (arbitrary exogenous per-(player, edge) contributions) instantiate it.
+* :data:`GAME_FAMILIES` and :func:`family_of` — the five first-class
+  families every layer above (engine bindings, ``repro.api`` adapters,
+  the sweep runtime, the scenario library) can rely on.
+* :func:`to_general` / :func:`to_broadcast` — *exact* downgrades between
+  families where their semantics coincide (unit demands, symmetric arcs,
+  full terminal coverage), so family-restricted solvers serve any family
+  instance that is semantically inside their domain.
+
+The engine consumes rules through :meth:`CostSharingRule.weights_for`
+(one scalar-or-array of load contributions per player, broadcastable over
+edge ids); the dict-based layers use :meth:`CostSharingRule.weight_on`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.graphs.graph import Edge, canonical_edge
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.games.broadcast import BroadcastGame
+    from repro.games.engine import BestResponseEngine
+    from repro.games.game import NetworkDesignGame
+
+#: the five first-class game families, in generality order
+GAME_FAMILIES = ("broadcast", "multicast", "general", "weighted", "directed")
+
+
+# ---------------------------------------------------------------------------
+# Cost-sharing rules
+# ---------------------------------------------------------------------------
+
+
+class CostSharingRule(ABC):
+    """How an edge's (subsidized) weight splits among its users.
+
+    A rule is fully determined by the per-(player, edge) load contribution
+    ``alpha_i(a)``: player ``i``'s share of edge ``a`` in state ``T`` is ::
+
+        share_i(a; b) = alpha_i(a) * max(0, w_a - b_a) / L_a(T),
+        L_a(T) = sum_{j uses a} alpha_j(a)
+
+    and a deviator joining ``a`` pays with denominator ``L_a + alpha_i(a)``
+    (``L_a`` when she already uses it) — exactly the generalization the
+    best-response engine prices in two vector operations.
+    """
+
+    #: short registry name (also the JSON tag)
+    name: str = ""
+
+    @abstractmethod
+    def weight_on(self, position: int, edge: Edge) -> float:
+        """Load contribution ``alpha_i(a)`` of player ``position`` on ``edge``."""
+
+    def weights_for(
+        self, position: int, engine: "BestResponseEngine"
+    ) -> Union[float, np.ndarray]:
+        """Per-edge-id contributions of one player (scalar broadcasts).
+
+        The generic implementation materializes an array through
+        :meth:`weight_on`; constant rules override with a scalar.
+        """
+        return np.array(
+            [self.weight_on(position, e) for e in engine.ig.edge_labels]
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-data form (inverse: :func:`rule_from_json`)."""
+        return {"rule": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class FairSharing(CostSharingRule):
+    """Equal (Shapley) split: every user contributes 1 (the paper's model)."""
+
+    name = "fair"
+
+    def weight_on(self, position: int, edge: Edge) -> float:
+        return 1.0
+
+    def weights_for(
+        self, position: int, engine: "BestResponseEngine"
+    ) -> Union[float, np.ndarray]:
+        return 1.0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FairSharing)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class ProportionalSharing(CostSharingRule):
+    """Demand-proportional split: player ``i`` contributes ``d_i`` everywhere."""
+
+    name = "proportional"
+
+    def __init__(self, demands: Sequence[float]):
+        self.demands: Tuple[float, ...] = tuple(float(d) for d in demands)
+        if any(d <= 0 for d in self.demands):
+            raise ValueError("demands must be positive")
+
+    def weight_on(self, position: int, edge: Edge) -> float:
+        return self.demands[position]
+
+    def weights_for(
+        self, position: int, engine: "BestResponseEngine"
+    ) -> Union[float, np.ndarray]:
+        return self.demands[position]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rule": self.name, "demands": list(self.demands)}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ProportionalSharing) and self.demands == other.demands
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.demands))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProportionalSharing({list(self.demands)!r})"
+
+
+class PerEdgeSplit(CostSharingRule):
+    """Arbitrary exogenous split: per-edge vectors of player contributions.
+
+    ``table[edge][i]`` is ``alpha_i(edge)``; edges missing from the table
+    fall back to the player's ``base`` contribution (default 1, i.e. fair).
+    With every vector constant this degrades to :class:`ProportionalSharing`;
+    with all-ones it degrades to :class:`FairSharing`.
+    """
+
+    name = "per-edge"
+
+    def __init__(
+        self,
+        table: Mapping[Edge, Sequence[float]],
+        n_players: int,
+        base: Union[float, Sequence[float]] = 1.0,
+    ):
+        self.n_players = int(n_players)
+        if isinstance(base, (int, float)):
+            self.base: Tuple[float, ...] = (float(base),) * self.n_players
+        else:
+            self.base = tuple(float(b) for b in base)
+            if len(self.base) != self.n_players:
+                raise ValueError("base must give one contribution per player")
+        self.table: Dict[Edge, Tuple[float, ...]] = {}
+        for edge, weights in table.items():
+            row = tuple(float(w) for w in weights)
+            if len(row) != self.n_players:
+                raise ValueError(
+                    f"edge {edge!r}: expected {self.n_players} contributions, "
+                    f"got {len(row)}"
+                )
+            if any(w <= 0 for w in row):
+                raise ValueError(f"edge {edge!r}: contributions must be positive")
+            self.table[canonical_edge(*edge)] = row
+        if any(b <= 0 for b in self.base):
+            raise ValueError("base contributions must be positive")
+
+    def weight_on(self, position: int, edge: Edge) -> float:
+        row = self.table.get(canonical_edge(*edge))
+        return row[position] if row is not None else self.base[position]
+
+    def to_json(self) -> Dict[str, Any]:
+        from repro.api.serialize import encode_node
+        from repro.graphs.graph import _sort_key
+
+        # canonical edge order: equal rules must serialize byte-identically
+        # (the content-addressed sweep cache keys on instance JSON)
+        rows = sorted(
+            self.table.items(),
+            key=lambda kv: (_sort_key(kv[0][0]), _sort_key(kv[0][1])),
+        )
+        return {
+            "rule": self.name,
+            "n_players": self.n_players,
+            "base": list(self.base),
+            "table": [
+                [encode_node(u), encode_node(v), list(row)] for (u, v), row in rows
+            ],
+        }
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PerEdgeSplit)
+            and self.base == other.base
+            and self.table == other.table
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.base, tuple(sorted(self.table.items(), key=repr))))
+
+
+def rule_from_json(data: Mapping[str, Any]) -> CostSharingRule:
+    """Inverse of :meth:`CostSharingRule.to_json`."""
+    kind = data.get("rule")
+    if kind == "fair":
+        return FairSharing()
+    if kind == "proportional":
+        return ProportionalSharing(data["demands"])
+    if kind == "per-edge":
+        from repro.api.serialize import decode_node
+
+        table = {
+            canonical_edge(decode_node(u), decode_node(v)): row
+            for u, v, row in data["table"]
+        }
+        return PerEdgeSplit(table, int(data["n_players"]), base=data["base"])
+    raise ValueError(f"unknown cost-sharing rule {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Family identification
+# ---------------------------------------------------------------------------
+
+
+def family_of(game: Any) -> str:
+    """The :data:`GAME_FAMILIES` name of a game instance.
+
+    Every game class carries a ``family`` class attribute; anything without
+    one is not part of the game-family contract.
+    """
+    family = getattr(type(game), "family", None)
+    if family not in GAME_FAMILIES:
+        raise TypeError(
+            f"{type(game).__name__} is not a registered game family "
+            f"(known: {', '.join(GAME_FAMILIES)})"
+        )
+    return family
+
+
+# ---------------------------------------------------------------------------
+# Exact downgrades between families
+# ---------------------------------------------------------------------------
+
+
+class FamilyCoercionError(TypeError):
+    """A family instance lies outside the target family's exact overlap."""
+
+
+def to_general(game: Any) -> "NetworkDesignGame":
+    """Exact :class:`NetworkDesignGame` view of any family instance.
+
+    Raises :class:`FamilyCoercionError` when the instance's semantics do
+    not coincide with fair sharing on an undirected graph: non-unit
+    demands (weighted), asymmetric arcs (directed).
+    """
+    from repro.games.game import NetworkDesignGame
+
+    family = family_of(game)
+    if family == "general":
+        return game
+    if family == "broadcast":
+        return game.to_network_design_game()
+    if family == "multicast":
+        return game.nd_game
+    if family == "weighted":
+        rule = game.cost_sharing
+        if not (
+            isinstance(rule, ProportionalSharing)
+            and len(set(rule.demands)) <= 1
+        ):
+            raise FamilyCoercionError(
+                "a weighted game equals a fair-sharing game only with "
+                "uniform demands; this instance's shares are genuinely "
+                f"demand-dependent ({rule!r})"
+            )
+        return NetworkDesignGame(
+            game.graph, [(p.source, p.target) for p in game.players]
+        )
+    if family == "directed":
+        if not game.is_symmetric():
+            raise FamilyCoercionError(
+                "a directed game equals an undirected one only when every "
+                "edge is traversable both ways; this instance has one-way "
+                "or fully-closed edges"
+            )
+        return NetworkDesignGame(
+            game.graph, [(p.source, p.target) for p in game.players]
+        )
+    raise FamilyCoercionError(f"cannot view a {family!r} game as general")
+
+
+def to_broadcast(game: Any) -> "BroadcastGame":
+    """Exact :class:`BroadcastGame` view of any family instance.
+
+    The overlap condition: (after :func:`to_general` coercion) every
+    non-root node hosts exactly one player and all players share one
+    destination.  Multicast games qualify exactly when their terminals
+    cover every non-root node.
+    """
+    from repro.games.broadcast import BroadcastGame
+
+    family = family_of(game)
+    if family == "broadcast":
+        return game
+    if family == "multicast":
+        if set(game.terminals) != game.graph.node_set() - {game.root}:
+            raise FamilyCoercionError(
+                "a multicast game is a broadcast game only when its "
+                "terminals cover every non-root node"
+            )
+        return BroadcastGame(game.graph, game.root)
+    nd = to_general(game)  # weighted/directed funnel through the general view
+    targets = {p.target for p in nd.players}
+    if len(targets) != 1:
+        raise FamilyCoercionError(
+            "broadcast needs a single common destination; this instance "
+            f"has {len(targets)} distinct targets"
+        )
+    root = next(iter(targets))
+    sources = [p.source for p in nd.players]
+    expected = nd.graph.node_set() - {root}
+    if len(sources) != len(set(sources)) or set(sources) != expected:
+        raise FamilyCoercionError(
+            "broadcast needs exactly one player per non-root node; this "
+            "instance's sources do not cover the nodes one-to-one"
+        )
+    return BroadcastGame(nd.graph, root)
+
+
+def describe_families() -> List[Dict[str, str]]:
+    """One-line description per family (the ``cli families`` footer)."""
+    return [
+        {"family": "broadcast", "description": "every non-root node connects to a common root; states are spanning trees"},
+        {"family": "multicast", "description": "a terminal subset connects to the root; optimal designs are Steiner trees"},
+        {"family": "general", "description": "arbitrary source/target pairs with fair (Shapley) sharing"},
+        {"family": "weighted", "description": "players carry demands; edge costs split demand-proportionally"},
+        {"family": "directed", "description": "paths must follow allowed arc directions on the built edges"},
+    ]

@@ -109,6 +109,9 @@ class BroadcastGame:
         structural helper nodes).
     """
 
+    #: game-family name (see :mod:`repro.games.base`)
+    family = "broadcast"
+
     def __init__(
         self,
         graph: Graph,
@@ -146,6 +149,17 @@ class BroadcastGame:
     def mst_state(self) -> TreeState:
         """The deterministic Kruskal MST as a state (the optimal design)."""
         return TreeState(self, kruskal_mst(self.graph))
+
+    def default_state(self) -> TreeState:
+        """The family's natural target state (the MST)."""
+        return self.mst_state()
+
+    @property
+    def cost_sharing(self):
+        """The sharing rule (broadcast games are fair/Shapley)."""
+        from repro.games.base import FairSharing
+
+        return FairSharing()
 
     def mst_weight(self) -> float:
         return self.graph.subset_weight(kruskal_mst(self.graph))

@@ -5,21 +5,30 @@ there are new strategies for all members making *every* member strictly
 better off (others fixed).  A state immune to coalitions of size ≤ k is a
 k-strong equilibrium; k = 1 recovers the Nash condition.
 
-Checking is NP-hard in general; this module does exact checking on small
-instances by enumerating simple paths per member (bounded), which is
-exactly what the reduction-scale experiments need.
+Checking is NP-hard in general; this module is exact on small instances:
+singleton coalitions run on the vectorized
+:class:`~repro.games.engine.BestResponseEngine` (the same binding that
+powers ``check_equilibrium``, so k = 1 is exact over *all* deviations,
+not just an enumerated sample), and larger coalitions enumerate bounded
+joint path combinations.  Costs go through the game's
+:class:`~repro.games.base.CostSharingRule`, so general, weighted
+(demand-proportional / per-edge split) and directed states are all
+supported — directed candidate paths are filtered to arc-respecting walks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations, product
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.graphs.graph import Edge, Node
 from repro.graphs.paths import enumerate_simple_paths
 from repro.games.game import State, Subsidies, _path_nodes_to_edges
+from repro.games.weighted import WeightedState
 from repro.utils.tolerances import EQ_TOL, is_improvement
+
+AnyPathState = Union[State, WeightedState]
 
 
 @dataclass
@@ -45,59 +54,102 @@ class StrongEquilibriumReport:
 
 
 def _joint_costs(
-    state: State,
+    state: AnyPathState,
     members: Sequence[int],
     new_edge_paths: Sequence[Tuple[Edge, ...]],
     subsidies: Optional[Subsidies],
 ) -> List[float]:
-    """Member costs after the coalition jointly switches paths."""
+    """Member costs after the coalition jointly switches paths.
+
+    Loads are updated through the game's cost-sharing rule — fair states
+    keep their integer usage counts, weighted/per-edge states their
+    contribution sums.
+    """
     game = state.game
-    usage = dict(state.usage)
+    rule = game.cost_sharing
+    load: Dict[Edge, float] = dict(getattr(state, "load", None) or state.usage)
     for i in members:
         for e in state.edge_paths[i]:
-            usage[e] -= 1
-    for edges in new_edge_paths:
+            load[e] -= rule.weight_on(i, e)
+    for i, edges in zip(members, new_edge_paths):
         for e in edges:
-            usage[e] = usage.get(e, 0) + 1
+            load[e] = load.get(e, 0) + rule.weight_on(i, e)
     costs = []
-    for edges in new_edge_paths:
+    for i, edges in zip(members, new_edge_paths):
         total = 0.0
         for e in edges:
             w = game.graph.weight(*e)
             b = subsidies.get(e, 0.0) if subsidies else 0.0
-            total += max(0.0, w - b) / usage[e]
+            total += rule.weight_on(i, e) * max(0.0, w - b) / load[e]
         costs.append(total)
     return costs
 
 
+def _singleton_scan(
+    state: AnyPathState, subsidies: Optional[Subsidies], tol: float
+) -> Tuple[Optional[CoalitionDeviation], int]:
+    """Exact k = 1 pass on the engine; returns (deviation, players scanned)."""
+    from repro.games.engine import BestResponseEngine
+
+    engine = BestResponseEngine.for_graph(state.game.graph)
+    binding = engine.bind(state)
+    wb = engine.net_weights(engine.subsidy_vector(subsidies))
+    recs = binding.scan(wb, tol=tol)
+    n = len(binding.player_keys)
+    if not recs:
+        return None, n
+    rec = recs[0]
+    labels = engine.ig.labels
+    deviation = CoalitionDeviation(
+        members=(rec.position,),
+        new_paths=[[labels[i] for i in rec.node_ids]],
+        old_costs=[rec.current_cost],
+        new_costs=[rec.deviation_cost],
+    )
+    return deviation, rec.position + 1  # coalitions checked before the hit
+
+
 def check_strong_equilibrium(
-    state: State,
+    state: AnyPathState,
     max_coalition: int = 2,
     subsidies: Optional[Subsidies] = None,
     tol: float = EQ_TOL,
     max_paths_per_player: int = 200,
 ) -> StrongEquilibriumReport:
-    """Exact k-strong equilibrium check by joint-path enumeration.
+    """Exact k-strong equilibrium check.
 
-    Every coalition of size ≤ ``max_coalition`` is tested against every
+    Singleton coalitions run on the engine (exact over all deviations);
+    every coalition of size 2..``max_coalition`` is tested against every
     combination of ≤ ``max_paths_per_player`` simple paths per member.
     Exponential — use on small instances (that is where the interesting
-    examples live; see ``exp_extensions``).
+    examples live; see ``exp_extensions``).  Accepts any path-profile
+    state: general, weighted (rule-priced) or directed (candidate paths
+    are restricted to arc-respecting walks).
     """
     game = state.game
+    checked = 0
+
+    if max_coalition >= 1:
+        deviation, scanned = _singleton_scan(state, subsidies, tol)
+        checked += scanned
+        if deviation is not None:
+            return StrongEquilibriumReport(False, max_coalition, deviation, checked)
+
+    path_allowed = getattr(game, "path_allowed", None)
     candidate_paths: Dict[int, List[Tuple[Edge, ...]]] = {}
     node_paths: Dict[int, List[List[Node]]] = {}
-    for i, p in enumerate(game.players):
-        node_paths[i] = [
-            nodes
-            for nodes in enumerate_simple_paths(
-                game.graph, p.source, p.target, max_paths=max_paths_per_player
-            )
-        ]
-        candidate_paths[i] = [_path_nodes_to_edges(nodes) for nodes in node_paths[i]]
+    if max_coalition >= 2:
+        for i, p in enumerate(game.players):
+            node_paths[i] = [
+                nodes
+                for nodes in enumerate_simple_paths(
+                    game.graph, p.source, p.target, max_paths=max_paths_per_player
+                )
+                if path_allowed is None or path_allowed(nodes)
+            ]
+            candidate_paths[i] = [_path_nodes_to_edges(nodes) for nodes in node_paths[i]]
 
-    checked = 0
-    for k in range(1, max_coalition + 1):
+    for k in range(2, max_coalition + 1):
         for members in combinations(range(game.n_players), k):
             checked += 1
             old_costs = [state.player_cost(i, subsidies) for i in members]

@@ -1,0 +1,140 @@
+"""Directed network design games: paths must follow allowed arc directions.
+
+The built network is still a set of undirected edges whose cost is split
+fairly among all users (the paper's cost model is orientation-blind), but
+each edge may only be *traversed* in its allowed direction(s) — the
+"one-way fiber pair" variant of the ISP story in the paper's introduction.
+A fully symmetric instance is exactly a :class:`~repro.games.game.
+NetworkDesignGame` (and :func:`repro.games.base.to_general` performs that
+downgrade), so the directed family strictly extends the general one.
+
+Best response and equilibrium checking run on the shared
+:class:`~repro.games.engine.BestResponseEngine`: the undirected CSR stays
+the substrate and closed directions are masked out per arc slot
+(:meth:`~repro.graphs.core.IndexedGraph.arc_open_mask`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.game import NetworkDesignGame, State
+from repro.graphs.graph import Graph, Node
+
+
+class DirectedState(State):
+    """A strategy profile whose paths all respect the game's arcs."""
+
+    #: engine dispatch marker (see ``BestResponseEngine.bind``)
+    binding_kind = "rule"
+
+    def __init__(self, game: "DirectedNetworkDesignGame", node_paths: Sequence[Sequence[Node]]):
+        super().__init__(game, node_paths)
+        for i, nodes in enumerate(self.node_paths):
+            for u, v in zip(nodes, nodes[1:]):
+                if not game.allows(u, v):
+                    raise ValueError(
+                        f"player {i}: traversal {(u, v)!r} goes against the arc"
+                    )
+
+
+class DirectedNetworkDesignGame(NetworkDesignGame):
+    """A network design game with per-direction traversal constraints.
+
+    Parameters
+    ----------
+    graph:
+        The undirected edge-weighted graph of buildable links.
+    terminal_pairs:
+        One ``(source, target)`` pair per player.
+    arcs:
+        Allowed ``(tail, head)`` traversals.  Every arc must be a direction
+        of an existing edge; edges absent from ``arcs`` entirely are
+        unusable.  ``None`` (default) opens both directions of every edge,
+        making the game symmetric.
+    """
+
+    family = "directed"
+
+    def __init__(
+        self,
+        graph: Graph,
+        terminal_pairs: Sequence[Tuple[Node, Node]],
+        arcs: Optional[Iterable[Tuple[Node, Node]]] = None,
+    ):
+        super().__init__(graph, terminal_pairs)
+        if arcs is None:
+            allowed = frozenset(
+                arc for u, v, _ in graph.edges() for arc in ((u, v), (v, u))
+            )
+        else:
+            collected = set()
+            for u, v in arcs:
+                if not graph.has_edge(u, v):
+                    raise ValueError(f"arc {(u, v)!r} has no underlying edge")
+                collected.add((u, v))
+            allowed = frozenset(collected)
+        # cost_sharing stays the inherited FairSharing property: the built
+        # edge is orientation-blind, only traversal is constrained.
+        self.arcs: FrozenSet[Tuple[Node, Node]] = allowed
+        self._arc_open_cache: Optional[Tuple[int, np.ndarray]] = None
+
+    # -- arc queries ---------------------------------------------------------
+
+    def allows(self, u: Node, v: Node) -> bool:
+        """True when the edge {u, v} may be traversed from ``u`` to ``v``."""
+        return (u, v) in self.arcs
+
+    def is_symmetric(self) -> bool:
+        """True when the game equals its undirected relaxation.
+
+        Every graph edge must be open in *both* directions — an edge with
+        no arcs at all is unusable here but traversable in the undirected
+        game, so it breaks the overlap just like a one-way arc does.
+        """
+        arcs = self.arcs
+        return all(
+            (u, v) in arcs and (v, u) in arcs for u, v, _ in self.graph.edges()
+        )
+
+    def path_allowed(self, nodes: Sequence[Node]) -> bool:
+        """True when a node walk respects every arc direction."""
+        return all(self.allows(u, v) for u, v in zip(nodes, nodes[1:]))
+
+    def engine_arc_open(self, ig) -> np.ndarray:
+        """CSR arc-slot mask for the engine (cached per graph version)."""
+        cached = self._arc_open_cache
+        if cached is not None and cached[0] == self.graph._version:
+            return cached[1]
+        mask = ig.arc_open_mask(self.arcs)
+        self._arc_open_cache = (self.graph._version, mask)
+        return mask
+
+    # -- states --------------------------------------------------------------
+
+    def state(self, node_paths: Sequence[Sequence[Node]]) -> DirectedState:
+        return DirectedState(self, node_paths)
+
+    def shortest_path_state(self) -> DirectedState:
+        """Every player on her arc-respecting weight-shortest path."""
+        from repro.graphs.core import dijkstra_indexed
+
+        ig = self.graph.to_indexed()
+        mask = self.engine_arc_open(ig)
+        labels = ig.labels
+        paths: List[List[Node]] = []
+        for p in self.players:
+            s, t = ig.id_of(p.source), ig.id_of(p.target)
+            dist, pred, _ = dijkstra_indexed(ig, s, target=t, arc_open=mask)
+            if dist[t] == float("inf"):
+                raise ValueError(
+                    f"player {p.index}: no arc-respecting path "
+                    f"{p.source!r}->{p.target!r}"
+                )
+            rev = [t]
+            while rev[-1] != s:
+                rev.append(pred[rev[-1]])
+            paths.append([labels[x] for x in reversed(rev)])
+        return DirectedState(self, paths)

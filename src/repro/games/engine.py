@@ -28,12 +28,15 @@ from typing import List, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.games.base import FairSharing
 from repro.games.broadcast import TreeState
 from repro.games.game import NetworkDesignGame, State, Subsidies
 from repro.graphs.core import IndexedGraph, dijkstra_indexed
 from repro.graphs.graph import Graph
 from repro.utils.tolerances import EQ_TOL, is_improvement
 
+#: any bindable target state (weighted / directed states carry a
+#: ``binding_kind = "rule"`` marker and dispatch to :class:`_RuleBinding`)
 AnyState = Union[State, TreeState]
 
 
@@ -120,10 +123,30 @@ class BestResponseEngine:
     # -- state bindings ----------------------------------------------------
 
     def bind(self, state: AnyState) -> "_StateBinding":
-        """Bind a target state: convert its usage/paths into id arrays once."""
+        """Bind a target state: convert its usage/paths into id arrays once.
+
+        Dispatch covers every game family: broadcast ``TreeState``,
+        general ``State``, and any state carrying the ``binding_kind =
+        "rule"`` marker (weighted demands, per-edge splits, directed arcs)
+        — the latter run through the :class:`~repro.games.base.
+        CostSharingRule`-priced :class:`_RuleBinding`.
+
+        States are immutable once validated, so the binding is cached on
+        the state (keyed by this engine): repeated checks of one target —
+        the LP verification loop, the SND candidate scoring — pay for id
+        translation once.
+        """
+        cached = getattr(state, "_binding_cache", None)
+        if cached is not None and cached[0] is self:
+            return cached[1]
         if isinstance(state, TreeState):
-            return _TreeBinding(self, state)
-        return _GeneralBinding(self, state)
+            binding: _StateBinding = _TreeBinding(self, state)
+        elif getattr(state, "binding_kind", "general") == "rule":
+            binding = _RuleBinding(self, state)
+        else:
+            binding = _GeneralBinding(self, state)
+        state._binding_cache = (self, binding)
+        return binding
 
 
 class _StateBinding:
@@ -136,6 +159,38 @@ class _StateBinding:
     def current_path_eids(self, position: int) -> List[int]:
         """Edge ids of the player's current path (own edges)."""
         raise NotImplementedError
+
+    # -- share coefficients (the LP-row protocol) --------------------------
+    #
+    # A player's share of edge ``a`` is linear in the net weight:
+    # ``share = coeff * (w_a - b_a)``.  These two methods are all the
+    # LP (1) cutting-plane oracle needs to emit rows for *any* family —
+    # fair (1/n_a), demand-proportional (d_i/L_a) or per-edge splits.
+
+    def current_share_coeff(self, position: int, eid: int) -> float:
+        """``d share_i(a) / d (w_a - b_a)`` on the player's own path.
+
+        Fair-sharing default: ``1 / n_a``; rule bindings override.
+        """
+        return 1.0 / self.usage[eid]
+
+    def joining_share_coeff(self, position: int, eid: int) -> float:
+        """The same derivative for an edge her deviation path would use.
+
+        Fair-sharing default: ``1 / (n_a + 1 - n_a^i)``.
+        """
+        extra = 0 if eid in self._own_eids(position) else 1
+        return 1.0 / (self.usage[eid] + extra)
+
+    def _own_eids(self, position: int) -> set:
+        """Own-path edge ids as a set (cached per position)."""
+        cache = getattr(self, "_own_eid_cache", None)
+        if cache is None:
+            cache = self._own_eid_cache = {}
+        own = cache.get(position)
+        if own is None:
+            own = cache[position] = set(self.current_path_eids(position))
+        return own
 
     def scan(
         self,
@@ -322,6 +377,160 @@ class _GeneralBinding(_StateBinding):
         return out
 
 
+class _RuleBinding(_StateBinding):
+    """A path state priced through a pluggable cost-sharing rule.
+
+    Handles every family outside the fair/unit fast paths: weighted
+    demands (:class:`~repro.games.base.ProportionalSharing`), arbitrary
+    per-edge splits (:class:`~repro.games.base.PerEdgeSplit`) and directed
+    traversal constraints (games exposing ``engine_arc_open``).  Loads are
+    float contribution sums ``L_a = sum_j alpha_j(a)``; a deviator with
+    contribution vector ``alpha_i`` prices edge ``a`` at ``alpha_i(a) *
+    wb_a / (L_a + alpha_i(a) - [own] * alpha_i(a))`` — two vector
+    operations plus the ``O(|T_i|)`` own-edge fix-up, exactly like the
+    fair bindings.
+    """
+
+    def __init__(self, engine: BestResponseEngine, state: object) -> None:
+        self.engine = engine
+        self.state = state
+        game = state.game
+        ig = engine.ig
+        id_of = ig.id_of
+        eid_of_edge = ig.edge_id_of
+
+        rule = getattr(game, "cost_sharing", None)
+        self.rule = rule if rule is not None else FairSharing()
+        loads_map = getattr(state, "load", None)
+        if loads_map is None:
+            loads_map = state.usage
+        load = np.zeros(engine.num_edges)
+        for e, value in loads_map.items():
+            load[eid_of_edge(e)] = value
+        self.load = load
+        self.usage = load  # the binding contract's per-edge load array
+
+        n = game.n_players
+        self.player_keys = list(range(n))
+        self.sources = [id_of(p.source) for p in game.players]
+        self.targets = [id_of(p.target) for p in game.players]
+        self.paths = [
+            [eid_of_edge(e) for e in state.edge_paths[i]] for i in range(n)
+        ]
+        #: per-player contribution vectors (scalars broadcast)
+        self.alphas = [self.rule.weights_for(i, engine) for i in range(n)]
+        #: scalar contributions resolved once (None = genuine per-edge vector)
+        self._scalar_alphas = [
+            float(a) if np.isscalar(a) else None for a in self.alphas
+        ]
+        arc_open_fn = getattr(game, "engine_arc_open", None)
+        self.arc_open: Optional[np.ndarray] = (
+            arc_open_fn(ig) if arc_open_fn is not None else None
+        )
+        self._arc_open_list = (
+            self.arc_open.tolist() if self.arc_open is not None else None
+        )
+        #: CSR arc slots of each edge id (own-edge patching in `scan`)
+        slots: List[List[int]] = [[] for _ in range(engine.num_edges)]
+        for k, e in enumerate(ig._adj_edge_list):
+            slots[e].append(k)
+        self._slots_of_edge = slots
+
+    def current_path_eids(self, position: int) -> List[int]:
+        return list(self.paths[position])
+
+    def _alpha_on(self, position: int, eid: int) -> float:
+        a = self.alphas[position]
+        return float(a) if np.isscalar(a) else float(a[eid])
+
+    def current_share_coeff(self, position: int, eid: int) -> float:
+        return self._alpha_on(position, eid) / self.load[eid]
+
+    def joining_share_coeff(self, position: int, eid: int) -> float:
+        a = self._alpha_on(position, eid)
+        extra = 0.0 if eid in self._own_eids(position) else a
+        return a / (self.load[eid] + extra)
+
+    def scan(
+        self,
+        wb: np.ndarray,
+        tol: float = EQ_TOL,
+        find_all: bool = False,
+        improving_only: bool = True,
+    ) -> List[BestResponse]:
+        engine = self.engine
+        ig = engine.ig
+        load = self.load
+        wb_l = wb.tolist()
+        load_l = load.tolist()
+        adj_edge = ig.adj_edge
+        mask = self.arc_open
+        mask_l = self._arc_open_list
+        slots_of_edge = self._slots_of_edge
+        # Players sharing one scalar contribution (all of them, under
+        # proportional sharing with repeated demands) share one join-priced
+        # per-arc cost list per scan; each query patches its own edges in
+        # place and restores them — O(|T_i|) per player instead of O(m).
+        arc_base_cache: dict = {}
+
+        out: List[BestResponse] = []
+        for pos in self.player_keys:
+            a = self.alphas[pos]
+            a_s = self._scalar_alphas[pos]
+            own = self.paths[pos]
+            cur = 0.0
+            if a_s is not None:
+                for e in own:  # sequential sum, matching the dict-based order
+                    cur += a_s * wb_l[e] / load_l[e]
+            else:
+                for e in own:
+                    cur += a[e] * wb_l[e] / load_l[e]
+            if improving_only and cur <= tol:
+                continue
+            s, t = self.sources[pos], self.targets[pos]
+            # Improving deviations cost < cur, so cur is a sound search bound.
+            bound = cur if improving_only else float("inf")
+            if a_s is not None:
+                arc_costs = arc_base_cache.get(a_s)
+                if arc_costs is None:
+                    # every edge priced for a joining player of weight a_s,
+                    # expanded to CSR arc slots (closed directions -> inf)
+                    base = ((a_s * wb) / (load + a_s))[adj_edge]
+                    if mask is not None:
+                        base = np.where(mask, base, np.inf)
+                    arc_costs = arc_base_cache[a_s] = base.tolist()
+                patches = []
+                for e in own:  # own edges keep their current denominator L_a
+                    val = a_s * wb_l[e] / load_l[e]
+                    for k in slots_of_edge[e]:
+                        if mask_l is None or mask_l[k]:
+                            patches.append((k, arc_costs[k]))
+                            arc_costs[k] = val
+                dist, pred, pred_edge = dijkstra_indexed(
+                    ig, s, target=t, bound=bound, arc_costs=arc_costs
+                )
+                for k, v in patches:
+                    arc_costs[k] = v
+            else:
+                costs = (a * wb) / (load + a)
+                for e in own:
+                    costs[e] = a[e] * wb_l[e] / load_l[e]
+                dist, pred, pred_edge = dijkstra_indexed(
+                    ig, s, costs, target=t, bound=bound, arc_open=mask
+                )
+            dcost = dist[t]
+            if improving_only:
+                if not is_improvement(dcost, cur, tol):
+                    continue
+            elif dcost == float("inf"):
+                raise ValueError(f"player {pos} cannot reach her target")
+            node_ids, edge_ids = _walk_path_back(pred, pred_edge, s, t)
+            out.append(BestResponse(pos, pos, cur, dcost, node_ids, edge_ids))
+            if improving_only and not find_all:
+                break
+        return out
+
+
 class EngineProfile:
     """Mutable strategy profile for best-response dynamics.
 
@@ -332,6 +541,16 @@ class EngineProfile:
     """
 
     def __init__(self, engine: BestResponseEngine, state: State, wb: np.ndarray) -> None:
+        rule = getattr(state.game, "cost_sharing", None)
+        if rule is not None and not isinstance(rule, FairSharing):
+            # Weighted/per-edge-split games have no exact Rosenthal
+            # potential, so sequential best-response descent has no
+            # termination guarantee; directed games (fair rule + arc
+            # masks) are fine.
+            raise TypeError(
+                "best-response dynamics require fair-sharing states; got a "
+                f"state priced by {type(rule).__name__}"
+            )
         self.engine = engine
         self.game: NetworkDesignGame = state.game
         ig = engine.ig
@@ -355,6 +574,11 @@ class EngineProfile:
         self.targets = [id_of(p.target) for p in self.game.players]
         self._base = wb / (usage + 1.0)
         self._H = engine.harmonic_table(self.game.n_players)
+        # Directed games: dynamics must search along allowed arcs only.
+        arc_open_fn = getattr(self.game, "engine_arc_open", None)
+        self.arc_open: Optional[np.ndarray] = (
+            arc_open_fn(ig) if arc_open_fn is not None else None
+        )
 
     # -- queries -----------------------------------------------------------
 
@@ -397,7 +621,12 @@ class EngineProfile:
             costs[e] = wb_l[e] / usage[e]
         s, t = self.sources[position], self.targets[position]
         dist, pred, pred_edge = dijkstra_indexed(
-            self.engine.ig, s, costs, target=t, bound=cur if bounded else float("inf")
+            self.engine.ig,
+            s,
+            costs,
+            target=t,
+            bound=cur if bounded else float("inf"),
+            arc_open=self.arc_open,
         )
         dcost = dist[t]
         if dcost == float("inf"):
@@ -433,8 +662,8 @@ class EngineProfile:
     # -- materialization ---------------------------------------------------
 
     def to_state(self) -> State:
-        """Validated :class:`State` for the current profile."""
+        """Validated state for the current profile (family-aware)."""
         labels = self.engine.ig.labels
-        return State(
-            self.game, [[labels[i] for i in path] for path in self.node_paths]
+        return self.game.state(
+            [[labels[i] for i in path] for path in self.node_paths]
         )

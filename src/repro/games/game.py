@@ -34,12 +34,31 @@ def _path_nodes_to_edges(nodes: Sequence[Node]) -> Tuple[Edge, ...]:
     return tuple(canonical_edge(u, v) for u, v in zip(nodes, nodes[1:]))
 
 
+def shortest_node_paths(graph: Graph, players: Sequence) -> List[List[Node]]:
+    """One weight-shortest node path per player (shared across families)."""
+    from repro.graphs.shortest_paths import dijkstra
+
+    paths = []
+    for p in players:
+        dist, parent = dijkstra(graph, p.source, target=p.target)
+        if p.target not in dist:
+            raise ValueError(f"player {p.index}: no path {p.source!r}->{p.target!r}")
+        nodes = [p.target]
+        while nodes[-1] != p.source:
+            nodes.append(parent[nodes[-1]])
+        paths.append(list(reversed(nodes)))
+    return paths
+
+
 class State:
     """A strategy profile: one simple path (node sequence) per player.
 
     Exposes the quantities the paper works with: edge usage counts
     ``n_a(T)``, the established edge set, per-player and social cost.
     """
+
+    #: engine dispatch marker (rule-priced subclasses override with "rule")
+    binding_kind = "general"
 
     def __init__(self, game: "NetworkDesignGame", node_paths: Sequence[Sequence[Node]]):
         if len(node_paths) != game.n_players:
@@ -114,6 +133,9 @@ class State:
 class NetworkDesignGame:
     """A network design game: graph + terminal pairs, fair cost sharing."""
 
+    #: game-family name (see :mod:`repro.games.base`)
+    family = "general"
+
     def __init__(self, graph: Graph, terminal_pairs: Sequence[Tuple[Node, Node]]):
         self.graph = graph
         self.players: List[Player] = []
@@ -128,24 +150,24 @@ class NetworkDesignGame:
     def n_players(self) -> int:
         return len(self.players)
 
+    @property
+    def cost_sharing(self):
+        """The sharing rule (fair/Shapley for the base game)."""
+        from repro.games.base import FairSharing
+
+        return FairSharing()
+
     def state(self, node_paths: Sequence[Sequence[Node]]) -> State:
         """Validate and wrap a strategy profile."""
         return State(self, node_paths)
+
+    def default_state(self) -> State:
+        """The family's natural target state (all shortest paths here)."""
+        return self.shortest_path_state()
 
     def shortest_path_state(self) -> State:
         """The profile where every player takes her weight-shortest path.
 
         A natural (generally non-equilibrium) starting point for dynamics.
         """
-        from repro.graphs.shortest_paths import dijkstra
-
-        paths = []
-        for p in self.players:
-            dist, parent = dijkstra(self.graph, p.source, target=p.target)
-            if p.target not in dist:
-                raise ValueError(f"player {p.index}: no path {p.source!r}->{p.target!r}")
-            nodes = [p.target]
-            while nodes[-1] != p.source:
-                nodes.append(parent[nodes[-1]])
-            paths.append(list(reversed(nodes)))
-        return State(self, paths)
+        return self.state(shortest_node_paths(self.graph, self.players))

@@ -25,6 +25,9 @@ class MulticastGame:
     equilibria are inherited) plus Steiner-tree optimal designs.
     """
 
+    #: game-family name (see :mod:`repro.games.base`)
+    family = "multicast"
+
     def __init__(self, graph: Graph, root: Node, terminals: Sequence[Node]):
         if root not in graph:
             raise ValueError(f"root {root!r} not in graph")
@@ -41,6 +44,21 @@ class MulticastGame:
     @property
     def n_players(self) -> int:
         return len(self.terminals)
+
+    @property
+    def cost_sharing(self):
+        """The sharing rule (multicast games are fair/Shapley)."""
+        from repro.games.base import FairSharing
+
+        return FairSharing()
+
+    def state(self, node_paths: Sequence[Sequence[Node]]) -> State:
+        """Validate a per-terminal strategy profile (delegates inward)."""
+        return self.nd_game.state(node_paths)
+
+    def default_state(self) -> State:
+        """The family's natural target state (the Steiner optimum)."""
+        return self.optimal_state()
 
     # -- optimal designs -----------------------------------------------------
 

@@ -3,9 +3,19 @@
 Player ``i`` carries a demand ``d_i > 0`` and pays the *demand-proportional*
 share of each edge she uses:  ``cost_i = sum_a d_i (w_a - b_a) / D_a(T)``
 where ``D_a(T)`` is the total demand on ``a``.  Unweighted games are the
-``d_i = 1`` special case.  The SNE question stays a linear program in the
-subsidies (the demands only change the constants), so the cutting-plane
-solver below mirrors LP (1) with weighted denominators.
+``d_i = 1`` special case.  Sharing is pluggable through
+:class:`~repro.games.base.CostSharingRule` — demand-proportional is the
+default, and arbitrary per-edge splits (:class:`~repro.games.base.
+PerEdgeSplit`) ride the same machinery.
+
+Everything engine-shaped runs on the shared
+:class:`~repro.games.engine.BestResponseEngine` (the ``_RuleBinding``
+prices deviations with per-player contribution vectors): equilibrium
+checking, the LP (1) separation oracle behind :func:`solve_weighted_sne`,
+and the re-verification of its output.  The dict-based
+:func:`weighted_best_response` closure is kept only as the reference
+implementation behind :func:`check_weighted_equilibrium_legacy` — the
+engine tests and ``benchmarks/bench_families.py`` cross-check against it.
 """
 
 from __future__ import annotations
@@ -13,14 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.games.base import CostSharingRule, ProportionalSharing
+from repro.games.game import Subsidies, _path_nodes_to_edges, shortest_node_paths
 from repro.graphs.graph import Edge, Graph, Node, canonical_edge
 from repro.graphs.shortest_paths import dijkstra
-from repro.lp import LinearProgram, solve_with_cutting_planes
-from repro.games.game import Subsidies, _path_nodes_to_edges
 from repro.subsidies.assignment import SubsidyAssignment
-from repro.utils.tolerances import EQ_TOL, LP_TOL, is_improvement
+from repro.utils.tolerances import EQ_TOL, is_improvement
 
 
 @dataclass(frozen=True)
@@ -32,7 +40,10 @@ class WeightedPlayer:
 
 
 class WeightedState:
-    """A strategy profile of a weighted game; tracks demand loads."""
+    """A strategy profile of a weighted game; tracks contribution loads."""
+
+    #: engine dispatch marker (see ``BestResponseEngine.bind``)
+    binding_kind = "rule"
 
     def __init__(self, game: "WeightedNetworkDesignGame", node_paths: Sequence[Sequence[Node]]):
         if len(node_paths) != game.n_players:
@@ -40,8 +51,9 @@ class WeightedState:
         self.game = game
         self.node_paths: List[Tuple[Node, ...]] = []
         self.edge_paths: List[Tuple[Edge, ...]] = []
+        rule = game.cost_sharing
         load: Dict[Edge, float] = {}
-        for player, nodes in zip(game.players, node_paths):
+        for i, (player, nodes) in enumerate(zip(game.players, node_paths)):
             nodes = tuple(nodes)
             if nodes[0] != player.source or nodes[-1] != player.target:
                 raise ValueError(f"path endpoints wrong for player {player.index}")
@@ -49,21 +61,25 @@ class WeightedState:
             for e in edges:
                 if not game.graph.has_edge(*e):
                     raise ValueError(f"non-edge {e!r}")
-                load[e] = load.get(e, 0.0) + player.demand
+                load[e] = load.get(e, 0.0) + rule.weight_on(i, e)
             self.node_paths.append(nodes)
             self.edge_paths.append(edges)
         self.load = load
+
+    def established_edges(self) -> List[Edge]:
+        """Edges carrying load (the built network)."""
+        return list(self.load)
 
     def social_cost(self) -> float:
         return sum(self.game.graph.weight(*e) for e in self.load)
 
     def player_cost(self, i: int, subsidies: Optional[Subsidies] = None) -> float:
         g = self.game.graph
-        d = self.game.players[i].demand
+        rule = self.game.cost_sharing
         total = 0.0
         for e in self.edge_paths[i]:
             b = subsidies.get(e, 0.0) if subsidies else 0.0
-            total += d * max(0.0, g.weight(*e) - b) / self.load[e]
+            total += rule.weight_on(i, e) * max(0.0, g.weight(*e) - b) / self.load[e]
         return total
 
     def total_player_cost(self, subsidies: Optional[Subsidies] = None) -> float:
@@ -71,13 +87,31 @@ class WeightedState:
 
 
 class WeightedNetworkDesignGame:
-    """Network design game with player demands and proportional sharing."""
+    """Network design game with player demands and pluggable sharing.
+
+    Parameters
+    ----------
+    graph:
+        Connected edge-weighted graph.
+    terminal_pairs:
+        One ``(source, target)`` pair per player.
+    demands:
+        Positive per-player demands (``d_i = 1`` recovers the fair game).
+    cost_sharing:
+        Optional :class:`~repro.games.base.CostSharingRule` overriding the
+        default demand-proportional split (e.g. a
+        :class:`~repro.games.base.PerEdgeSplit`).
+    """
+
+    #: game-family name (see :mod:`repro.games.base`)
+    family = "weighted"
 
     def __init__(
         self,
         graph: Graph,
         terminal_pairs: Sequence[Tuple[Node, Node]],
         demands: Sequence[float],
+        cost_sharing: Optional[CostSharingRule] = None,
     ):
         if len(terminal_pairs) != len(demands):
             raise ValueError("one demand per player required")
@@ -91,33 +125,54 @@ class WeightedNetworkDesignGame:
             if d <= 0:
                 raise ValueError(f"demand must be positive, got {d}")
             self.players.append(WeightedPlayer(i, s, t, float(d)))
+        self.cost_sharing: CostSharingRule = (
+            cost_sharing
+            if cost_sharing is not None
+            else ProportionalSharing([p.demand for p in self.players])
+        )
 
     @property
     def n_players(self) -> int:
         return len(self.players)
 
+    @property
+    def demands(self) -> Tuple[float, ...]:
+        return tuple(p.demand for p in self.players)
+
     def state(self, node_paths: Sequence[Sequence[Node]]) -> WeightedState:
         return WeightedState(self, node_paths)
+
+    def shortest_path_state(self) -> WeightedState:
+        """Every player on her weight-shortest path (natural target)."""
+        return self.state(shortest_node_paths(self.graph, self.players))
+
+    def default_state(self) -> WeightedState:
+        """The family's natural target state (all shortest paths)."""
+        return self.shortest_path_state()
 
 
 def weighted_best_response(
     state: WeightedState, i: int, subsidies: Optional[Subsidies] = None
 ) -> Tuple[float, List[Node]]:
-    """Best response of weighted player i: cost and node path.
+    """Reference best response of player i: cost and node path.
 
-    Edge ``a`` costs her ``d_i (w_a - b_a) / (D_a + d_i - d_i * uses_i(a))``.
+    Edge ``a`` costs her ``alpha_i(a) (w_a - b_a) / (L_a + alpha_i(a) -
+    alpha_i(a) * uses_i(a))``.  This is the dict-based slow path kept for
+    cross-validation (:func:`check_weighted_equilibrium_legacy`); the
+    engine's rule binding is the production implementation.
     """
     game = state.game
     player = game.players[i]
+    rule = game.cost_sharing
     own = set(state.edge_paths[i])
-    d = player.demand
 
     def weight_fn(u: Node, v: Node) -> float:
         e = canonical_edge(u, v)
         w = game.graph.weight(u, v)
         b = subsidies.get(e, 0.0) if subsidies else 0.0
-        denom = state.load.get(e, 0.0) + d - (d if e in own else 0.0)
-        return d * max(0.0, w - b) / denom
+        a = rule.weight_on(i, e)
+        denom = state.load.get(e, 0.0) + a - (a if e in own else 0.0)
+        return a * max(0.0, w - b) / denom
 
     dist, parent = dijkstra(game.graph, player.source, weight_fn=weight_fn, target=player.target)
     nodes = [player.target]
@@ -130,60 +185,71 @@ def weighted_best_response(
 def check_weighted_equilibrium(
     state: WeightedState, subsidies: Optional[Subsidies] = None, tol: float = EQ_TOL
 ) -> bool:
-    """Pure Nash check for weighted games (weak inequality, shared tol)."""
+    """Pure Nash check for weighted games (weak inequality, shared tol).
+
+    Runs on the vectorized engine: the graph is interned once, loads and
+    per-player contribution vectors live in flat arrays, and each player
+    costs one array division plus a bounded int-id Dijkstra.
+    """
+    from repro.games.equilibrium import check_equilibrium
+
+    return check_equilibrium(state, subsidies, tol=tol).is_equilibrium
+
+
+def check_weighted_equilibrium_legacy(
+    state: WeightedState,
+    subsidies: Optional[Subsidies] = None,
+    tol: float = EQ_TOL,
+    find_all: bool = False,
+) -> bool:
+    """Reference Nash check via the per-player dict-based oracle.
+
+    Semantically identical to :func:`check_weighted_equilibrium`; kept as
+    the cross-validation baseline (``benchmarks/bench_families.py``
+    measures the engine's speedup against it).  ``find_all`` keeps
+    scanning past the first improving deviation — the full-scan mode the
+    benchmark times, mirroring ``check_equilibrium(..., find_all=True)``.
+    """
+    stable = True
     for i in range(state.game.n_players):
         current = state.player_cost(i, subsidies)
         if current <= tol:
             continue
         best, _ = weighted_best_response(state, i, subsidies)
         if is_improvement(best, current, tol):
-            return False
-    return True
+            stable = False
+            if not find_all:
+                return False
+    return stable
 
 
 def solve_weighted_sne(
-    state: WeightedState, method: str = "highs", max_rounds: int = 200
+    state: WeightedState,
+    method: str = "highs",
+    max_rounds: int = 200,
+    verify: bool = True,
 ) -> Tuple[Optional[SubsidyAssignment], float]:
     """Minimum subsidies enforcing a weighted state (LP (1) + oracle).
 
-    Returns ``(subsidies, cost)``; ``(None, inf)`` if the cutting-plane
-    loop fails to converge (not observed on the tested families).
+    Delegates to the unified cutting-plane solver
+    (:func:`repro.subsidies.sne_lp.solve_sne_cutting_plane_lp1`): the
+    engine's rule binding prices the separation oracle and emits the cut
+    rows through the binding's share coefficients, so weighted games share
+    one code path with every other family.  With ``verify`` (default) the
+    optimum is re-verified through the same engine binding — the shared
+    relative-tolerance semantics of :func:`repro.utils.tolerances.
+    is_improvement`, not a bespoke absolute float check — and a
+    verification failure is reported as infeasible.
+
+    Returns ``(subsidies, cost)``; ``(None, inf)`` when the cutting-plane
+    loop fails to converge or verification rejects the optimum (neither
+    observed on the tested families).
     """
-    game = state.game
-    graph = game.graph
-    all_edges = [canonical_edge(u, v) for u, v, _ in graph.edges()]
-    index = {e: k for k, e in enumerate(all_edges)}
-    n_vars = len(all_edges)
-    upper = np.array([graph.weight(*e) for e in all_edges])
-    lp = LinearProgram(n_vars=n_vars, c=np.ones(n_vars), upper=upper)
+    from repro.subsidies.sne_lp import solve_sne_cutting_plane_lp1
 
-    def oracle(x: np.ndarray):
-        subsidies = {e: float(x[index[e]]) for e in all_edges if x[index[e]] > 1e-12}
-        cuts = []
-        for i, player in enumerate(game.players):
-            current = state.player_cost(i, subsidies)
-            best, nodes = weighted_best_response(state, i, subsidies)
-            if not is_improvement(best, current, LP_TOL):
-                continue
-            d = player.demand
-            own = set(state.edge_paths[i])
-            row = np.zeros(n_vars)
-            rhs = 0.0
-            for e in state.edge_paths[i]:
-                share = d / state.load[e]
-                row[index[e]] -= share
-                rhs -= share * graph.weight(*e)
-            dev_edges = [canonical_edge(a, b) for a, b in zip(nodes, nodes[1:])]
-            for e in dev_edges:
-                denom = state.load.get(e, 0.0) + d - (d if e in own else 0.0)
-                share = d / denom
-                row[index[e]] += share
-                rhs += share * graph.weight(*e)
-            cuts.append((row, rhs))
-        return cuts
-
-    out = solve_with_cutting_planes(lp, oracle, method=method, max_rounds=max_rounds)
-    if not out.ok:
+    res = solve_sne_cutting_plane_lp1(
+        state, method=method, max_rounds=max_rounds, verify=verify
+    )
+    if not res.feasible or (verify and not res.verified):
         return None, float("inf")
-    subsidies = SubsidyAssignment.from_vector(graph, all_edges, out.result.x)
-    return subsidies, subsidies.cost
+    return res.subsidies, res.cost

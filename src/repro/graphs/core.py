@@ -27,6 +27,7 @@ same Kruskal MST the dict implementation picked.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -220,6 +221,28 @@ class IndexedGraph:
     def degree(self, node_id: int) -> int:
         return int(self.indptr[node_id + 1] - self.indptr[node_id])
 
+    def arc_open_mask(self, arcs: Iterable[Tuple[Node, Node]]) -> np.ndarray:
+        """Boolean mask over CSR arc slots opening only the given directions.
+
+        ``arcs`` are ``(tail, head)`` label pairs; each must be a direction
+        of an existing undirected edge (KeyError otherwise).  The mask is
+        aligned with :attr:`neighbors`/:attr:`adj_edge` and feeds
+        :func:`dijkstra_indexed`'s ``arc_open`` parameter — the substrate
+        for directed game families on the shared undirected CSR.
+        """
+        mask = np.zeros(len(self.neighbors), dtype=bool)
+        indptr = self._indptr_list
+        neighbors = self._neighbors_list
+        id_of = self._id_of
+        for u_label, v_label in arcs:
+            u, v = id_of[u_label], id_of[v_label]
+            lo, hi = indptr[u], indptr[u + 1]
+            k = bisect_left(neighbors, v, lo, hi)  # heads sorted within a tail
+            if k >= hi or neighbors[k] != v:
+                raise KeyError(f"no edge under arc {(u_label, v_label)!r}")
+            mask[k] = True
+        return mask
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IndexedGraph(n={self.num_nodes}, m={self.num_edges})"
 
@@ -231,6 +254,8 @@ def dijkstra_indexed(
     target: int = -1,
     validate: bool = False,
     bound: float = float("inf"),
+    arc_open: Optional[np.ndarray] = None,
+    arc_costs: Optional[List[float]] = None,
 ) -> Tuple[List[float], List[int], List[int]]:
     """Dijkstra over int node ids with per-edge-id costs.
 
@@ -240,6 +265,19 @@ def dijkstra_indexed(
         Array of length ``num_edges`` giving the cost of each undirected
         edge; ``None`` uses the stored weights.  Costs must be nonnegative
         (set ``validate=True`` to check).
+    arc_open:
+        Optional boolean mask over CSR arc slots (see
+        :meth:`IndexedGraph.arc_open_mask`); closed directions are never
+        relaxed, which is how directed game families search on the shared
+        undirected CSR.
+    arc_costs:
+        Optional pre-expanded per-arc-slot cost *list* (length
+        ``2 * num_edges``, aligned with :attr:`IndexedGraph.adj_edge`),
+        taking precedence over ``edge_costs``/``arc_open``.  Callers that
+        run many queries over a shared pricing (the rule-priced engine
+        binding) patch this list in place per query instead of paying an
+        O(m) array conversion each time; closed directions are encoded as
+        ``inf`` entries.
     target:
         Stop as soon as this node id is settled (``-1``: settle everything).
     bound:
@@ -257,14 +295,22 @@ def dijkstra_indexed(
     implementation, entries of frontier nodes hold their best tentative
     values when the search exits early at ``target``.
     """
-    if edge_costs is None:
-        costs = ig._weights_list
+    if arc_costs is not None:
+        costs = arc_costs
+    elif edge_costs is None:
+        if arc_open is None:
+            costs = ig._weights_list
+        else:
+            costs = np.where(arc_open, ig.weights, np.inf).tolist()
     else:
         if validate and edge_costs.size:
             lo = np.min(edge_costs)
             if not lo >= 0.0:  # catches NaN too
                 raise ValueError(f"negative/NaN edge cost: {lo}")
-        costs = edge_costs[ig.adj_edge].tolist()
+        arc_costs = edge_costs[ig.adj_edge]
+        if arc_open is not None:
+            arc_costs = np.where(arc_open, arc_costs, np.inf)
+        costs = arc_costs.tolist()
 
     n = ig.num_nodes
     INF = float("inf")

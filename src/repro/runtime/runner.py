@@ -54,6 +54,15 @@ ProgressFn = Callable[["JobOutcome", int, int], None]
 #: outcome statuses a job can end in
 STATUSES = ("ok", "failed", "timeout")
 
+#: instance JSON kind -> game-family name (for sweep result records)
+_KIND_FAMILY = {
+    "broadcast-game": "broadcast",
+    "multicast-game": "multicast",
+    "network-design-game": "general",
+    "weighted-game": "weighted",
+    "directed-game": "directed",
+}
+
 
 def _pool(max_workers: int) -> ProcessPoolExecutor:
     """A process pool preferring the fork start method.
@@ -206,11 +215,12 @@ class SweepResult:
         """
         return {
             "kind": "sweep-result",
-            "schema": 1,
+            "schema": 2,
             "jobs": [
                 {
                     "label": o.job.label,
                     "solver": o.job.solver,
+                    "family": _KIND_FAMILY.get(o.job.instance.get("kind")),
                     "key": o.key,
                     "status": o.status,
                     "report": _strip_wall_clock(o.report),
@@ -445,7 +455,8 @@ def run_solve_batch(
         except TypeError as exc:
             raise TypeError(
                 "executor='process' needs serializable game instances "
-                "(BroadcastGame / NetworkDesignGame); pass games or use "
+                "(any repro.games family: broadcast/multicast/general/"
+                "weighted/directed); pass games or use "
                 f"executor='thread' — {exc}"
             ) from None
     sweep_jobs = jobs_from_instances(payloads, names, opts=kwargs)

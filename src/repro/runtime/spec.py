@@ -38,16 +38,25 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 JSONDict = Dict[str, Any]
 
-#: generator models `expand` understands (mirrors ``repro-experiments gen``)
-MODELS = ("tree-chords", "gnp", "geometric")
+from repro.scenarios.families import GAME_PARAMS, SCENARIOS
 
-#: the generator knobs each model accepts; grid expansion scopes a shared
-#: params dict per model with this, so mixed-model grids can carry
-#: model-specific parameters (gnp's density next to tree-chords' chords)
+#: the classic random-graph generators (mirrors ``repro-experiments gen``)
+GENERATOR_MODELS = ("tree-chords", "gnp", "geometric")
+
+#: every instance model `expand` understands: the random generators plus
+#: the named scenario families of :mod:`repro.scenarios`
+MODELS = GENERATOR_MODELS + tuple(sorted(SCENARIOS))
+
+#: the knobs each model accepts; grid expansion scopes a shared params
+#: dict per model with this, so mixed-model grids can carry model-specific
+#: parameters (gnp's density next to grid's jitter).  Scenario families
+#: additionally accept the shared game-wrapper knobs (game/terminals/
+#: demands/orientation/pairs).
 MODEL_PARAMS = {
     "tree-chords": ("chords", "chord_factor", "weight_low", "weight_high"),
     "gnp": ("density", "weight_low", "weight_high"),
     "geometric": ("radius",),
+    **{name: tuple(fam.params) + GAME_PARAMS for name, fam in SCENARIOS.items()},
 }
 
 #: spec-file keys accepted by :meth:`SweepSpec.from_mapping`
@@ -64,15 +73,16 @@ _SPEC_KEYS = (
 
 
 def generate_instance(model: str, n: int, seed: int, **params: Any):
-    """Build one random broadcast game for a grid cell.
+    """Build one instance for a grid cell.
 
     This is the single instance-construction path shared by the ``gen``
     CLI command and sweep expansion, so a grid cell and a generated
     instance file with the same (model, n, seed, params) are the same
-    game.  ``params`` accepts the generator family's knobs (``chords``,
-    ``chord_factor``, ``weight_low``/``weight_high`` for tree-chords;
-    ``density`` for gnp; ``radius`` for geometric) and rejects unknown
-    names.
+    game.  ``model`` is either one of the classic random generators
+    (``tree-chords``/``gnp``/``geometric``, always broadcast games) or a
+    named scenario family from :mod:`repro.scenarios`, whose ``game``
+    parameter selects any game family.  ``params`` accepts the model's
+    knobs and rejects unknown names.
     """
     from repro.games.broadcast import BroadcastGame
     from repro.graphs.generators import (
@@ -80,6 +90,11 @@ def generate_instance(model: str, n: int, seed: int, **params: Any):
         random_geometric_graph,
         random_tree_plus_chords,
     )
+
+    if model in SCENARIOS:
+        from repro.scenarios.families import build_scenario
+
+        return build_scenario(model, n=n, seed=seed, **params)
 
     params = dict(params)
 

@@ -1,0 +1,36 @@
+"""``repro.scenarios`` — named, seeded, parameterized instance families.
+
+The scenario catalogue turns the sweep runtime into a workload library:
+structured topologies (grids, hypercubes, augmented cubes, power-law,
+ISP-like, adversarial lower-bound rings) crossed with every game family
+(broadcast, multicast, general, weighted, directed), all reproducible
+from ``(name, n, seed, params)``.
+
+>>> from repro.scenarios import build_scenario, scenario_names
+>>> scenario_names()                                     # doctest: +SKIP
+>>> game = build_scenario("grid", n=12, seed=7)          # doctest: +SKIP
+>>> wg = build_scenario("isp-like", n=20, seed=7,
+...                     game="weighted", demands="random")  # doctest: +SKIP
+"""
+
+from repro.scenarios.families import (
+    GAME_PARAMS,
+    SCENARIOS,
+    ScenarioFamily,
+    UnknownScenarioError,
+    build_scenario,
+    get_scenario,
+    scenario_instances,
+    scenario_names,
+)
+
+__all__ = [
+    "GAME_PARAMS",
+    "SCENARIOS",
+    "ScenarioFamily",
+    "UnknownScenarioError",
+    "build_scenario",
+    "get_scenario",
+    "scenario_instances",
+    "scenario_names",
+]

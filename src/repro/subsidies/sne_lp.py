@@ -148,23 +148,24 @@ def solve_sne_cutting_plane_lp1(
 ) -> SNEResult:
     """Minimum subsidies via the exponential LP (1) + separation oracle.
 
-    Works for general and broadcast states.  Variables cover *all* graph
-    edges (as in the paper's presentation); optimal solutions put nothing on
-    non-target edges, which the tests assert.
-
-    The separation oracle is the vectorized
-    :class:`~repro.games.engine.BestResponseEngine`: the target state is
-    bound to id arrays once, and every cutting-plane round re-prices the
-    edges from the LP iterate and runs one int-id Dijkstra per player.  LP
-    variable ``e`` is edge id ``e`` of the interned graph, so iterates and
-    cut rows need no dict translation at all.
+    Works for *every* game family — broadcast trees, general states, and
+    the rule-priced families (weighted demands, per-edge splits, directed
+    arcs): the state's engine binding both prices the separation oracle
+    and supplies the cut-row share coefficients
+    (:meth:`~repro.games.engine._StateBinding.current_share_coeff` /
+    ``joining_share_coeff``), so the LP never needs to know which sharing
+    rule is in force.  Variables cover *all* graph edges (as in the
+    paper's presentation); optimal solutions put nothing on non-target
+    edges, which the tests assert.
 
     Each violated deviation contributes the LP (1) row::
 
-        sum_{a in T_i} (w_a - b_a)/n_a  -  sum_{a in T'} (w_a - b_a)/d_a <= 0
+        sum_{a in T_i} c_a (w_a - b_a)  -  sum_{a in T'} c'_a (w_a - b_a) <= 0
 
-    with ``d_a = n_a + 1 - n_a^i``; edges on both paths have ``d_a = n_a``
-    and cancel exactly.
+    with ``c_a = 1/n_a`` and ``c'_a = 1/(n_a + 1 - n_a^i)`` under fair
+    sharing (``alpha_i(a)/L_a`` and ``alpha_i(a)/(L_a + alpha_i(a) -
+    alpha_i(a) n_a^i)`` in general); edges on both paths carry equal
+    coefficients and cancel exactly.
     """
     graph = state.game.graph
     engine = BestResponseEngine.for_graph(graph)
@@ -173,9 +174,7 @@ def solve_sne_cutting_plane_lp1(
     n_vars = engine.num_edges
     all_edges: List[Edge] = list(ig.edge_labels)
     weights = ig.edge_weights
-    usage = binding.usage
     cur_paths = [binding.current_path_eids(pos) for pos in range(len(binding.player_keys))]
-    own_sets = [set(p) for p in cur_paths]
 
     lp = LinearProgram(n_vars=n_vars, c=np.ones(n_vars), upper=weights.copy())
 
@@ -187,14 +186,13 @@ def solve_sne_cutting_plane_lp1(
             row = np.zeros(n_vars)
             rhs = 0.0
             for e in cur_paths[rec.position]:
-                n_a = usage[e]
-                row[e] -= 1.0 / n_a
-                rhs -= weights[e] / n_a
-            own = own_sets[rec.position]
+                c = binding.current_share_coeff(rec.position, e)
+                row[e] -= c
+                rhs -= weights[e] * c
             for e in rec.edge_ids:
-                d = usage[e] + 1 - (1 if e in own else 0)
-                row[e] += 1.0 / d
-                rhs += weights[e] / d
+                c = binding.joining_share_coeff(rec.position, e)
+                row[e] += c
+                rhs += weights[e] * c
             cuts.append((row, float(rhs)))
         return cuts
 
@@ -226,21 +224,32 @@ def solve_sne_polynomial_lp2(
     node.  ``pi_i`` is a certified lower bound on the deviator-priced
     shortest-path distance from ``s_i``; requiring ``pi_i(t_i) >=
     cost_i(T; b)`` is then exactly the equilibrium condition.
+
+    Family-aware like LP (1): rule-priced states (weighted demands,
+    per-edge splits) contribute ``alpha_i(a)``-scaled coefficients, and
+    directed games only get edge relaxations along their allowed arcs.
     """
+    game = state.game
+    graph = game.graph
+    allows = getattr(game, "allows", None)
     if isinstance(state, TreeState):
-        graph = state.game.graph
         players = [
-            (u, state.game.root, state.tree.path_to_root(u))
-            for u in state.game.player_nodes()
+            (u, game.root, state.tree.path_to_root(u))
+            for u in game.player_nodes()
         ]
-        usage: Dict[Edge, int] = dict(state.loads)
+        usage: Dict[Edge, float] = dict(state.loads)
+
+        def alpha(i: int, e: Edge) -> float:
+            return 1.0
+
     else:
-        graph = state.game.graph
         players = [
             (p.source, p.target, list(state.edge_paths[p.index]))
-            for p in state.game.players
+            for p in game.players
         ]
-        usage = dict(state.usage)
+        load = getattr(state, "load", None)
+        usage = dict(load) if load is not None else dict(state.usage)
+        alpha = game.cost_sharing.weight_on
 
     all_edges = [canonical_edge(u, v) for u, v, _ in graph.edges()]
     e_index = {e: i for i, e in enumerate(all_edges)}
@@ -266,23 +275,32 @@ def solve_sne_polynomial_lp2(
 
     for i, (s_i, t_i, path) in enumerate(players):
         own = set(path)
-        # Edge relaxations: pi(v) <= pi(u) + (w - b)/d for every ordered pair.
+        # Edge relaxations: pi(v) <= pi(u) + alpha (w - b)/d per allowed arc.
         for u, v, w in graph.edges():
             e = canonical_edge(u, v)
-            d = usage.get(e, 0) + 1 - (1 if e in own else 0)
-            for a, bnode in ((u, v), (v, u)):
-                # pi(b) - pi(a) + b_e/d <= w/d
+            a_i = alpha(i, e)
+            d = usage.get(e, 0) + a_i - (a_i if e in own else 0)
+            for tail, head in ((u, v), (v, u)):
+                if allows is not None and not allows(tail, head):
+                    continue
+                # pi(head) - pi(tail) + alpha b_e/d <= alpha w/d
                 lp.add_sparse_constraint(
-                    [(pi_var(i, bnode), 1.0), (pi_var(i, a), -1.0), (e_index[e], 1.0 / d)],
-                    w / d,
+                    [
+                        (pi_var(i, head), 1.0),
+                        (pi_var(i, tail), -1.0),
+                        (e_index[e], a_i / d),
+                    ],
+                    a_i * w / d,
                 )
-        # pi_i(t_i) >= cost_i(T; b):  -pi(t_i) - sum b_a/n_a <= -sum w_a/n_a
+        # pi_i(t_i) >= cost_i(T; b):
+        #   -pi(t_i) - sum alpha b_a/L_a <= -sum alpha w_a/L_a
         entries = [(pi_var(i, t_i), -1.0)]
         rhs = 0.0
         for e in path:
+            a_i = alpha(i, e)
             n_a = usage[e]
-            entries.append((e_index[e], -1.0 / n_a))
-            rhs -= graph.weight(*e) / n_a
+            entries.append((e_index[e], -a_i / n_a))
+            rhs -= a_i * graph.weight(*e) / n_a
         lp.add_sparse_constraint(entries, rhs)
 
     res = solve_lp(lp, method=method)

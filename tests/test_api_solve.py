@@ -96,13 +96,25 @@ class TestInstanceCoercion:
         assert report.feasible
         assert report.budget_used >= 0.0
 
-    def test_general_game_rejected_by_broadcast_solvers(self):
+    def test_non_broadcast_general_game_rejected_by_broadcast_solvers(self):
+        # Node 1 hosts no player, so this game is outside the broadcast
+        # overlap and family coercion must refuse it with a clear reason.
         g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
         ndg = NetworkDesignGame(g, [(0, 2)])
-        with pytest.raises(TypeError, match="TreeState|BroadcastGame"):
+        with pytest.raises(TypeError, match="broadcast"):
             api.solve(ndg, solver="sne-lp3")
-        with pytest.raises(TypeError, match="BroadcastGame"):
+        with pytest.raises(TypeError, match="broadcast"):
             api.solve(ndg, solver="snd-exact")
+
+    def test_broadcast_shaped_general_game_accepted_by_broadcast_solvers(self):
+        # One player per non-root node, common destination: semantically a
+        # broadcast game, so broadcast-only solvers serve it via downgrade.
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.5)])
+        ndg = NetworkDesignGame(g, [(0, 2), (1, 2)])
+        report = api.solve(ndg, solver="sne-lp3")
+        assert report.feasible and report.verified
+        bg = BroadcastGame(g, root=2)
+        assert report == api.solve(bg, solver="sne-lp3")
 
 
 class TestReportInvariants:

@@ -1,0 +1,136 @@
+"""Coalition checks and stretch under serialization round-trips.
+
+The satellite contract: a game of any family serialized to JSON and back
+produces *identical* coalition reports (``StrongEquilibriumReport``) and
+equilibrium stretch on the same deterministic state — not merely close,
+since JSON round-trips floats exactly.
+"""
+
+import pytest
+
+from repro import api
+from repro.games import (
+    BroadcastGame,
+    DirectedNetworkDesignGame,
+    MulticastGame,
+    NetworkDesignGame,
+    WeightedNetworkDesignGame,
+    equilibrium_stretch,
+)
+from repro.games.coalitions import check_strong_equilibrium
+from repro.graphs.generators import random_tree_plus_chords
+from repro.graphs.graph import Graph
+
+
+def _coalition_gadget():
+    # Nash but not 2-strong (from exp_extensions): sharing edge (3, 0)
+    # helps both players only jointly.
+    return Graph.from_edges(
+        [(1, 0, 1.0), (2, 0, 1.0), (1, 3, 0.4), (2, 3, 0.4), (3, 0, 1.1)]
+    )
+
+
+def _roundtrip(game):
+    return api.serialize.game_from_json(api.serialize.game_to_json(game))
+
+
+def _report_data(report):
+    dev = report.deviation
+    return {
+        "strong": report.is_strong_equilibrium,
+        "checked": report.coalitions_checked,
+        "deviation": None
+        if dev is None
+        else (dev.members, dev.new_paths, dev.old_costs, dev.new_costs),
+    }
+
+
+class TestCoalitionsSurviveSerialization:
+    def _assert_identical(self, game, paths, **kwargs):
+        state = game.state(paths)
+        clone_state = _roundtrip(game).state(paths)
+        a = check_strong_equilibrium(state, max_coalition=2, **kwargs)
+        b = check_strong_equilibrium(clone_state, max_coalition=2, **kwargs)
+        assert _report_data(a) == _report_data(b)
+        assert equilibrium_stretch(state) == equilibrium_stretch(clone_state)
+        return a
+
+    def test_general_gadget(self):
+        game = NetworkDesignGame(_coalition_gadget(), [(1, 0), (2, 0)])
+        report = self._assert_identical(game, [[1, 0], [2, 0]])
+        assert not report.is_strong_equilibrium
+        assert report.deviation.members == (0, 1)
+
+    def test_weighted_gadget(self):
+        game = WeightedNetworkDesignGame(
+            _coalition_gadget(), [(1, 0), (2, 0)], [1.0, 2.0]
+        )
+        self._assert_identical(game, [[1, 0], [2, 0]])
+
+    def test_directed_gadget(self):
+        g = _coalition_gadget()
+        arcs = [a for u, v, _ in g.edges() for a in ((u, v), (v, u))]
+        arcs.remove((1, 3))  # one-way: 1 cannot reach the shared shortcut
+        game = DirectedNetworkDesignGame(g, [(1, 0), (2, 0)], arcs)
+        report = self._assert_identical(game, [[1, 0], [2, 0]])
+        # The joint deviation needs 1 -> 3, which the arcs forbid.
+        assert report.is_strong_equilibrium
+
+    def test_directed_singleton_via_engine(self):
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)])
+        game = DirectedNetworkDesignGame(g, [(2, 0)])
+        report = check_strong_equilibrium(game.state([[2, 0]]), max_coalition=1)
+        assert not report.is_strong_equilibrium
+        assert report.deviation.members == (0,)
+        assert report.deviation.new_paths == [[2, 1, 0]]
+
+    def test_max_coalition_zero_checks_nothing(self):
+        # Unstable state, but "immune to coalitions of size <= 0" is vacuous.
+        g = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)])
+        state = NetworkDesignGame(g, [(2, 0)]).state([[2, 0]])
+        report = check_strong_equilibrium(state, max_coalition=0)
+        assert report.is_strong_equilibrium
+        assert report.coalitions_checked == 0
+
+    def test_subsidies_apply_after_round_trip(self):
+        game = NetworkDesignGame(_coalition_gadget(), [(1, 0), (2, 0)])
+        sub = {(0, 1): 1.0, (0, 2): 1.0}
+        report = self._assert_identical(game, [[1, 0], [2, 0]], subsidies=sub)
+        assert report.is_strong_equilibrium
+
+
+class TestStretchSurvivesSerialization:
+    def test_broadcast_and_multicast_states(self):
+        for seed in range(4):
+            g = random_tree_plus_chords(9, 4, seed=seed, chord_factor=1.05)
+            others = [u for u in g.nodes if u != 0]
+            bg = BroadcastGame(g, 0)
+            assert equilibrium_stretch(bg.mst_state()) == equilibrium_stretch(
+                _roundtrip(bg).mst_state()
+            )
+            mg = MulticastGame(g, 0, others[:4])
+            assert equilibrium_stretch(mg.optimal_state()) == equilibrium_stretch(
+                _roundtrip(mg).optimal_state()
+            )
+
+    def test_weighted_and_directed_states(self):
+        for seed in range(4):
+            g = random_tree_plus_chords(9, 4, seed=seed, chord_factor=1.05)
+            others = [u for u in g.nodes if u != 0]
+            pairs = [(u, 0) for u in others]
+            wg = WeightedNetworkDesignGame(
+                g, pairs, [1.0 + (i % 3) for i in range(len(pairs))]
+            )
+            assert equilibrium_stretch(
+                wg.shortest_path_state()
+            ) == equilibrium_stretch(_roundtrip(wg).shortest_path_state())
+            dg = DirectedNetworkDesignGame(g, pairs)
+            assert equilibrium_stretch(
+                dg.shortest_path_state()
+            ) == equilibrium_stretch(_roundtrip(dg).shortest_path_state())
+
+    def test_stretch_at_least_one_and_one_at_equilibrium(self):
+        g = _coalition_gadget()
+        game = NetworkDesignGame(g, [(1, 0), (2, 0)])
+        state = game.state([[1, 0], [2, 0]])
+        assert equilibrium_stretch(state) == pytest.approx(1.0)

@@ -11,7 +11,7 @@ from repro.experiments.tables import render_table
 
 class TestHarness:
     def test_registry_complete(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 12)} | {"A1", "A2"}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 12)} | {"A1", "A2", "S1"}
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):

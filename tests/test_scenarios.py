@@ -1,0 +1,230 @@
+"""The scenario catalogue: determinism, structure, sweep/CLI integration."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.games import family_of
+from repro.runtime.spec import MODEL_PARAMS, MODELS, SweepSpec, generate_instance
+from repro.scenarios import (
+    SCENARIOS,
+    UnknownScenarioError,
+    build_scenario,
+    get_scenario,
+    scenario_instances,
+    scenario_names,
+)
+
+FAMILIES = ("broadcast", "multicast", "general", "weighted", "directed")
+
+
+class TestCatalogue:
+    def test_six_named_families(self):
+        assert scenario_names() == [
+            "augmented-cube",
+            "grid",
+            "hypercube",
+            "isp-like",
+            "lower-bound-cycle",
+            "power-law",
+        ]
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(UnknownScenarioError, match="did you mean 'grid'"):
+            get_scenario("gird")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            build_scenario("grid", n=8, seed=0, density=0.5)
+
+    def test_same_seed_same_instance(self):
+        for name in scenario_names():
+            a = api.serialize.game_to_json(build_scenario(name, n=11, seed=5))
+            b = api.serialize.game_to_json(build_scenario(name, n=11, seed=5))
+            c = api.serialize.game_to_json(build_scenario(name, n=11, seed=6))
+            assert json.dumps(a) == json.dumps(b)
+            if SCENARIOS[name].stochastic:
+                assert json.dumps(a) != json.dumps(c)
+
+    def test_every_game_family_wraps_every_scenario(self):
+        for name in scenario_names():
+            for fam in FAMILIES:
+                game = build_scenario(name, n=10, seed=2, game=fam)
+                assert family_of(game) == fam
+                # defaults sit in the broadcast overlap: every solver works
+                report = api.solve(game, solver="sne-lp3")
+                assert report.feasible
+
+    def test_tiny_random_pairs_terminate(self):
+        # One non-root node: the only non-self endpoint is the root.
+        game = build_scenario("grid", n=2, seed=0, game="general", pairs="random")
+        assert [(p.source, p.target) for p in game.players] == [(1, 0)]
+
+    def test_scenario_instances_helper(self):
+        pairs = scenario_instances("weighted", n=8, seed=0)
+        assert [name for name, _ in pairs] == scenario_names()
+        assert all(family_of(g) == "weighted" for _, g in pairs)
+
+
+class TestTopologies:
+    def test_grid_is_trimmed_to_n(self):
+        g = build_scenario("grid", n=11, seed=0).graph
+        assert g.num_nodes == 11 and g.is_connected()
+
+    def test_cubes_round_to_powers_of_two(self):
+        hq = build_scenario("hypercube", n=13, seed=0).graph
+        assert hq.num_nodes == 8  # Q_3
+        assert hq.num_edges == 12  # d * 2^(d-1)
+        aq = build_scenario("augmented-cube", n=13, seed=0).graph
+        assert aq.num_nodes == 8
+        # AQ_d has (2d - 1) 2^(d-1) edges: 20 for d = 3, denser than Q_3
+        assert aq.num_edges == 20
+
+    def test_power_law_has_hubs(self):
+        g = build_scenario("power-law", n=30, seed=1, m=2).graph
+        degrees = sorted(g.degree(u) for u in g.nodes)
+        assert g.is_connected()
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]  # heavy tail
+
+    def test_isp_backbone_is_discounted(self):
+        game = build_scenario("isp-like", n=14, seed=3, hubs=4)
+        g = game.graph
+        assert g.is_connected()
+        ring = [(i, (i + 1) % 4) for i in range(4)]
+        access = [e for u, v, _ in g.edges() for e in [(u, v)] if u >= 4 or v >= 4]
+        assert all(g.has_edge(u, v) for u, v in ring)
+        assert access  # at least one uplink exists
+
+    def test_lower_bound_cycle_and_wheel(self):
+        cyc = build_scenario("lower-bound-cycle", n=9, seed=0).graph
+        assert cyc.num_nodes == 9 and cyc.num_edges == 9
+        wheel = build_scenario("lower-bound-cycle", n=9, seed=0, shape="wheel").graph
+        assert wheel.degree(0) == 8  # the hub
+        with pytest.raises(ValueError, match="cycle.*wheel|wheel.*cycle"):
+            build_scenario("lower-bound-cycle", n=9, seed=0, shape="torus")
+
+
+class TestSweepIntegration:
+    def test_models_include_scenarios(self):
+        for name in scenario_names():
+            assert name in MODELS
+            assert "game" in MODEL_PARAMS[name]
+
+    def test_generate_instance_dispatches_to_scenarios(self):
+        a = generate_instance("grid", 10, 7, jitter=0.1, game="weighted")
+        b = build_scenario("grid", n=10, seed=7, jitter=0.1, game="weighted")
+        assert api.serialize.game_to_json(a) == api.serialize.game_to_json(b)
+
+    def test_spec_expands_scenario_grid(self):
+        spec = SweepSpec.from_mapping(
+            {
+                "solvers": ["sne-lp3"],
+                "models": ["grid", "lower-bound-cycle"],
+                "sizes": [8, 10],
+                "count": 2,
+                "seed": 0,
+                "params": {"jitter": 0.1, "shape": "cycle"},
+            }
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 8
+        labels = {j.label for j in jobs}
+        assert "grid-n8[0] x sne-lp3" in labels
+        assert all(j.instance["kind"] == "broadcast-game" for j in jobs)
+
+    def test_spec_rejects_fitting_nothing(self):
+        with pytest.raises(ValueError, match="fit none of"):
+            SweepSpec.from_mapping(
+                {"solvers": ["sne-lp3"], "models": ["grid"], "params": {"radius": 1}}
+            )
+
+    def test_sweep_runs_scenario_family_grid(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        rc = main(
+            [
+                "sweep",
+                "--solver",
+                "sne-lp3",
+                "--model",
+                "hypercube",
+                "--n",
+                "8",
+                "--count",
+                "2",
+                "--seed",
+                "0",
+                "--no-cache",
+                "--quiet",
+                "--json-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert [j["family"] for j in data["jobs"]] == ["broadcast", "broadcast"]
+        assert all(j["status"] == "ok" for j in data["jobs"])
+
+
+class TestCLI:
+    def test_families_lists_catalogue(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+        for fam in FAMILIES:
+            assert fam in out
+
+    def test_gen_family_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "instances.json"
+        rc = main(
+            [
+                "gen",
+                "--family",
+                "grid",
+                "--game",
+                "weighted",
+                "--param",
+                "demands=random",
+                "--n",
+                "9",
+                "--count",
+                "2",
+                "--seed",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert data["kind"] == "instance-set"
+        games = [api.serialize.game_from_json(p) for p in data["instances"]]
+        assert all(family_of(g) == "weighted" for g in games)
+        # solvable end to end through the batch CLI
+        rc = main(
+            ["solve-batch", str(out), "--solver", "sne-cutting-plane", "--json"]
+        )
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2 and all(r["feasible"] for row in rows for r in row)
+
+    def test_gen_param_without_family_is_an_error(self, capsys):
+        assert main(["gen", "--param", "jitter=0.5"]) == 2
+        assert "--family" in capsys.readouterr().err
+
+    def test_gen_family_rejects_generator_flags(self, capsys):
+        assert main(["gen", "--family", "grid", "--model", "gnp", "--density", "0.9"]) == 2
+        err = capsys.readouterr().err
+        assert "--model" in err and "--density" in err
+
+    def test_run_all_json_records_families(self, tmp_path):
+        out = tmp_path / "all.json"
+        rc = main(["run", "all", "--skip", "E8", "--no-cache", "--json-out", str(out), "--out", str(tmp_path / "all.txt")])
+        assert rc == 0
+        summary = json.loads(out.read_text())
+        s1 = next(e for e in summary["experiments"] if e["id"] == "S1")
+        assert s1["ok"]
+        assert s1["families"] == sorted(FAMILIES)

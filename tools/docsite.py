@@ -44,6 +44,7 @@ NAV: List[Tuple[str, str]] = [
     ("Architecture", "architecture.md"),
     ("Reproducing the paper", "reproducing.md"),
     ("Sweep runtime & cache", "runtime.md"),
+    ("Scenario library", "scenarios.md"),
     ("API reference", "api/index.md"),
 ]
 
@@ -51,6 +52,7 @@ NAV: List[Tuple[str, str]] = [
 API_PACKAGES = [
     "repro.api",
     "repro.runtime",
+    "repro.scenarios",
     "repro.graphs",
     "repro.games",
     "repro.subsidies",
