@@ -148,6 +148,12 @@ def _report_from_sne(
 ) -> SolveReport:
     target_edges, target_cost = _target_of(state)
     metadata = {"method": res.method, "rounds": res.rounds, "cuts": res.cuts}
+    if res.profile is not None:
+        # Solve-path provenance (oracle searches, batch skips, cut rounds,
+        # LP warm starts).  Like wall_clock_seconds it describes *how* the
+        # answer was produced, not the answer: comparisons between solve
+        # paths strip it (see benchmarks/bench_lp_warmstart.py).
+        metadata["profile"] = res.profile
     # The legacy SNEResult reports verified=True when verification was
     # skipped; the canonical report only claims `verified` for an actual
     # equilibrium-checker run.
@@ -188,20 +194,21 @@ def solve_sne_lp3(instance: AnyInstance, method: str = "highs", verify: bool = T
     broadcast_only=False,
     requires_tree_state=False,
     aliases=("sne-lp1",),
-    # version 2: the oracle prices through the game-family engine bindings,
-    # widening the domain to weighted/per-edge-split/directed instances
-    version="2",
+    # version 3: warm-started incremental cutting planes + batched
+    # separation oracle, and profile counters joined the report metadata
+    version="3",
 )
 def solve_sne_cutting_plane(
     instance: AnyInstance,
     method: str = "highs",
     max_rounds: int = 200,
     verify: bool = True,
+    fast: bool = True,
 ) -> SolveReport:
     state = as_any_state(instance)
     with Timer() as t:
         res = solve_sne_cutting_plane_lp1(
-            state, method=method, max_rounds=max_rounds, verify=verify
+            state, method=method, max_rounds=max_rounds, verify=verify, fast=fast
         )
     return _report_from_sne(res, state, "sne-cutting-plane", t.elapsed, verify)
 
@@ -213,14 +220,19 @@ def solve_sne_cutting_plane(
     broadcast_only=False,
     requires_tree_state=False,
     aliases=("sne-lp2",),
-    # version 2: rule-aware coefficients + arc-restricted relaxations widen
-    # the domain to weighted/per-edge-split/directed instances
-    version="2",
+    # version 3: sparse incremental row construction (the dense build was
+    # quadratic) and profile counters joined the report metadata
+    version="3",
 )
-def solve_sne_poly(instance: AnyInstance, method: str = "highs", verify: bool = True) -> SolveReport:
+def solve_sne_poly(
+    instance: AnyInstance,
+    method: str = "highs",
+    verify: bool = True,
+    fast: bool = True,
+) -> SolveReport:
     state = as_any_state(instance)
     with Timer() as t:
-        res = solve_sne_polynomial_lp2(state, method=method, verify=verify)
+        res = solve_sne_polynomial_lp2(state, method=method, verify=verify, fast=fast)
     return _report_from_sne(res, state, "sne-poly", t.elapsed, verify)
 
 

@@ -11,29 +11,48 @@ keeps ``w``, ``b`` and the usage counts ``n_a`` in flat arrays indexed by
 edge id, and prices deviations with two vector operations plus an
 ``O(|T_i|)`` fix-up for the deviator's own edges.
 
+Scans are *batched*: every query in a round shares one join-priced
+per-arc cost list (own edges patched in place, ``O(|T_i|)`` per query)
+and one reusable Dijkstra workspace, and certificate passes skip whole
+searches whose outcome is already decided — the Lemma 2 incidence check
+for broadcast trees (no searches at all once the constraints hold) and
+shared reverse-search lower bounds for shared-target player groups.
+:meth:`_StateBinding.scan_legacy` keeps the pre-batching per-player
+reference, and :class:`OracleStats` counts searches run, batch skips,
+cutting-plane rounds and LP warm starts per engine.
+
 Layers on top:
 
 * :func:`repro.games.equilibrium.check_equilibrium` binds a state and scans
   players through :meth:`_StateBinding.scan`;
 * ``repro.subsidies.sne_lp`` reuses one binding across all cutting-plane
-  rounds, re-pricing per round from the LP iterate;
+  rounds, re-pricing per round from the LP iterate, and reports the
+  engine's :class:`OracleStats` delta as the solve's ``profile``;
 * :class:`EngineProfile` is the mutable strategy profile behind
-  best-response dynamics — usage counts are updated incrementally per move
-  instead of revalidating a full ``State`` object.
+  best-response dynamics — usage counts and the shared arc-cost list are
+  updated incrementally per move instead of revalidating a full ``State``
+  object.
 """
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional, Tuple, Union
+import threading
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.games.base import FairSharing
 from repro.games.broadcast import TreeState
 from repro.games.game import NetworkDesignGame, State, Subsidies
-from repro.graphs.core import IndexedGraph, dijkstra_indexed
+from repro.graphs.core import DijkstraWorkspace, IndexedGraph, dijkstra_indexed
 from repro.graphs.graph import Graph
 from repro.utils.tolerances import EQ_TOL, is_improvement
+
+#: relative slack protecting batched lower-bound certificates against the
+#: (summation-order) float noise between a shared and a per-player search;
+#: orders of magnitude below the equilibrium tolerances, so a borderline
+#: player simply falls through to the exact per-player query
+_CERT_SLACK = 1e-12
 
 #: any bindable target state (weighted / directed states carry a
 #: ``binding_kind = "rule"`` marker and dispatch to :class:`_RuleBinding`)
@@ -67,6 +86,44 @@ class BestResponse(NamedTuple):
     edge_ids: List[int]
 
 
+class OracleStats:
+    """Monotone counters for the engine's oracle work.
+
+    One instance lives on each :class:`BestResponseEngine` *per thread*
+    (engines are cached per graph and shared, e.g. by ``solve_many``'s
+    thread executor — thread-local counters keep concurrent solves from
+    corrupting each other's deltas); solvers snapshot it before and after
+    a solve and report the delta — see the ``profile`` entry in
+    :class:`~repro.api.report.SolveReport` metadata.  ``cut_rounds`` and
+    ``warm_start_hits`` are filled in by the LP layer's callers (the
+    engine itself only counts searches and batch skips).
+    """
+
+    __slots__ = ("dijkstra_calls", "players_batched", "cut_rounds", "warm_start_hits")
+
+    _FIELDS = ("dijkstra_calls", "players_batched", "cut_rounds", "warm_start_hits")
+
+    def __init__(self) -> None:
+        self.dijkstra_calls = 0
+        self.players_batched = 0
+        self.cut_rounds = 0
+        self.warm_start_hits = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Current counter values (pair with :meth:`delta`)."""
+        return tuple(getattr(self, name) for name in self._FIELDS)
+
+    def delta(self, since: Tuple[int, ...]) -> dict:
+        """Counter increments since a :meth:`snapshot`."""
+        return {
+            name: getattr(self, name) - before
+            for name, before in zip(self._FIELDS, since)
+        }
+
+
 class BestResponseEngine:
     """Shared per-graph machinery for vectorized best-response queries."""
 
@@ -76,6 +133,20 @@ class BestResponseEngine:
         self.num_edges = self.ig.num_edges
         self.edge_weights = self.ig.edge_weights
         self._htab: Optional[np.ndarray] = None
+        self._stats_local = threading.local()
+
+    @property
+    def stats(self) -> OracleStats:
+        """Oracle-work counters for the calling thread.
+
+        Thread-local so concurrent solves sharing this (per-graph cached)
+        engine keep independent, internally consistent snapshot/delta
+        windows.
+        """
+        stats = getattr(self._stats_local, "stats", None)
+        if stats is None:
+            stats = self._stats_local.stats = OracleStats()
+        return stats
 
     @classmethod
     def for_graph(cls, graph: Graph) -> "BestResponseEngine":
@@ -192,6 +263,53 @@ class _StateBinding:
             own = cache[position] = set(self.current_path_eids(position))
         return own
 
+    def _join_certificates(
+        self,
+        shared_target: int,
+        arc_base: List[float],
+        queries: List[Tuple[int, float]],
+        tol: float,
+        ws: DijkstraWorkspace,
+    ) -> List[bool]:
+        """Batch-certify players sharing ``shared_target`` with ONE search.
+
+        ``arc_base`` prices every arc for a *joining* player, which is a
+        per-edge lower bound on any player's deviation pricing (her own
+        edges only ever cost more: the join denominator includes her).  One
+        reverse Dijkstra from the shared target therefore lower-bounds every
+        group member's exact deviation cost at once; a member whose bound
+        already fails the improvement test provably has no improving
+        deviation and skips her per-player search entirely.  This is how
+        broadcast/multicast scans collapse from one Dijkstra per player to
+        one per group.
+
+        ``queries`` holds ``(source_id, current_cost)`` per member; returns
+        one certificate flag each (True = provably not improving).  The
+        search prunes at the group's largest current cost — members whose
+        bound gets pruned to ``inf`` are certified a fortiori.
+        """
+        engine = self.engine
+        max_cur = max(cur for _uid, cur in queries)
+        # A hair above max_cur so boundary-cost paths are never pruned away
+        # from under the certificate comparison below.
+        bound = max_cur + 1e-9 * max(1.0, max_cur)
+        dist, _, _ = dijkstra_indexed(
+            engine.ig, shared_target, arc_costs=arc_base, bound=bound, workspace=ws
+        )
+        stats = engine.stats
+        stats.dijkstra_calls += 1
+        out: List[bool] = []
+        for uid, cur in queries:
+            d = dist[uid]
+            # Safety slack: the shared search sums the same float edge
+            # prices in a different order than the per-player search would.
+            lower = d - _CERT_SLACK * max(1.0, cur)
+            certified = not is_improvement(lower, cur, tol)
+            if certified:
+                stats.players_batched += 1
+            out.append(certified)
+        return out
+
     def scan(
         self,
         wb: np.ndarray,
@@ -204,6 +322,30 @@ class _StateBinding:
         With ``improving_only`` (the default) only improving deviations are
         returned and zero-cost players are skipped (their cost cannot
         improve); ``find_all=False`` stops at the first improving deviation.
+
+        Queries are *batched*: players provably without an improving
+        deviation (a Lemma 2 certificate for broadcast trees, a shared
+        reverse-search lower bound for shared-target groups) skip their
+        per-player search, and the remaining exact queries share one
+        join-priced arc-cost list plus one Dijkstra workspace.  The
+        returned records are identical to :meth:`scan_legacy` — batching
+        only ever removes searches whose outcome is already decided.
+        """
+        raise NotImplementedError
+
+    def scan_legacy(
+        self,
+        wb: np.ndarray,
+        tol: float = EQ_TOL,
+        find_all: bool = False,
+        improving_only: bool = True,
+    ) -> List[BestResponse]:
+        """Pre-batching reference scan: one isolated search per player.
+
+        Semantically identical to :meth:`scan`; kept as the cold baseline
+        the parity tests and ``benchmarks/bench_lp_warmstart.py`` compare
+        against (the same role ``check_equilibrium_legacy`` plays one
+        layer up).
         """
         raise NotImplementedError
 
@@ -240,13 +382,103 @@ class _TreeBinding(_StateBinding):
         self.player_keys = list(game.player_nodes())
         self.player_ids = [id_of(u) for u in self.player_keys]
 
+        #: per-position own-path edge ids and their CSR arc slots, static
+        #: for the life of the binding (state paths never change)
+        self._own_path_cache: Dict[int, List[int]] = {}
+        self._own_patch_cache: Dict[int, List[Tuple[int, int]]] = {}
+
+        # Lemma 2 certificate precomputation: node depths (for LCA walks)
+        # and every (player node, neighbor, non-tree edge) incidence — the
+        # exact row set build_broadcast_lp3 materializes.
+        depth = [0] * n
+        for uid in self.bfs_ids[1:]:
+            depth[uid] = depth[parent_nid[uid]] + 1
+        self.depth = depth
+        tree_eids = set(parent_eid[uid] for uid in self.bfs_ids[1:])
+        incidences: List[Tuple[int, int, int]] = []
+        indptr = ig._indptr_list
+        nbrs = ig._neighbors_list
+        adj_e = ig._adj_edge_list
+        for uid in self.player_ids:
+            for k in range(indptr[uid], indptr[uid + 1]):
+                e = adj_e[k]
+                if e not in tree_eids:
+                    incidences.append((uid, nbrs[k], e))
+        self._incidences = incidences
+
     def current_path_eids(self, position: int) -> List[int]:
-        eids: List[int] = []
-        x = self.player_ids[position]
-        while x != self.root_id:
-            eids.append(self.parent_eid[x])
-            x = self.parent_nid[x]
-        return eids
+        eids = self._own_path_cache.get(position)
+        if eids is None:
+            eids = []
+            x = self.player_ids[position]
+            while x != self.root_id:
+                eids.append(self.parent_eid[x])
+                x = self.parent_nid[x]
+            self._own_path_cache[position] = eids
+        return list(eids)
+
+    def _own_patch_slots(self, position: int) -> List[Tuple[int, int]]:
+        """Static ``(arc slot, edge id)`` pairs of the player's own path."""
+        pairs = self._own_patch_cache.get(position)
+        if pairs is None:
+            slots = self.engine.ig.arc_slots_of_edge
+            pairs = [
+                (k, e)
+                for e in self.current_path_eids(position)
+                for k in slots[e]
+            ]
+            self._own_patch_cache[position] = pairs
+        return pairs
+
+    def _lemma2_certified(self, wb_l: List[float], usage_l: List[int]) -> bool:
+        """True when *no* player has an improving deviation, Dijkstra-free.
+
+        Evaluates the Lemma 2 incidence constraints — the exact rows
+        ``build_broadcast_lp3`` materializes — at the current net weights:
+        for a player at ``u`` and a non-tree edge ``(u, v)``, compare the
+        shares of ``u``'s tree path down to ``lca(u, v)`` against paying
+        ``(u, v)`` and joining ``v``'s tree path (the common suffix above
+        the LCA cancels).  By Lemma 2 these single-incidence constraints
+        imply every path constraint of LP (1), so all of them holding with
+        nonnegative slack certifies the whole state as an equilibrium in
+        ``O(incidences * depth)`` arithmetic — this is what collapses the
+        broadcast separation oracle's verification rounds from one
+        shortest-path search per player to none at all.
+
+        The comparison uses zero slack where the equilibrium checker
+        allows ``tol``: the certificate only fires when every constraint
+        holds outright, so a borderline scan falls through to the exact
+        per-player searches and tolerance semantics never change.
+        """
+        depth = self.depth
+        parent_nid = self.parent_nid
+        parent_eid = self.parent_eid
+        for uid, vid, e_uv in self._incidences:
+            x, y = uid, vid
+            lhs = 0.0  # u's shares from u down to the LCA
+            rhs = wb_l[e_uv]  # deviation: pay (u, v), then join v's path
+            while depth[x] > depth[y]:
+                e = parent_eid[x]
+                lhs += wb_l[e] / usage_l[e]
+                x = parent_nid[x]
+            while depth[y] > depth[x]:
+                e = parent_eid[y]
+                rhs += wb_l[e] / (usage_l[e] + 1)
+                y = parent_nid[y]
+            while x != y:
+                e = parent_eid[x]
+                lhs += wb_l[e] / usage_l[e]
+                x = parent_nid[x]
+                e = parent_eid[y]
+                rhs += wb_l[e] / (usage_l[e] + 1)
+                y = parent_nid[y]
+            # _CERT_SLACK absorbs float noise on *tight* constraints (the
+            # LP optimum sits exactly on several of them); even composed
+            # across every incidence of a deviation path it stays orders
+            # of magnitude below the checker's improvement tolerance.
+            if lhs > rhs + _CERT_SLACK * max(1.0, lhs, abs(rhs)):
+                return False
+        return True
 
     def _costs_to_root(self, wb: np.ndarray) -> List[float]:
         """Player cost at every node, accumulated root-down (O(n))."""
@@ -272,11 +504,69 @@ class _TreeBinding(_StateBinding):
         engine = self.engine
         ig = engine.ig
         root = self.root_id
-        usage = self.usage
         wb_l = wb.tolist()
-        usage_l = usage.tolist()
+        usage_l = self.usage.tolist()
         cost_at = self._costs_to_root(wb)
         base = wb / self._denom_join  # every edge priced for a joining player
+        # One shared join-priced per-arc cost list for the whole scan;
+        # each query patches its own edges in place and restores them
+        # (O(|T_i|) per player instead of an O(m) cost-array copy).
+        arc_base = base[ig.adj_edge].tolist()
+        ws = DijkstraWorkspace(ig.num_nodes)
+        stats = engine.stats
+
+        actives: List[Tuple[int, object, int, float]] = []
+        for pos, (key, uid) in enumerate(zip(self.player_keys, self.player_ids)):
+            cur = cost_at[uid]
+            if improving_only and cur <= tol:
+                continue
+            actives.append((pos, key, uid, cur))
+
+        if improving_only and actives and self._lemma2_certified(wb_l, usage_l):
+            # Lemma 2: every incidence constraint holds, so no player has
+            # any improving deviation — the whole scan needs no searches.
+            stats.players_batched += len(actives)
+            return []
+
+        out: List[BestResponse] = []
+        for pos, key, uid, cur in actives:
+            # Own edges keep their current denominator n_a; the slot pairs
+            # are precomputed once per binding.
+            patches: List[Tuple[int, float]] = []
+            for k, e in self._own_patch_slots(pos):
+                patches.append((k, arc_base[k]))
+                arc_base[k] = wb_l[e] / usage_l[e]
+            # Improving deviations cost < cur, so cur is a sound search bound.
+            bound = cur if improving_only else float("inf")
+            dist, pred, pred_edge = dijkstra_indexed(
+                ig, uid, target=root, bound=bound, arc_costs=arc_base, workspace=ws
+            )
+            stats.dijkstra_calls += 1
+            for k, v in patches:
+                arc_base[k] = v
+            dcost = dist[root]
+            if improving_only and not is_improvement(dcost, cur, tol):
+                continue
+            node_ids, edge_ids = _walk_path_back(pred, pred_edge, uid, root)
+            out.append(BestResponse(key, pos, cur, dcost, node_ids, edge_ids))
+            if improving_only and not find_all:
+                break
+        return out
+
+    def scan_legacy(
+        self,
+        wb: np.ndarray,
+        tol: float = EQ_TOL,
+        find_all: bool = False,
+        improving_only: bool = True,
+    ) -> List[BestResponse]:
+        engine = self.engine
+        ig = engine.ig
+        root = self.root_id
+        wb_l = wb.tolist()
+        usage_l = self.usage.tolist()
+        cost_at = self._costs_to_root(wb)
+        base = wb / self._denom_join
         parent_nid = self.parent_nid
         parent_eid = self.parent_eid
 
@@ -287,15 +577,15 @@ class _TreeBinding(_StateBinding):
                 continue
             costs = base.copy()
             x = uid
-            while x != root:  # own edges keep their current denominator n_a
+            while x != root:
                 e = parent_eid[x]
                 costs[e] = wb_l[e] / usage_l[e]
                 x = parent_nid[x]
-            # Improving deviations cost < cur, so cur is a sound search bound.
             bound = cur if improving_only else float("inf")
             dist, pred, pred_edge = dijkstra_indexed(
                 ig, uid, costs, target=root, bound=bound
             )
+            engine.stats.dijkstra_calls += 1
             dcost = dist[root]
             if improving_only and not is_improvement(dcost, cur, tol):
                 continue
@@ -343,16 +633,95 @@ class _GeneralBinding(_StateBinding):
     ) -> List[BestResponse]:
         engine = self.engine
         ig = engine.ig
-        usage = self.usage
         wb_l = wb.tolist()
-        usage_l = usage.tolist()
+        usage_l = self.usage.tolist()
+        base = wb / self._denom_join
+        # Shared join-priced arc costs; per-player own edges are patched in
+        # and restored around each query (see _TreeBinding.scan).
+        arc_base = base[ig.adj_edge].tolist()
+        slots = ig.arc_slots_of_edge
+        ws = DijkstraWorkspace(ig.num_nodes)
+        stats = engine.stats
+
+        curs: List[float] = []
+        for pos in self.player_keys:
+            cur = 0.0
+            for e in self.paths[pos]:  # sequential sum, matching the dict order
+                cur += wb_l[e] / usage_l[e]
+            curs.append(cur)
+
+        certified = [False] * len(curs)
+        if improving_only:
+            # Players sharing a target (multicast terminals, repeated
+            # commodity pairs) share one reverse certificate search.
+            groups: dict = {}
+            for pos in self.player_keys:
+                if curs[pos] <= tol:
+                    continue
+                groups.setdefault(self.targets[pos], []).append(pos)
+            for t, members in groups.items():
+                if len(members) < 2:
+                    continue
+                flags = self._join_certificates(
+                    t, arc_base, [(self.sources[p], curs[p]) for p in members], tol, ws
+                )
+                for p, flag in zip(members, flags):
+                    certified[p] = flag
+
+        out: List[BestResponse] = []
+        for pos in self.player_keys:
+            cur = curs[pos]
+            if improving_only and cur <= tol:
+                continue
+            if certified[pos]:
+                continue
+            own = self.paths[pos]
+            patches: List[Tuple[int, float]] = []
+            for e in own:
+                val = wb_l[e] / usage_l[e]
+                for k in slots[e]:
+                    patches.append((k, arc_base[k]))
+                    arc_base[k] = val
+            s, t = self.sources[pos], self.targets[pos]
+            # Improving deviations cost < cur, so cur is a sound search bound
+            # (the player's own path always stays reachable below it).
+            bound = cur if improving_only else float("inf")
+            dist, pred, pred_edge = dijkstra_indexed(
+                ig, s, target=t, bound=bound, arc_costs=arc_base, workspace=ws
+            )
+            stats.dijkstra_calls += 1
+            for k, v in patches:
+                arc_base[k] = v
+            dcost = dist[t]
+            if improving_only:
+                if not is_improvement(dcost, cur, tol):
+                    continue
+            elif dcost == float("inf"):
+                raise ValueError(f"player {pos} cannot reach her target")
+            node_ids, edge_ids = _walk_path_back(pred, pred_edge, s, t)
+            out.append(BestResponse(pos, pos, cur, dcost, node_ids, edge_ids))
+            if improving_only and not find_all:
+                break
+        return out
+
+    def scan_legacy(
+        self,
+        wb: np.ndarray,
+        tol: float = EQ_TOL,
+        find_all: bool = False,
+        improving_only: bool = True,
+    ) -> List[BestResponse]:
+        engine = self.engine
+        ig = engine.ig
+        wb_l = wb.tolist()
+        usage_l = self.usage.tolist()
         base = wb / self._denom_join
 
         out: List[BestResponse] = []
         for pos in self.player_keys:
             own = self.paths[pos]
             cur = 0.0
-            for e in own:  # sequential sum, matching the dict-based order
+            for e in own:
                 cur += wb_l[e] / usage_l[e]
             if improving_only and cur <= tol:
                 continue
@@ -360,10 +729,9 @@ class _GeneralBinding(_StateBinding):
             for e in own:
                 costs[e] = wb_l[e] / usage_l[e]
             s, t = self.sources[pos], self.targets[pos]
-            # Improving deviations cost < cur, so cur is a sound search bound
-            # (the player's own path always stays reachable below it).
             bound = cur if improving_only else float("inf")
             dist, pred, pred_edge = dijkstra_indexed(ig, s, costs, target=t, bound=bound)
+            engine.stats.dijkstra_calls += 1
             dcost = dist[t]
             if improving_only:
                 if not is_improvement(dcost, cur, tol):
@@ -431,10 +799,7 @@ class _RuleBinding(_StateBinding):
             self.arc_open.tolist() if self.arc_open is not None else None
         )
         #: CSR arc slots of each edge id (own-edge patching in `scan`)
-        slots: List[List[int]] = [[] for _ in range(engine.num_edges)]
-        for k, e in enumerate(ig._adj_edge_list):
-            slots[e].append(k)
-        self._slots_of_edge = slots
+        self._slots_of_edge = ig.arc_slots_of_edge
 
     def current_path_eids(self, position: int) -> List[int]:
         return list(self.paths[position])
@@ -467,13 +832,26 @@ class _RuleBinding(_StateBinding):
         mask = self.arc_open
         mask_l = self._arc_open_list
         slots_of_edge = self._slots_of_edge
+        ws = DijkstraWorkspace(ig.num_nodes)
+        stats = engine.stats
         # Players sharing one scalar contribution (all of them, under
         # proportional sharing with repeated demands) share one join-priced
         # per-arc cost list per scan; each query patches its own edges in
         # place and restores them — O(|T_i|) per player instead of O(m).
         arc_base_cache: dict = {}
 
-        out: List[BestResponse] = []
+        def arc_base_for(a_s: float) -> List[float]:
+            arc_costs = arc_base_cache.get(a_s)
+            if arc_costs is None:
+                # every edge priced for a joining player of weight a_s,
+                # expanded to CSR arc slots (closed directions -> inf)
+                expanded = ((a_s * wb) / (load + a_s))[adj_edge]
+                if mask is not None:
+                    expanded = np.where(mask, expanded, np.inf)
+                arc_costs = arc_base_cache[a_s] = expanded.tolist()
+            return arc_costs
+
+        curs: List[float] = []
         for pos in self.player_keys:
             a = self.alphas[pos]
             a_s = self._scalar_alphas[pos]
@@ -485,22 +863,123 @@ class _RuleBinding(_StateBinding):
             else:
                 for e in own:
                     cur += a[e] * wb_l[e] / load_l[e]
+            curs.append(cur)
+
+        certified = [False] * len(curs)
+        if improving_only and mask is None:
+            # Scalar-contribution players sharing (weight, target) share one
+            # reverse certificate search on their join-priced arc list.
+            # Directed games keep per-player searches: the reverse of an
+            # open arc need not be open.
+            groups: dict = {}
+            for pos in self.player_keys:
+                a_s = self._scalar_alphas[pos]
+                if a_s is None or curs[pos] <= tol:
+                    continue
+                groups.setdefault((a_s, self.targets[pos]), []).append(pos)
+            for (a_s, t), members in groups.items():
+                if len(members) < 2:
+                    continue
+                flags = self._join_certificates(
+                    t,
+                    arc_base_for(a_s),
+                    [(self.sources[p], curs[p]) for p in members],
+                    tol,
+                    ws,
+                )
+                for p, flag in zip(members, flags):
+                    certified[p] = flag
+
+        out: List[BestResponse] = []
+        for pos in self.player_keys:
+            cur = curs[pos]
             if improving_only and cur <= tol:
                 continue
+            if certified[pos]:
+                continue
+            a = self.alphas[pos]
+            a_s = self._scalar_alphas[pos]
+            own = self.paths[pos]
             s, t = self.sources[pos], self.targets[pos]
             # Improving deviations cost < cur, so cur is a sound search bound.
             bound = cur if improving_only else float("inf")
             if a_s is not None:
-                arc_costs = arc_base_cache.get(a_s)
-                if arc_costs is None:
-                    # every edge priced for a joining player of weight a_s,
-                    # expanded to CSR arc slots (closed directions -> inf)
-                    base = ((a_s * wb) / (load + a_s))[adj_edge]
-                    if mask is not None:
-                        base = np.where(mask, base, np.inf)
-                    arc_costs = arc_base_cache[a_s] = base.tolist()
+                arc_costs = arc_base_for(a_s)
                 patches = []
                 for e in own:  # own edges keep their current denominator L_a
+                    val = a_s * wb_l[e] / load_l[e]
+                    for k in slots_of_edge[e]:
+                        if mask_l is None or mask_l[k]:
+                            patches.append((k, arc_costs[k]))
+                            arc_costs[k] = val
+                dist, pred, pred_edge = dijkstra_indexed(
+                    ig, s, target=t, bound=bound, arc_costs=arc_costs, workspace=ws
+                )
+                for k, v in patches:
+                    arc_costs[k] = v
+            else:
+                costs = (a * wb) / (load + a)
+                for e in own:
+                    costs[e] = a[e] * wb_l[e] / load_l[e]
+                dist, pred, pred_edge = dijkstra_indexed(
+                    ig, s, costs, target=t, bound=bound, arc_open=mask, workspace=ws
+                )
+            stats.dijkstra_calls += 1
+            dcost = dist[t]
+            if improving_only:
+                if not is_improvement(dcost, cur, tol):
+                    continue
+            elif dcost == float("inf"):
+                raise ValueError(f"player {pos} cannot reach her target")
+            node_ids, edge_ids = _walk_path_back(pred, pred_edge, s, t)
+            out.append(BestResponse(pos, pos, cur, dcost, node_ids, edge_ids))
+            if improving_only and not find_all:
+                break
+        return out
+
+    def scan_legacy(
+        self,
+        wb: np.ndarray,
+        tol: float = EQ_TOL,
+        find_all: bool = False,
+        improving_only: bool = True,
+    ) -> List[BestResponse]:
+        engine = self.engine
+        ig = engine.ig
+        load = self.load
+        wb_l = wb.tolist()
+        load_l = load.tolist()
+        adj_edge = ig.adj_edge
+        mask = self.arc_open
+        mask_l = self._arc_open_list
+        slots_of_edge = self._slots_of_edge
+        arc_base_cache: dict = {}
+
+        out: List[BestResponse] = []
+        for pos in self.player_keys:
+            a = self.alphas[pos]
+            a_s = self._scalar_alphas[pos]
+            own = self.paths[pos]
+            cur = 0.0
+            if a_s is not None:
+                for e in own:
+                    cur += a_s * wb_l[e] / load_l[e]
+            else:
+                for e in own:
+                    cur += a[e] * wb_l[e] / load_l[e]
+            if improving_only and cur <= tol:
+                continue
+            s, t = self.sources[pos], self.targets[pos]
+            bound = cur if improving_only else float("inf")
+            if a_s is not None:
+                arc_costs = arc_base_cache.get(a_s)
+                if arc_costs is None:
+                    expanded = ((a_s * wb) / (load + a_s))[adj_edge]
+                    if mask is not None:
+                        expanded = np.where(mask, expanded, np.inf)
+                    arc_costs = arc_base_cache[a_s] = expanded.tolist()
+                patches = []
+                for e in own:
                     val = a_s * wb_l[e] / load_l[e]
                     for k in slots_of_edge[e]:
                         if mask_l is None or mask_l[k]:
@@ -518,6 +997,7 @@ class _RuleBinding(_StateBinding):
                 dist, pred, pred_edge = dijkstra_indexed(
                     ig, s, costs, target=t, bound=bound, arc_open=mask
                 )
+            engine.stats.dijkstra_calls += 1
             dcost = dist[t]
             if improving_only:
                 if not is_improvement(dcost, cur, tol):
@@ -538,6 +1018,13 @@ class EngineProfile:
     the counts incrementally along the old and new paths instead of
     rebuilding (and revalidating) a ``State``.  ``to_state`` materializes a
     validated :class:`~repro.games.game.State` at the end of a run.
+
+    The per-arc join-priced cost list is maintained *incrementally* too: a
+    move re-prices only the arcs of the edges whose usage changed, and each
+    best-response query patches the mover's own edges in place around a
+    workspace-backed Dijkstra — so a dynamics step costs ``O(|old| + |new|)``
+    bookkeeping plus the search, never an ``O(m)`` reset.  Oracle-work
+    counters are shared with the engine via :attr:`stats`.
     """
 
     def __init__(self, engine: BestResponseEngine, state: State, wb: np.ndarray) -> None:
@@ -563,6 +1050,7 @@ class EngineProfile:
         for e, count in state.usage.items():
             usage[eid_of_edge(e)] = count
         self.usage = usage
+        self._usage_l = usage.tolist()
         self.node_paths: List[List[int]] = [
             [id_of(u) for u in nodes] for nodes in state.node_paths
         ]
@@ -572,22 +1060,35 @@ class EngineProfile:
         ]
         self.sources = [id_of(p.source) for p in self.game.players]
         self.targets = [id_of(p.target) for p in self.game.players]
-        self._base = wb / (usage + 1.0)
         self._H = engine.harmonic_table(self.game.n_players)
         # Directed games: dynamics must search along allowed arcs only.
         arc_open_fn = getattr(self.game, "engine_arc_open", None)
         self.arc_open: Optional[np.ndarray] = (
             arc_open_fn(ig) if arc_open_fn is not None else None
         )
+        self._mask_l = self.arc_open.tolist() if self.arc_open is not None else None
+        # Join-priced per-arc cost list, kept current across moves; closed
+        # directions are inf and never rewritten.
+        expanded = (wb / (usage + 1.0))[ig.adj_edge]
+        if self.arc_open is not None:
+            expanded = np.where(self.arc_open, expanded, np.inf)
+        self._arc_base: List[float] = expanded.tolist()
+        self._slots = ig.arc_slots_of_edge
+        self._ws = DijkstraWorkspace(ig.num_nodes)
+
+    @property
+    def stats(self) -> OracleStats:
+        """The engine's shared oracle counters (searches run, batch skips)."""
+        return self.engine.stats
 
     # -- queries -----------------------------------------------------------
 
     def player_cost(self, position: int) -> float:
         wb_l = self._wb_l
-        usage = self.usage
+        usage_l = self._usage_l
         total = 0.0
         for e in self.eid_paths[position]:
-            total += wb_l[e] / usage[e]
+            total += wb_l[e] / usage_l[e]
         return total
 
     def potential(self) -> float:
@@ -615,19 +1116,29 @@ class EngineProfile:
             )
         own = self.eid_paths[position]
         wb_l = self._wb_l
-        usage = self.usage
-        costs = self._base.copy()
+        usage_l = self._usage_l
+        arc_base = self._arc_base
+        slots = self._slots
+        mask_l = self._mask_l
+        patches: List[Tuple[int, float]] = []
         for e in own:
-            costs[e] = wb_l[e] / usage[e]
+            val = wb_l[e] / usage_l[e]
+            for k in slots[e]:
+                if mask_l is None or mask_l[k]:
+                    patches.append((k, arc_base[k]))
+                    arc_base[k] = val
         s, t = self.sources[position], self.targets[position]
         dist, pred, pred_edge = dijkstra_indexed(
             self.engine.ig,
             s,
-            costs,
             target=t,
             bound=cur if bounded else float("inf"),
-            arc_open=self.arc_open,
+            arc_costs=arc_base,
+            workspace=self._ws,
         )
+        self.engine.stats.dijkstra_calls += 1
+        for k, v in patches:
+            arc_base[k] = v
         dcost = dist[t]
         if dcost == float("inf"):
             if bounded:  # no deviation beats the current path
@@ -646,16 +1157,31 @@ class EngineProfile:
     # -- mutation ----------------------------------------------------------
 
     def apply(self, position: int, node_ids: List[int], edge_ids: List[int]) -> None:
-        """Switch one player's path, updating usage counts incrementally."""
+        """Switch one player's path, updating usage counts incrementally.
+
+        Only the arcs of edges whose usage changed are re-priced in the
+        shared cost list — the rest of the graph is untouched.
+        """
         usage = self.usage
-        base = self._base
+        usage_l = self._usage_l
         wb_l = self._wb_l
+        arc_base = self._arc_base
+        slots = self._slots
+        mask_l = self._mask_l
+        changed = set()
         for e in self.eid_paths[position]:
             usage[e] -= 1
-            base[e] = wb_l[e] / (usage[e] + 1.0)
+            usage_l[e] -= 1
+            changed.add(e)
         for e in edge_ids:
             usage[e] += 1
-            base[e] = wb_l[e] / (usage[e] + 1.0)
+            usage_l[e] += 1
+            changed.add(e)
+        for e in changed:
+            val = wb_l[e] / (usage_l[e] + 1.0)
+            for k in slots[e]:
+                if mask_l is None or mask_l[k]:
+                    arc_base[k] = val
         self.node_paths[position] = list(node_ids)
         self.eid_paths[position] = list(edge_ids)
 

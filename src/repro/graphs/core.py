@@ -106,6 +106,7 @@ class IndexedGraph:
         "_neighbors_list",
         "_adj_edge_list",
         "_weights_list",
+        "_arc_slots",
     )
 
     def __init__(self, nodes: Sequence[Node], edges: Iterable[Tuple[Node, Node, float]]):
@@ -157,6 +158,7 @@ class IndexedGraph:
         self._neighbors_list = self.neighbors.tolist()
         self._adj_edge_list = self.adj_edge.tolist()
         self._weights_list = self.weights.tolist()
+        self._arc_slots: Optional[List[List[int]]] = None
 
     # -- construction ------------------------------------------------------
 
@@ -221,6 +223,24 @@ class IndexedGraph:
     def degree(self, node_id: int) -> int:
         return int(self.indptr[node_id + 1] - self.indptr[node_id])
 
+    @property
+    def arc_slots_of_edge(self) -> List[List[int]]:
+        """CSR arc slots of each edge id (both directions), lazily built.
+
+        ``arc_slots_of_edge[e]`` lists the slots ``k`` with
+        ``adj_edge[k] == e`` — exactly the positions a caller must patch to
+        re-price edge ``e`` in a shared per-arc cost list.  The engine's
+        per-player own-edge overrides use this to pay ``O(|T_i|)`` per
+        query instead of copying an ``O(m)`` cost array each time.
+        """
+        slots = self._arc_slots
+        if slots is None:
+            slots = [[] for _ in range(self.num_edges)]
+            for k, e in enumerate(self._adj_edge_list):
+                slots[e].append(k)
+            self._arc_slots = slots
+        return slots
+
     def arc_open_mask(self, arcs: Iterable[Tuple[Node, Node]]) -> np.ndarray:
         """Boolean mask over CSR arc slots opening only the given directions.
 
@@ -247,6 +267,46 @@ class IndexedGraph:
         return f"IndexedGraph(n={self.num_nodes}, m={self.num_edges})"
 
 
+class DijkstraWorkspace:
+    """Reusable scratch state for :func:`dijkstra_indexed`.
+
+    A search allocates three length-``n`` lists and a heap; oracles that run
+    hundreds of queries per scan pay that over and over.  A workspace keeps
+    the flat arrays (and the heap list, whose capacity persists) alive
+    across queries and resets lazily: every node the previous query touched
+    is recorded and only those entries are restored, so a bounded search
+    that settled ``k`` nodes costs ``O(k)`` to clean up, not ``O(n)``.
+
+    The lists returned by a workspace-backed search are the scratch buffers
+    themselves — read what you need (distances, the predecessor walk)
+    before the next query on the same workspace overwrites them.  A
+    workspace is single-threaded by design; concurrent scans must use
+    separate workspaces (the engine creates one per scan).
+    """
+
+    __slots__ = ("n", "dist", "pred", "pred_edge", "heap", "_touched")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.dist: List[float] = [float("inf")] * n
+        self.pred: List[int] = [-1] * n
+        self.pred_edge: List[int] = [-1] * n
+        self.heap: List[Tuple[float, int]] = []
+        self._touched: List[int] = []
+
+    def _begin(self) -> Tuple[List[float], List[int], List[int], List[Tuple[float, int]], List[int]]:
+        """Reset the entries touched by the previous query; hand out buffers."""
+        dist, pred, pred_edge = self.dist, self.pred, self.pred_edge
+        INF = float("inf")
+        for v in self._touched:
+            dist[v] = INF
+            pred[v] = -1
+            pred_edge[v] = -1
+        self._touched = touched = []
+        self.heap.clear()
+        return dist, pred, pred_edge, self.heap, touched
+
+
 def dijkstra_indexed(
     ig: IndexedGraph,
     source: int,
@@ -256,6 +316,7 @@ def dijkstra_indexed(
     bound: float = float("inf"),
     arc_open: Optional[np.ndarray] = None,
     arc_costs: Optional[List[float]] = None,
+    workspace: Optional[DijkstraWorkspace] = None,
 ) -> Tuple[List[float], List[int], List[int]]:
     """Dijkstra over int node ids with per-edge-id costs.
 
@@ -286,6 +347,11 @@ def dijkstra_indexed(
         bound stay at ``inf``.  Best-response oracles pass the deviating
         player's current cost here — a costlier prefix can never yield an
         improving deviation.
+    workspace:
+        Optional :class:`DijkstraWorkspace` whose preallocated arrays back
+        the search.  The returned lists are then the workspace buffers,
+        valid until its next query; repeated queries skip the per-call
+        allocations and pay only an ``O(touched)`` lazy reset.
 
     Returns
     -------
@@ -314,15 +380,27 @@ def dijkstra_indexed(
 
     n = ig.num_nodes
     INF = float("inf")
-    dist: List[float] = [INF] * n
-    pred: List[int] = [-1] * n
-    pred_edge: List[int] = [-1] * n
+    touched: Optional[List[int]] = None
+    if workspace is None:
+        dist = [INF] * n
+        pred = [-1] * n
+        pred_edge = [-1] * n
+        heap: List[Tuple[float, int]] = []
+    else:
+        if workspace.n != n:
+            raise ValueError(
+                f"workspace sized for {workspace.n} nodes, graph has {n}"
+            )
+        dist, pred, pred_edge, heap, touched = workspace._begin()
     indptr = ig._indptr_list
     neighbors = ig._neighbors_list
     adj_edge = ig._adj_edge_list
 
     dist[source] = 0.0
-    heap: List[Tuple[float, int]] = [(0.0, source)]
+    heap.append((0.0, source))
+    if touched is not None:
+        touched.append(source)
+        touched_append = touched.append
     push = heapq.heappush
     pop = heapq.heappop
     while heap:
@@ -335,6 +413,8 @@ def dijkstra_indexed(
             v = neighbors[k]
             nd = d + costs[k]
             if nd < dist[v] and nd < bound:
+                if touched is not None and pred[v] < 0 and v != source:
+                    touched_append(v)
                 dist[v] = nd
                 pred[v] = u
                 pred_edge[v] = adj_edge[k]

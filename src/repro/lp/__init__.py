@@ -9,17 +9,28 @@ Two interchangeable backends sit behind :func:`solve_lp`:
 :mod:`repro.lp.cutting_plane` provides the constraint-generation driver used
 to solve the paper's exponential-size LP (1) with a shortest-path separation
 oracle (the practical stand-in for the ellipsoid method cited in Theorem 1).
+
+:mod:`repro.lp.incremental` is the fast path for that driver's access
+pattern: :class:`IncrementalLP` stores rows sparsely (``O(nnz)`` cut
+appends) and warm-starts re-solves — a dual-simplex basis resume on the
+``"simplex"`` backend (:class:`~repro.lp.simplex.WarmSimplex`), a sparse
++ previous-solution-guided path on ``"highs"`` — while returning exactly
+the answers of the dense cold path.
 """
 
 from repro.lp.problem import LinearProgram, LPResult, LPStatus
-from repro.lp.simplex import simplex_solve
+from repro.lp.simplex import WarmSimplex, simplex_solve
 from repro.lp.backend import solve_lp
+from repro.lp.incremental import IncrementalLP, LPStats
 from repro.lp.cutting_plane import CuttingPlaneResult, solve_with_cutting_planes
 
 __all__ = [
     "LinearProgram",
     "LPResult",
     "LPStatus",
+    "IncrementalLP",
+    "LPStats",
+    "WarmSimplex",
     "simplex_solve",
     "solve_lp",
     "CuttingPlaneResult",

@@ -12,11 +12,12 @@ them and repeat.  The oracle here is the same one the paper describes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.lp.backend import solve_lp
+from repro.lp.incremental import IncrementalLP
 from repro.lp.problem import LinearProgram, LPResult, LPStatus
 
 #: A cut is ``(coefficient row, rhs)`` meaning ``row . x <= rhs``.
@@ -41,7 +42,7 @@ class CuttingPlaneResult:
 
 
 def solve_with_cutting_planes(
-    problem: LinearProgram,
+    problem: Union[LinearProgram, IncrementalLP],
     oracle: SeparationOracle,
     method: str = "highs",
     max_rounds: int = 200,
@@ -51,11 +52,22 @@ def solve_with_cutting_planes(
     The ``problem`` object is mutated (rows accumulate), which lets callers
     inspect the final working LP.  Raises no exception on non-convergence;
     check :attr:`CuttingPlaneResult.converged`.
+
+    An :class:`~repro.lp.incremental.IncrementalLP` problem takes the fast
+    path: cut rows append in O(nnz) and each round's re-solve warm-starts
+    from the previous one (resumed simplex basis / sparse HiGHS re-solve)
+    instead of rebuilding dense matrices from scratch.  The admissible cuts
+    and the returned result are the same either way — only the solve path
+    changes.
     """
+    incremental = isinstance(problem, IncrementalLP)
     cuts_added = 0
     last: Optional[LPResult] = None
     for round_idx in range(1, max_rounds + 1):
-        last = solve_lp(problem, method=method)
+        if incremental:
+            last = problem.solve(method=method)
+        else:
+            last = solve_lp(problem, method=method)
         if last.status is not LPStatus.OPTIMAL:
             return CuttingPlaneResult(last, round_idx, cuts_added, converged=False)
         assert last.x is not None

@@ -1,0 +1,384 @@
+"""Incremental LP with sparse row storage and warm-started re-solves.
+
+The cutting-plane driver's access pattern — solve, append a few cut rows,
+solve again — is pathological for the dense :class:`~repro.lp.problem.
+LinearProgram`: every round re-materializes the full ``A_ub`` and every
+backend solve starts from scratch.  :class:`IncrementalLP` is the fast
+path built for exactly that pattern:
+
+* the constraint store is CSR-shaped from the start (``data`` / ``indices``
+  / ``indptr`` growth buffers with amortized-doubling capacity), so a cut
+  appends in ``O(nnz(row))`` and nothing dense is ever materialized;
+* the HiGHS backend receives the rows as a ``scipy.sparse.csr_matrix``
+  *view* over the buffers — construction is O(1)-ish per solve — and a
+  re-solve whose appended rows are already satisfied by the previous
+  optimum is answered from that optimum without calling the solver at all
+  (adding satisfied constraints cannot displace the optimum of a
+  minimization);
+* the bespoke tableau backend resumes from the previous optimal basis via
+  :class:`~repro.lp.simplex.WarmSimplex` (dual-simplex warm start).
+
+Exact parity with the dense path is part of the contract: the HiGHS
+backend receives bit-identical matrices either way (scipy canonicalizes
+dense input to the same sparse form), and :meth:`IncrementalLP.
+to_linear_program` materializes the dense twin the parity tests compare
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+from repro.lp.backend import _SCIPY_STATUS
+from repro.lp.problem import LinearProgram, LPResult, LPStatus
+from repro.lp.simplex import WarmSimplex
+
+
+def _capture_highs_direct():
+    """Bind HiGHS core handles once, skipping scipy's per-call pipeline.
+
+    ``scipy.optimize.linprog`` spends a large, problem-size-independent
+    slice of each call parsing arguments, re-validating options and
+    rebuilding solver state.  The cutting-plane loop calls with the same
+    (validated, canonical) structures every round, so the fast path feeds
+    the HiGHS core directly: one prebuilt ``HighsOptions`` carrying
+    exactly the values scipy's ``method="highs"`` path sets (presolve on,
+    dual simplex strategy, output off), a ``HighsLp`` filled from the CSC
+    buffers, then ``passOptions``/``passModel``/``run``.  Same library,
+    same options, same matrices — bit-identical answers (the benchmark
+    asserts this against the public ``linprog`` path).  Returns ``None``
+    when scipy's private layout changed; callers then fall back to
+    ``linprog``.
+    """
+    try:
+        from scipy.optimize import _linprog_highs as glue
+        from scipy.optimize._highspy import _highs_wrapper as wrapper_mod
+
+        core = wrapper_mod._h
+        options = core.HighsOptions()
+        # Exactly the non-default values _highs_wrapper applies for
+        # scipy's method="highs" (everything else it leaves at default).
+        options.presolve = "on"
+        options.highs_debug_level = int(glue.HighsDebugLevel.kHighsDebugLevelNone)
+        options.log_to_console = False
+        options.output_flag = False
+        options.simplex_strategy = int(glue.s_c.SimplexStrategy.kSimplexStrategyDual)
+        return {
+            "core": core,
+            "inf": glue.kHighsInf,
+            "to_scipy": glue._highs_to_scipy_status_message,
+            "options": options,
+        }
+    except Exception:  # pragma: no cover - exercised only on scipy drift
+        return None
+
+
+_HIGHS_DIRECT = _capture_highs_direct()
+
+
+@dataclass
+class LPStats:
+    """Solve-path bookkeeping for one :class:`IncrementalLP`."""
+
+    #: backend solves requested (including ones answered without a solver run)
+    solves: int = 0
+    #: re-solves served from warm state: a resumed simplex basis, a cached
+    #: optimum, or a satisfied-cuts shortcut — anything cheaper than cold
+    warm_start_hits: int = 0
+    #: rows appended over the program's lifetime
+    rows_added: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "solves": self.solves,
+            "warm_start_hits": self.warm_start_hits,
+            "rows_added": self.rows_added,
+        }
+
+
+class IncrementalLP:
+    """A ``min c.x : A x <= b, l <= x <= u`` LP built for row appends.
+
+    Mirrors the :class:`~repro.lp.problem.LinearProgram` construction API
+    (``add_constraint`` / ``add_sparse_constraint``) so the cutting-plane
+    driver and the LP(1)/LP(2) builders can use either interchangeably;
+    see the module docstring for what changes under the hood.  Variable
+    bounds are fixed at construction — the incremental machinery assumes
+    only rows ever change.
+    """
+
+    def __init__(
+        self,
+        n_vars: int,
+        c: np.ndarray,
+        lower: Optional[np.ndarray] = None,
+        upper: Optional[np.ndarray] = None,
+    ) -> None:
+        self.n_vars = n_vars
+        self.c = np.asarray(c, dtype=float)
+        if self.c.shape != (n_vars,):
+            raise ValueError(f"objective has shape {self.c.shape}, expected ({n_vars},)")
+        self.lower = np.zeros(n_vars) if lower is None else np.asarray(lower, dtype=float)
+        self.upper = (
+            np.full(n_vars, np.inf) if upper is None else np.asarray(upper, dtype=float)
+        )
+        if np.any(self.lower > self.upper):
+            raise ValueError("lower bound exceeds upper bound for some variable")
+        self.stats = LPStats()
+
+        # CSR growth buffers: rows occupy data/indices[indptr[i]:indptr[i+1]].
+        self._data = np.empty(16, dtype=np.float64)
+        self._indices = np.empty(16, dtype=np.int64)
+        self._indptr = np.zeros(17, dtype=np.int64)
+        self._m = 0
+        self._nnz = 0
+        self._rhs: List[float] = []
+
+        #: last solve per method: (rows_solved, LPResult)
+        self._last: dict = {}
+        self._warm: Optional[WarmSimplex] = None
+        self._warm_rows_fed = 0
+        #: (lb, ub) with infinities replaced for the HiGHS core, built once
+        self._highs_bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # -- construction --------------------------------------------------------
+
+    @property
+    def n_constraints(self) -> int:
+        return self._m
+
+    @property
+    def rhs(self) -> List[float]:
+        """Right-hand sides, in row order (read-only by convention)."""
+        return self._rhs
+
+    def add_constraint(self, coeffs: Sequence[float] | np.ndarray, rhs: float) -> None:
+        """Append the row ``coeffs . x <= rhs`` (dense input, sparse storage)."""
+        row = np.asarray(coeffs, dtype=float)
+        if row.shape != (self.n_vars,):
+            raise ValueError(f"row has shape {row.shape}, expected ({self.n_vars},)")
+        idx = np.nonzero(row)[0]
+        self._append_row(idx.astype(np.int64), row[idx], rhs)
+
+    def add_sparse_constraint(self, entries: Sequence[Tuple[int, float]], rhs: float) -> None:
+        """Append a row given as (index, coefficient) pairs.
+
+        Duplicate indices accumulate, matching
+        :meth:`~repro.lp.problem.LinearProgram.add_sparse_constraint`.
+        """
+        acc: dict = {}
+        for idx, coef in entries:
+            if not 0 <= idx < self.n_vars:
+                raise IndexError(f"column {idx} out of range for {self.n_vars} variables")
+            acc[idx] = acc.get(idx, 0.0) + float(coef)
+        cols = np.fromiter(sorted(acc), dtype=np.int64, count=len(acc))
+        vals = np.array([acc[int(i)] for i in cols], dtype=np.float64)
+        keep = vals != 0.0
+        self._append_row(cols[keep], vals[keep], rhs)
+
+    def _append_row(self, cols: np.ndarray, vals: np.ndarray, rhs: float) -> None:
+        """O(nnz) append into the CSR buffers (amortized-doubling growth)."""
+        order = np.argsort(cols, kind="stable")
+        cols, vals = cols[order], vals[order]
+        k = len(cols)
+        nnz, m = self._nnz, self._m
+        if nnz + k > len(self._data):
+            cap = max(2 * len(self._data), nnz + k)
+            data = np.empty(cap, dtype=np.float64)
+            data[:nnz] = self._data[:nnz]
+            indices = np.empty(cap, dtype=np.int64)
+            indices[:nnz] = self._indices[:nnz]
+            self._data, self._indices = data, indices
+        if m + 2 > len(self._indptr):
+            indptr = np.zeros(max(2 * len(self._indptr), m + 2), dtype=np.int64)
+            indptr[: m + 1] = self._indptr[: m + 1]
+            self._indptr = indptr
+        self._data[nnz : nnz + k] = vals
+        self._indices[nnz : nnz + k] = cols
+        self._indptr[m + 1] = nnz + k
+        self._nnz = nnz + k
+        self._m = m + 1
+        self._rhs.append(float(rhs))
+        self.stats.rows_added += 1
+
+    # -- materialization -----------------------------------------------------
+
+    def sparse_matrix(self) -> sp.csr_matrix:
+        """The rows as a ``csr_matrix`` sharing the growth buffers.
+
+        Safe against later appends: new rows write past ``nnz``, and a
+        capacity doubling swaps in fresh buffers without touching the old
+        ones a previously returned matrix still references.
+        """
+        return sp.csr_matrix(
+            (
+                self._data[: self._nnz],
+                self._indices[: self._nnz],
+                self._indptr[: self._m + 1],
+            ),
+            shape=(self._m, self.n_vars),
+            copy=False,
+        )
+
+    def matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(A_ub, b_ub)`` (debug/parity aid; the solvers never call it)."""
+        return (
+            self.sparse_matrix().toarray(),
+            np.asarray(self._rhs, dtype=float),
+        )
+
+    def row(self, i: int) -> np.ndarray:
+        """Row ``i`` densified (feeds the warm tableau and the tests)."""
+        if not 0 <= i < self._m:
+            raise IndexError(f"row {i} out of range for {self._m} constraints")
+        out = np.zeros(self.n_vars)
+        lo, hi = self._indptr[i], self._indptr[i + 1]
+        out[self._indices[lo:hi]] = self._data[lo:hi]
+        return out
+
+    def to_linear_program(self) -> LinearProgram:
+        """The dense cold-path twin with identical rows, in order."""
+        lp = LinearProgram(
+            n_vars=self.n_vars,
+            c=self.c.copy(),
+            lower=self.lower.copy(),
+            upper=self.upper.copy(),
+        )
+        for i in range(self._m):
+            lp.add_constraint(self.row(i), self._rhs[i])
+        return lp
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(self, method: str = "highs", max_iter: int = 20_000) -> LPResult:
+        """Solve with the chosen backend, warm-starting where possible."""
+        self.stats.solves += 1
+        cached = self._last.get(method)
+        if cached is not None and cached[0] == self._m:
+            self.stats.warm_start_hits += 1
+            return cached[1]
+        if method == "highs":
+            result, warm = self._solve_highs(cached)
+        elif method == "simplex":
+            result, warm = self._solve_simplex(max_iter)
+        else:
+            raise ValueError(f"unknown LP method {method!r}")
+        if warm:
+            self.stats.warm_start_hits += 1
+        self._last[method] = (self._m, result)
+        return result
+
+    def _solve_highs(
+        self, cached: Optional[Tuple[int, LPResult]]
+    ) -> Tuple[LPResult, bool]:
+        # Solution-guided shortcut: rows appended since an optimal solve
+        # that the previous optimum already satisfies cannot displace it.
+        if cached is not None and cached[1].ok:
+            rows_solved, prev = cached
+            x = prev.x
+            assert x is not None
+            lo, hi = self._indptr[rows_solved], self._indptr[self._m]
+            tail = sp.csr_matrix(
+                (
+                    self._data[lo:hi],
+                    self._indices[lo:hi],
+                    self._indptr[rows_solved : self._m + 1] - lo,
+                ),
+                shape=(self._m - rows_solved, self.n_vars),
+                copy=False,
+            )
+            if np.all(tail @ x <= np.asarray(self._rhs[rows_solved:], dtype=float)):
+                return prev, True
+
+        # Rowless LP with strictly positive costs: the optimum is exactly
+        # the lower-bound vertex (unique, and what HiGHS returns bit-for-bit
+        # — LP (1)'s first round hits this every solve).
+        if self._m == 0 and np.all(self.c > 0.0) and np.all(np.isfinite(self.lower)):
+            x = self.lower.copy()
+            return LPResult(LPStatus.OPTIMAL, x=x, objective=float(self.c @ x)), False
+        direct = _HIGHS_DIRECT
+        if direct is not None:
+            try:
+                return self._solve_highs_direct(direct), False
+            except Exception:  # pragma: no cover - scipy drift safety net
+                pass
+        A = self.sparse_matrix() if self._m else None
+        bounds = list(zip(self.lower, self.upper))
+        res = linprog(
+            self.c,
+            A_ub=A,
+            b_ub=np.asarray(self._rhs, dtype=float) if self._m else None,
+            bounds=bounds,
+            method="highs",
+        )
+        status = _SCIPY_STATUS.get(res.status, LPStatus.INFEASIBLE)
+        if status is not LPStatus.OPTIMAL:
+            return LPResult(status), False
+        x = np.asarray(res.x, dtype=float)
+        return LPResult(LPStatus.OPTIMAL, x=x, objective=float(res.fun)), False
+
+    def _solve_highs_direct(self, direct: dict) -> LPResult:
+        """One HiGHS solve through the captured core handles (see above)."""
+        core = direct["core"]
+        inf = direct["inf"]
+        if self._highs_bounds is None:
+            # Bounds are fixed at construction; replace infinities once.
+            self._highs_bounds = (
+                np.where(np.isinf(self.lower), -inf, self.lower),
+                np.where(np.isinf(self.upper), inf, self.upper),
+            )
+        lb, ub = self._highs_bounds
+        A = self.sparse_matrix().tocsc()
+        m = self._m
+        n = self.n_vars
+
+        lp = core.HighsLp()
+        lp.num_col_ = n
+        lp.num_row_ = m
+        lp.a_matrix_.num_col_ = n
+        lp.a_matrix_.num_row_ = m
+        lp.a_matrix_.format_ = core.MatrixFormat.kColwise
+        lp.col_cost_ = self.c
+        lp.col_lower_ = lb
+        lp.col_upper_ = ub
+        lp.row_lower_ = np.full(m, -inf)
+        lp.row_upper_ = np.asarray(self._rhs, dtype=float)
+        lp.a_matrix_.start_ = A.indptr
+        lp.a_matrix_.index_ = A.indices
+        lp.a_matrix_.value_ = A.data
+
+        highs = core._Highs()
+        if highs.passOptions(direct["options"]) == core.HighsStatus.kError:
+            raise RuntimeError("HiGHS rejected the prebuilt options")
+        if highs.passModel(lp) == core.HighsStatus.kError:
+            raise RuntimeError("HiGHS rejected the model")
+        highs.run()
+        model_status = highs.getModelStatus()
+        if model_status != core.HighsModelStatus.kOptimal:
+            scipy_status, _msg = direct["to_scipy"](
+                model_status, highs.modelStatusToString(model_status)
+            )
+            return LPResult(_SCIPY_STATUS.get(scipy_status, LPStatus.INFEASIBLE))
+        solution = highs.getSolution()
+        info = highs.getInfo()
+        x = np.asarray(solution.col_value, dtype=float)
+        return LPResult(
+            LPStatus.OPTIMAL, x=x, objective=float(info.objective_function_value)
+        )
+
+    def _solve_simplex(self, max_iter: int) -> Tuple[LPResult, bool]:
+        warm = self._warm
+        if warm is None:
+            warm = self._warm = WarmSimplex(
+                self.n_vars, self.c, self.lower, self.upper, max_iter=max_iter
+            )
+            self._warm_rows_fed = 0
+        for i in range(self._warm_rows_fed, self._m):
+            warm.add_row(self.row(i), self._rhs[i])
+        self._warm_rows_fed = self._m
+        return warm.solve()

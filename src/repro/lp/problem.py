@@ -17,6 +17,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+#: cached ``(n_rows, A_ub, b_ub)`` triple — see :meth:`LinearProgram.matrices`
+_MatCache = Optional[Tuple[int, np.ndarray, np.ndarray]]
+
 
 class LPStatus(enum.Enum):
     """Solver outcome."""
@@ -54,6 +57,7 @@ class LinearProgram:
     rhs: List[float] = field(default_factory=list)
     lower: Optional[np.ndarray] = None
     upper: Optional[np.ndarray] = None
+    _mat_cache: _MatCache = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.c = np.asarray(self.c, dtype=float)
@@ -77,6 +81,7 @@ class LinearProgram:
             raise ValueError(f"row has shape {row.shape}, expected ({self.n_vars},)")
         self.rows.append(row)
         self.rhs.append(float(rhs))
+        self._mat_cache = None
 
     def add_sparse_constraint(self, entries: Sequence[Tuple[int, float]], rhs: float) -> None:
         """Append a row given as (index, coefficient) pairs."""
@@ -90,7 +95,21 @@ class LinearProgram:
         return len(self.rows)
 
     def matrices(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Dense ``(A_ub, b_ub)``; zero-row matrix when unconstrained."""
+        """Dense ``(A_ub, b_ub)``; zero-row matrix when unconstrained.
+
+        The compiled pair is cached and invalidated only by
+        :meth:`add_constraint`, so callers that re-solve an unchanged
+        program (the cutting-plane driver does, once per round before the
+        oracle adds cuts) stop paying a dense re-materialization each
+        time.  Treat the returned arrays as read-only — they are shared
+        with later callers.
+        """
+        cached = self._mat_cache
+        if cached is not None and cached[0] == len(self.rows):
+            return cached[1], cached[2]
         if not self.rows:
-            return np.zeros((0, self.n_vars)), np.zeros(0)
-        return np.vstack(self.rows), np.asarray(self.rhs, dtype=float)
+            A, b = np.zeros((0, self.n_vars)), np.zeros(0)
+        else:
+            A, b = np.vstack(self.rows), np.asarray(self.rhs, dtype=float)
+        self._mat_cache = (len(self.rows), A, b)
+        return A, b

@@ -215,7 +215,7 @@ class SweepResult:
         """
         return {
             "kind": "sweep-result",
-            "schema": 2,
+            "schema": 3,
             "jobs": [
                 {
                     "label": o.job.label,
@@ -223,6 +223,9 @@ class SweepResult:
                     "family": _KIND_FAMILY.get(o.job.instance.get("kind")),
                     "key": o.key,
                     "status": o.status,
+                    # schema 3: engine/LP work counters lifted out of the
+                    # report metadata (None for solvers that don't emit them)
+                    "profile": _profile_of(o.report),
                     "report": _strip_wall_clock(o.report),
                     "error": o.error,
                 }
@@ -245,9 +248,32 @@ class SweepResult:
 
 
 def _strip_wall_clock(report: Optional[JSONDict]) -> Optional[JSONDict]:
+    """Drop the wall clock and the (lifted) profile from a job's report copy."""
     if report is None:
         return None
-    return {k: v for k, v in report.items() if k != "wall_clock_seconds"}
+    out = {k: v for k, v in report.items() if k != "wall_clock_seconds"}
+    metadata = out.get("metadata")
+    if isinstance(metadata, dict) and "profile" in metadata:
+        out["metadata"] = {k: v for k, v in metadata.items() if k != "profile"}
+    return out
+
+
+def _profile_of(report: Optional[JSONDict]) -> Optional[JSONDict]:
+    """The solver's oracle/LP work counters, when the report carries them.
+
+    The LP-backed SNE solvers record ``metadata["profile"]`` (see
+    :class:`repro.games.engine.OracleStats`): dijkstra_calls,
+    players_batched, cut_rounds and warm_start_hits for that solve.
+    Deterministic for a fixed instance/solver/version, so lifting it into
+    the per-job records keeps the sweep JSON byte-identical across job
+    counts and cache states.
+    """
+    if report is None:
+        return None
+    metadata = report.get("metadata")
+    if not isinstance(metadata, dict):
+        return None
+    return metadata.get("profile")
 
 
 class SweepRunner:

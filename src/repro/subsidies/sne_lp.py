@@ -18,14 +18,20 @@ re-verify the result with the exact equilibrium checker.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.graphs.graph import Edge, Graph, Node, canonical_edge
-from repro.lp import LinearProgram, LPStatus, solve_lp, solve_with_cutting_planes
+from repro.lp import (
+    IncrementalLP,
+    LinearProgram,
+    LPStatus,
+    solve_lp,
+    solve_with_cutting_planes,
+)
 from repro.games.broadcast import TreeState
-from repro.games.engine import BestResponseEngine
+from repro.games.engine import BestResponseEngine, _StateBinding
 from repro.games.equilibrium import check_equilibrium
 from repro.games.game import State
 from repro.subsidies.assignment import SubsidyAssignment
@@ -47,6 +53,10 @@ class SNEResult:
     #: cutting-plane bookkeeping (LP (1) only)
     rounds: int = 1
     cuts: int = 0
+    #: oracle/LP work counters for this solve (LP (1)/LP (2)): see
+    #: :class:`repro.games.engine.OracleStats` — dijkstra_calls,
+    #: players_batched, cut_rounds, warm_start_hits
+    profile: Optional[Dict[str, int]] = None
 
     def fraction_of_target(self, target_weight: float) -> float:
         return self.subsidies.fraction_of(target_weight)
@@ -54,6 +64,24 @@ class SNEResult:
 
 def _infeasible(graph: Graph, method: str) -> SNEResult:
     return SNEResult(SubsidyAssignment.zero(graph), float("inf"), False, False, method)
+
+
+def _verify_with_binding(
+    engine: BestResponseEngine,
+    binding: _StateBinding,
+    subsidies: SubsidyAssignment,
+    fast: bool,
+) -> bool:
+    """Exact equilibrium re-check through the solver's own binding.
+
+    Equivalent to :func:`check_equilibrium` (same scan, same tolerance);
+    routed through the binding so the cold reference path (``fast=False``)
+    can verify via :meth:`~repro.games.engine._StateBinding.scan_legacy`
+    and stay entirely on pre-batching code.
+    """
+    wb = engine.net_weights(engine.subsidy_vector(subsidies))
+    scan = binding.scan if fast else binding.scan_legacy
+    return not scan(wb, tol=LP_TOL)
 
 
 # ---------------------------------------------------------------------------
@@ -145,6 +173,7 @@ def solve_sne_cutting_plane_lp1(
     method: str = "highs",
     max_rounds: int = 200,
     verify: bool = True,
+    fast: bool = True,
 ) -> SNEResult:
     """Minimum subsidies via the exponential LP (1) + separation oracle.
 
@@ -166,26 +195,43 @@ def solve_sne_cutting_plane_lp1(
     sharing (``alpha_i(a)/L_a`` and ``alpha_i(a)/(L_a + alpha_i(a) -
     alpha_i(a) n_a^i)`` in general); edges on both paths carry equal
     coefficients and cancel exactly.
+
+    ``fast`` (the default) runs the optimized subsystem: cut rows append
+    into a sparse :class:`~repro.lp.incremental.IncrementalLP` and every
+    re-solve warm-starts from the previous round, while the separation
+    oracle batches its per-player searches (Lemma 2 certificates for
+    broadcast, shared-target group searches otherwise).  ``fast=False``
+    keeps the cold-rebuild reference path — dense LP rebuilt per round,
+    one isolated search per player — which admits exactly the same cuts
+    and returns identical results; ``benchmarks/bench_lp_warmstart.py``
+    gates the speedup and the equality.
     """
     graph = state.game.graph
     engine = BestResponseEngine.for_graph(graph)
     binding = engine.bind(state)
+    stats = engine.stats
+    before = stats.snapshot()
     ig = engine.ig
     n_vars = engine.num_edges
     all_edges: List[Edge] = list(ig.edge_labels)
     weights = ig.edge_weights
-    cur_paths = [binding.current_path_eids(pos) for pos in range(len(binding.player_keys))]
+    cur_path = binding.current_path_eids  # resolved lazily per violated player
+    scan = binding.scan if fast else binding.scan_legacy
 
-    lp = LinearProgram(n_vars=n_vars, c=np.ones(n_vars), upper=weights.copy())
+    lp: Union[IncrementalLP, LinearProgram]
+    if fast:
+        lp = IncrementalLP(n_vars, c=np.ones(n_vars), upper=weights.copy())
+    else:
+        lp = LinearProgram(n_vars=n_vars, c=np.ones(n_vars), upper=weights.copy())
 
     def oracle(x: np.ndarray):
         b = np.where(x > 1e-12, x, 0.0)
         wb = np.maximum(0.0, weights - b)
         cuts = []
-        for rec in binding.scan(wb, tol=LP_TOL, find_all=True):
+        for rec in scan(wb, tol=LP_TOL, find_all=True):
             row = np.zeros(n_vars)
             rhs = 0.0
-            for e in cur_paths[rec.position]:
+            for e in cur_path(rec.position):
                 c = binding.current_share_coeff(rec.position, e)
                 row[e] -= c
                 rhs -= weights[e] * c
@@ -197,14 +243,24 @@ def solve_sne_cutting_plane_lp1(
         return cuts
 
     out = solve_with_cutting_planes(lp, oracle, method=method, max_rounds=max_rounds)
+    stats.cut_rounds += out.rounds
+    if isinstance(lp, IncrementalLP):
+        stats.warm_start_hits += lp.stats.warm_start_hits
     if not out.ok:
         return _infeasible(graph, "lp1")
     subsidies = SubsidyAssignment.from_vector(graph, all_edges, out.result.x)
     verified = (
-        check_equilibrium(state, subsidies, tol=LP_TOL).is_equilibrium if verify else True
+        _verify_with_binding(engine, binding, subsidies, fast) if verify else True
     )
     return SNEResult(
-        subsidies, subsidies.cost, True, verified, "lp1", rounds=out.rounds, cuts=out.cuts_added
+        subsidies,
+        subsidies.cost,
+        True,
+        verified,
+        "lp1",
+        rounds=out.rounds,
+        cuts=out.cuts_added,
+        profile=stats.delta(before),
     )
 
 
@@ -217,6 +273,7 @@ def solve_sne_polynomial_lp2(
     state: AnyState,
     method: str = "highs",
     verify: bool = True,
+    fast: bool = True,
 ) -> SNEResult:
     """Minimum subsidies via the polynomial LP (2).
 
@@ -228,6 +285,12 @@ def solve_sne_polynomial_lp2(
     Family-aware like LP (1): rule-priced states (weighted demands,
     per-edge splits) contribute ``alpha_i(a)``-scaled coefficients, and
     directed games only get edge relaxations along their allowed arcs.
+
+    LP (2) rows are 3-sparse in ``n_players * n_nodes + n_edges``
+    variables, so the dense materialization is quadratically wasteful;
+    with ``fast`` (the default) the same rows stream into a sparse
+    :class:`~repro.lp.incremental.IncrementalLP` instead.  ``fast=False``
+    keeps the dense reference build (identical rows, identical solution).
     """
     game = state.game
     graph = game.graph
@@ -271,7 +334,15 @@ def solve_sne_polynomial_lp2(
     for i, (s_i, _t_i, _path) in enumerate(players):
         upper[pi_var(i, s_i)] = 0.0  # pi_i(s_i) = 0 via bounds
 
-    lp = LinearProgram(n_vars=n_vars, c=c, lower=lower, upper=upper)
+    engine = BestResponseEngine.for_graph(graph)
+    stats = engine.stats
+    before = stats.snapshot()
+
+    lp: Union[IncrementalLP, LinearProgram]
+    if fast:
+        lp = IncrementalLP(n_vars, c=c, lower=lower, upper=upper)
+    else:
+        lp = LinearProgram(n_vars=n_vars, c=c, lower=lower, upper=upper)
 
     for i, (s_i, t_i, path) in enumerate(players):
         own = set(path)
@@ -303,14 +374,28 @@ def solve_sne_polynomial_lp2(
             rhs -= a_i * graph.weight(*e) / n_a
         lp.add_sparse_constraint(entries, rhs)
 
-    res = solve_lp(lp, method=method)
+    if isinstance(lp, IncrementalLP):
+        res = lp.solve(method=method)
+        stats.warm_start_hits += lp.stats.warm_start_hits
+    else:
+        res = solve_lp(lp, method=method)
     if res.status is not LPStatus.OPTIMAL:
         return _infeasible(graph, "lp2")
     subsidies = SubsidyAssignment.from_vector(graph, all_edges, res.x[:m])
+    # The engine binding is only needed (and only built) for verification.
     verified = (
-        check_equilibrium(state, subsidies, tol=LP_TOL).is_equilibrium if verify else True
+        _verify_with_binding(engine, engine.bind(state), subsidies, fast)
+        if verify
+        else True
     )
-    return SNEResult(subsidies, subsidies.cost, True, verified, "lp2")
+    return SNEResult(
+        subsidies,
+        subsidies.cost,
+        True,
+        verified,
+        "lp2",
+        profile=stats.delta(before),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -323,6 +408,7 @@ def solve_sne(
     formulation: str = "auto",
     method: str = "highs",
     verify: bool = True,
+    fast: bool = True,
 ) -> SNEResult:
     """Solve the optimization version of SNE for a target state.
 
@@ -342,7 +428,7 @@ def solve_sne(
             raise ValueError("LP (3) applies to broadcast tree states only")
         return solve_sne_broadcast_lp3(state, method=method, verify=verify)
     if formulation == "lp2":
-        return solve_sne_polynomial_lp2(state, method=method, verify=verify)
+        return solve_sne_polynomial_lp2(state, method=method, verify=verify, fast=fast)
     if formulation == "lp1":
-        return solve_sne_cutting_plane_lp1(state, method=method, verify=verify)
+        return solve_sne_cutting_plane_lp1(state, method=method, verify=verify, fast=fast)
     raise ValueError(f"unknown formulation {formulation!r}")

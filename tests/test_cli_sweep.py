@@ -46,6 +46,41 @@ class TestSweepCommand:
         assert [j["status"] for j in payload["jobs"]] == ["ok"] * 4
         assert all("wall_clock_seconds" not in j["report"] for j in payload["jobs"])
 
+    def test_json_out_carries_solver_profiles(self, tmp_path, capsys):
+        """Schema 3: LP-backed solvers surface their work counters per job."""
+        json_out = tmp_path / "prof.json"
+        code = main(
+            [
+                "sweep",
+                "--solver", "sne-cutting-plane",
+                "--solver", "theorem6",
+                "--model", "tree-chords",
+                "--n", "8",
+                "--count", "1",
+                "--seed", "0",
+                "--no-cache",
+                "--json-out", str(json_out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(json_out.read_bytes())
+        assert payload["schema"] == 3
+        by_solver = {j["solver"]: j for j in payload["jobs"]}
+        profile = by_solver["sne-cutting-plane"]["profile"]
+        assert set(profile) == {
+            "dijkstra_calls",
+            "players_batched",
+            "cut_rounds",
+            "warm_start_hits",
+        }
+        assert profile["cut_rounds"] >= 1
+        # lifted out of (not duplicated into) the embedded report copy
+        assert "profile" not in by_solver["sne-cutting-plane"]["report"]["metadata"]
+        # solvers without counters record an explicit null
+        assert by_solver["theorem6"]["profile"] is None
+
     def test_spec_file(self, tmp_path, capsys):
         spec = tmp_path / "spec.json"
         spec.write_text(

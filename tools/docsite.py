@@ -45,6 +45,7 @@ NAV: List[Tuple[str, str]] = [
     ("Reproducing the paper", "reproducing.md"),
     ("Sweep runtime & cache", "runtime.md"),
     ("Scenario library", "scenarios.md"),
+    ("Performance", "performance.md"),
     ("API reference", "api/index.md"),
 ]
 
