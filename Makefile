@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: docs test bench sweep-demo clean-docs
+.PHONY: docs test bench sweep-demo serve clean-docs
 
 ## build the documentation site (mkdocs when installed, else the
 ## zero-dependency fallback builder; both fail on warnings/broken links)
@@ -16,6 +16,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest -q --benchmark-disable benchmarks/bench_*.py
+
+## the persistent solver daemon in the foreground (Ctrl-C stops it);
+## talk to it with repro.serve.ServeClient or plain HTTP on :8350
+serve:
+	$(PYTHON) -m repro.cli serve --port 8350 --workers 4
 
 ## a tiny end-to-end sweep: run it twice to watch the cache work
 sweep-demo:

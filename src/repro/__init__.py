@@ -19,7 +19,9 @@ Public API highlights
 - lower-bound instance families and constants in :mod:`repro.bounds`,
 - the experiment harness in :mod:`repro.experiments` (CLI: ``repro-experiments``),
 - the parallel sweep runtime with its content-addressed result cache in
-  :mod:`repro.runtime` (CLI: ``repro-experiments sweep``).
+  :mod:`repro.runtime` (CLI: ``repro-experiments sweep``),
+- the persistent solver daemon in :mod:`repro.serve` — HTTP/JSON API with
+  resident warm state (CLI: ``repro-experiments serve``).
 
 Subpackages are imported lazily (PEP 562) so ``import repro`` stays cheap —
 ``repro.api`` and friends materialize on first attribute access.
@@ -28,7 +30,7 @@ Subpackages are imported lazily (PEP 562) so ``import repro`` stays cheap —
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: lazily importable public subpackages
 _SUBMODULES = (
@@ -41,6 +43,7 @@ _SUBMODULES = (
     "lp",
     "runtime",
     "scenarios",
+    "serve",
     "subsidies",
     "utils",
 )
@@ -58,6 +61,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         lp,
         runtime,
         scenarios,
+        serve,
         subsidies,
         utils,
     )

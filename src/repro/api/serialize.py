@@ -264,6 +264,24 @@ def report_to_json(report: SolveReport) -> JSONDict:
     }
 
 
+def canonical_report_json(report: Union[SolveReport, JSONDict]) -> JSONDict:
+    """:func:`report_to_json` with the wall clock zeroed.
+
+    Every field of a report except ``wall_clock_seconds`` is deterministic
+    for a (instance, solver, version, options) cell — including the
+    solve-path ``metadata["profile"]`` counters, which count the same
+    oracle work no matter how warm the process is.  Zeroing the one
+    timing field therefore makes equal solves *byte*-equal, which is the
+    response contract of the serve daemon (:mod:`repro.serve`) and of
+    ``repro-experiments solve --json --canonical``: the same instance
+    solved by a fresh CLI process and by a long-running daemon renders
+    identical bytes.
+    """
+    payload = report_to_json(report) if isinstance(report, SolveReport) else dict(report)
+    payload["wall_clock_seconds"] = 0.0
+    return payload
+
+
 def report_from_json(data: Union[str, JSONDict]) -> SolveReport:
     data = _as_dict(data, "solve-report")
     graph = graph_from_json(data["graph"])

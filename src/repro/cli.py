@@ -17,6 +17,8 @@ Usage::
         --model gnp --model hypercube --n 12 --n 16 --count 2 \
         --jobs 4 --json-out grid.json
     repro-experiments sweep --spec sweep.toml --jobs 8
+    repro-experiments serve --port 8350 --workers 4    # persistent daemon
+    repro-experiments --version
 
 ``sweep`` and ``run all`` execute through :mod:`repro.runtime`: jobs fan
 out over worker processes and finished cells land in a content-addressed
@@ -83,7 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
             "equilibria in network design games via subsidies' (SPAA 2012)."
         ),
     )
+    from repro import __version__
     from repro.runtime.spec import GENERATOR_MODELS, MODELS
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
+    )
 
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
@@ -211,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve_p.add_argument("--budget", type=float, default=None, help="SND budget")
     solve_p.add_argument("--method", default=None, help="LP backend (highs/simplex)")
     solve_p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    solve_p.add_argument(
+        "--canonical",
+        action="store_true",
+        help="(--json only) zero the wall clock so output is byte-stable "
+        "across runs (the form the serve daemon returns)",
+    )
     solve_p.add_argument("--out", default=None, help="also write output to this file")
 
     batch_p = sub.add_parser(
@@ -229,6 +245,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--budget", type=float, default=None, help="SND budget")
     batch_p.add_argument("--method", default=None, help="LP backend (highs/simplex)")
     batch_p.add_argument("--json", action="store_true", help="emit reports as JSON")
+    batch_p.add_argument(
+        "--canonical",
+        action="store_true",
+        help="(--json only) zero wall clocks so output is byte-stable "
+        "across runs (the form the serve daemon returns)",
+    )
     batch_p.add_argument("--out", default=None, help="also write output to this file")
 
     sweep_p = sub.add_parser(
@@ -314,6 +336,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument(
         "--quiet", action="store_true", help="no per-job progress on stderr"
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the persistent solver daemon (HTTP/JSON API, resident "
+        "warm state, shared result cache)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8350, help="TCP port (default 8350; 0 = any free)"
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="max concurrent solves (default 4)",
+    )
+    serve_p.add_argument(
+        "--queue",
+        type=int,
+        default=16,
+        help="requests allowed to wait beyond --workers before 429s (default 16)",
+    )
+    serve_p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="linger this long before solving so identical concurrent "
+        "requests share one engine scan (default 0 = pure dedup)",
+    )
+    serve_p.add_argument(
+        "--lru-size",
+        type=int,
+        default=128,
+        help="interned live instances kept resident (default 128)",
+    )
+    _add_cache_flags(serve_p)
+    serve_p.add_argument(
+        "--quiet", action="store_true", help="no per-request access log on stderr"
     )
     return parser
 
@@ -465,7 +529,15 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_json(report: Any, canonical: bool) -> Any:
+    if canonical:
+        return api.serialize.canonical_report_json(report)
+    return api.serialize.report_to_json(report)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.canonical and not args.json:
+        raise ValueError("--canonical only applies to --json output")
     instances = _load_instances(args.instance)
     if len(instances) != 1:
         print(
@@ -476,20 +548,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         return 2
     report = api.solve(instances[0], solver=args.solver, **_solver_opts(args))
     if args.json:
-        _emit(json.dumps(api.serialize.report_to_json(report), indent=2), args.out)
+        _emit(json.dumps(_report_json(report, args.canonical), indent=2), args.out)
     else:
         _emit(report.summary(), args.out)
     return 0 if report.feasible else 1
 
 
 def _cmd_solve_batch(args: argparse.Namespace) -> int:
+    if args.canonical and not args.json:
+        raise ValueError("--canonical only applies to --json output")
     instances = _load_instances(args.instances)
     grid = api.solve_many(
         instances, args.solver, workers=args.workers, opts=_solver_opts(args)
     )
     if args.json:
         payload = [
-            [api.serialize.report_to_json(report) for report in row] for row in grid
+            [_report_json(report, args.canonical) for report in row] for row in grid
         ]
         _emit(json.dumps(payload, indent=2), args.out)
     else:
@@ -597,6 +671,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the solver daemon in the foreground until Ctrl-C."""
+    from repro.serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        workers=args.workers,
+        queue=args.queue,
+        batch_window=args.batch_window,
+        lru_size=args.lru_size,
+        cache=_cache_from_args(args),
+    )
+    serve_forever(config, host=args.host, port=args.port, quiet=args.quiet)
+    return 0
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     """Tolerant sweep: report per-experiment timing, survive failures."""
     items = run_all_tolerant(
@@ -662,12 +751,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             # Downstream consumer (e.g. `| head`) closed stdout: not a user
             # error, no message.
             return _sigpipe_exit()
-    if args.command in ("gen", "solve", "solve-batch", "sweep"):
+    if args.command in ("gen", "solve", "solve-batch", "sweep", "serve"):
         handler = {
             "gen": _cmd_gen,
             "solve": _cmd_solve,
             "solve-batch": _cmd_solve_batch,
             "sweep": _cmd_sweep,
+            "serve": _cmd_serve,
         }[args.command]
         try:
             return handler(args)

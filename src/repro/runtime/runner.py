@@ -83,10 +83,44 @@ _MAX_POOL_RESPAWNS = 5
 _MAX_JOB_RETRIES = 2
 
 
+def _abort_pool(
+    pool: ProcessPoolExecutor,
+    pending: Mapping[Any, int],
+    salvage: Optional[Callable[[int, JSONDict], None]],
+) -> None:
+    """Hard-stop a pool mid-sweep without losing finished work.
+
+    Three steps, in order: cancel everything still queued so no new job
+    starts; hand results that workers *finished* but the consumer never
+    consumed to ``salvage`` (the runner flushes them to the result cache);
+    terminate the worker processes so the executor's exit join returns
+    immediately.  A Ctrl-C therefore leaves neither orphaned worker
+    processes nor a shutdown hang waiting on half-done solves — and every
+    completed cell survives on disk for the resumed sweep.
+    """
+    # Snapshot the workers BEFORE shutdown(): the executor drops its
+    # _processes reference during shutdown even with wait=False.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    if salvage is not None:
+        for future, i in pending.items():
+            if future.done() and not future.cancelled():
+                try:
+                    salvage(i, future.result())
+                except Exception:  # noqa: BLE001 - salvage is best-effort
+                    pass
+    # ProcessPoolExecutor has no public "abandon running jobs"; killing the
+    # (terminate-safe, side-effect-free) workers is the supported escape
+    # hatch for interrupt handling.
+    for process in processes:
+        process.terminate()
+
+
 def execute_payloads(
     payloads: Sequence[JSONDict],
     worker: Callable[[JSONDict], JSONDict],
     jobs: int = 1,
+    salvage: Optional[Callable[[int, JSONDict], None]] = None,
 ) -> Iterator[Tuple[int, JSONDict]]:
     """Run ``worker(payload)`` for every payload, yielding ``(index, outcome)``.
 
@@ -101,6 +135,12 @@ def execute_payloads(
     respawns per call.  The repeatedly implicated culprit ends up
     ``"failed"`` while healthy cells still complete: one bad cell cannot
     take the whole sweep down with it.
+
+    On interruption — ``KeyboardInterrupt`` while waiting, an exception in
+    the consumer, or an explicit ``gen.close()`` — the pool is torn down
+    hard (queued jobs cancelled, workers terminated) and any outcomes that
+    finished without being yielded are passed to ``salvage(index, outcome)``
+    so the caller can still persist them.
     """
     if jobs <= 1 or len(payloads) <= 1:
         for i, payload in enumerate(payloads):
@@ -112,9 +152,11 @@ def execute_payloads(
     respawns = 0
     while queued:
         implicated: Dict[int, str] = {}
+        pending: Dict[Any, int] = {}
         with _pool(min(jobs, len(queued))) as pool:
             try:
-                pending = {pool.submit(worker, payloads[i]): i for i in queued}
+                for i in queued:
+                    pending[pool.submit(worker, payloads[i])] = i
                 queued = []
                 while pending:
                     done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
@@ -132,10 +174,10 @@ def execute_payloads(
                         )
                         break
             except BaseException:
-                # Interrupt / consumer error: drop queued work but keep
-                # already finished results on disk (the caller cached them
-                # as they came).
-                pool.shutdown(wait=False, cancel_futures=True)
+                # Interrupt / consumer error / generator close: salvage
+                # finished-but-unseen outcomes, then stop the pool dead so
+                # the ``with`` exit does not block on running solves.
+                _abort_pool(pool, pending, salvage)
                 raise
         if not implicated:
             continue
@@ -319,6 +361,26 @@ class SweepRunner:
         except UnhashablePayloadError:
             return None  # runnable, just not cacheable
 
+    def _store(
+        self, job: SweepJob, key: str, report: Optional[JSONDict], elapsed: float
+    ) -> None:
+        """Write one successful outcome to the result cache."""
+        try:
+            self.cache.put(
+                key,
+                {
+                    "kind": "solve-entry",
+                    "key": key,
+                    "status": "ok",
+                    "solver": job.solver,
+                    "report": report,
+                    "elapsed_seconds": elapsed,
+                    "created_at": time.time(),
+                },
+            )
+        except OSError:
+            pass  # unwritable cache degrades to uncached, not a crash
+
     # -- execution ----------------------------------------------------------
 
     def run(self, sweep_jobs: Sequence[SweepJob]) -> SweepResult:
@@ -365,35 +427,40 @@ class SweepRunner:
             }
             for job in misses
         ]
-        for i, raw in execute_payloads(payloads, run_solve_job, jobs=self.jobs):
+        def salvage(i: int, raw: JSONDict) -> None:
+            # Interrupt path: a worker finished this job but the consumer
+            # loop never saw it — flush it to the cache anyway, so the
+            # resumed sweep starts from everything that actually completed.
             job = misses[i]
             key = keys[job.index]
-            outcome = JobOutcome(
-                job=job,
-                status=raw["status"],
-                key=key,
-                report=raw.get("report"),
-                error=raw.get("error"),
-                elapsed_seconds=raw.get("elapsed_seconds", 0.0),
-                timeout_enforced=raw.get("timeout_enforced", True),
-            )
-            if outcome.ok and key is not None:
-                try:
-                    self.cache.put(
-                        key,
-                        {
-                            "kind": "solve-entry",
-                            "key": key,
-                            "status": "ok",
-                            "solver": job.solver,
-                            "report": outcome.report,
-                            "elapsed_seconds": outcome.elapsed_seconds,
-                            "created_at": time.time(),
-                        },
-                    )
-                except OSError:
-                    pass  # unwritable cache degrades to uncached, not a crash
-            finish(outcome)
+            if raw.get("status") == "ok" and key is not None:
+                self._store(job, key, raw.get("report"), raw.get("elapsed_seconds", 0.0))
+
+        producer = execute_payloads(
+            payloads, run_solve_job, jobs=self.jobs, salvage=salvage
+        )
+        try:
+            for i, raw in producer:
+                job = misses[i]
+                key = keys[job.index]
+                outcome = JobOutcome(
+                    job=job,
+                    status=raw["status"],
+                    key=key,
+                    report=raw.get("report"),
+                    error=raw.get("error"),
+                    elapsed_seconds=raw.get("elapsed_seconds", 0.0),
+                    timeout_enforced=raw.get("timeout_enforced", True),
+                )
+                if outcome.ok and key is not None:
+                    self._store(job, key, outcome.report, outcome.elapsed_seconds)
+                finish(outcome)
+        finally:
+            # A KeyboardInterrupt in *this* loop's body (cache write,
+            # progress callback) must still tear the pool down; closing the
+            # generator raises GeneratorExit at its yield point, which runs
+            # the same salvage-and-terminate cleanup as an interrupt inside.
+            producer.close()
 
         ordered = [outcomes[i] for i in sorted(outcomes)]
         root = getattr(self.cache, "root", None)

@@ -1,0 +1,57 @@
+"""``repro.serve`` — the persistent solver daemon (HTTP/JSON API).
+
+Everything else in the repo is one-shot: each CLI invocation re-interns
+graphs, re-binds engines and re-grows LP bases from cold.  The serve layer
+keeps that warm state *resident*: a long-running process holds an LRU of
+interned instances (live game objects, whose graphs carry their cached
+:class:`~repro.games.engine.BestResponseEngine` and state bindings), shares
+the content-addressed :class:`~repro.runtime.cache.ResultCache` as its
+response store, and speaks the existing canonical JSON over plain HTTP —
+no dependencies beyond the standard library.
+
+The pieces:
+
+* :class:`ServeConfig` / :class:`SolverService` — the transport-independent
+  core: interning, result-cache short-circuiting, admission control and
+  same-request coalescing (:mod:`repro.serve.service`);
+* :func:`make_server` / :func:`serve_forever` — the threaded stdlib HTTP
+  front end (:mod:`repro.serve.app`);
+* :class:`ServeClient` — the matching client, used by the tests, the CI
+  smoke job and ``benchmarks/bench_serve.py`` (:mod:`repro.serve.client`).
+
+Response contract: ``POST /solve`` returns exactly the bytes of
+``repro-experiments solve --json --canonical`` for the same instance —
+the canonical report JSON with the wall clock zeroed (see
+:func:`repro.api.serialize.canonical_report_json`), so a daemon and a
+cold CLI process are byte-for-byte interchangeable.
+
+>>> from repro.serve import ServeConfig, make_server   # doctest: +SKIP
+>>> server = make_server(ServeConfig(), "127.0.0.1", 0) # doctest: +SKIP
+>>> server.serve_forever()                              # doctest: +SKIP
+
+CLI front end: ``repro-experiments serve --host 127.0.0.1 --port 8350``.
+"""
+
+from repro.serve.coalesce import Coalescer
+from repro.serve.service import (
+    AdmissionControl,
+    InstanceLRU,
+    ServeConfig,
+    ServeRequestError,
+    SolverService,
+)
+from repro.serve.app import make_server, serve_forever
+from repro.serve.client import ServeClient, ServeError
+
+__all__ = [
+    "AdmissionControl",
+    "Coalescer",
+    "InstanceLRU",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeRequestError",
+    "SolverService",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,191 @@
+"""Minimal stdlib client for the solver daemon.
+
+:class:`ServeClient` wraps :class:`http.client.HTTPConnection` with the
+daemon's JSON conventions: it is what the tests, the CI ``serve-smoke``
+job and ``benchmarks/bench_serve.py`` use, and doubles as executable
+documentation of the wire protocol.
+
+The ``*_raw`` methods return the exact response body **bytes** — the
+canonical form the byte-identity guarantees are stated in — while the
+plain methods return parsed JSON for convenience::
+
+    client = ServeClient("127.0.0.1", 8350)
+    client.wait_ready()
+    report = client.solve(instance_json, "sne-lp2")
+    assert client.solve_raw(instance_json, "sne-lp2")[0] == cli_bytes
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+JSONDict = Dict[str, Any]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx daemon response.
+
+    Carries the HTTP ``status``, the server's ``message`` (from the
+    ``{"error": ...}`` body) and ``retry_after`` seconds when the daemon
+    sent a 429.
+    """
+
+    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """One keep-alive connection to a running solver daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8350, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[HTTPConnection] = None
+
+    # -- connection plumbing ------------------------------------------------
+
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, payload: Optional[JSONDict] = None
+    ) -> Tuple[bytes, int]:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+        except (HTTPException, ConnectionError, BrokenPipeError):
+            # Stale keep-alive (daemon restarted, idle timeout): retry once
+            # on a fresh connection before giving up.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+        if status >= 400:
+            try:
+                message = json.loads(data.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                message = data.decode("utf-8", "replace").strip() or "unknown error"
+            raise ServeError(
+                status, message, retry_after=float(retry_after) if retry_after else None
+            )
+        return data, status
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> JSONDict:
+        """Poll ``/healthz`` until the daemon answers; returns its body.
+
+        Raises :class:`TimeoutError` if the daemon never comes up — used by
+        everything that launches the daemon as a subprocess.
+        """
+        deadline = time.monotonic() + timeout
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (OSError, HTTPException, ServeError) as exc:
+                last = exc
+                self.close()
+                time.sleep(interval)
+        raise TimeoutError(
+            f"daemon at {self.host}:{self.port} not ready after {timeout}s: {last}"
+        )
+
+    # -- solve endpoints (raw bytes + parsed) -------------------------------
+
+    def solve_raw(
+        self, instance: JSONDict, solver: str, opts: Optional[JSONDict] = None
+    ) -> Tuple[bytes, int]:
+        """``POST /solve`` → ``(body bytes, status)``; bytes are canonical."""
+        payload: JSONDict = {"instance": instance, "solver": solver}
+        if opts:
+            payload["opts"] = opts
+        return self._request("POST", "/solve", payload)
+
+    def solve(
+        self, instance: JSONDict, solver: str, opts: Optional[JSONDict] = None
+    ) -> JSONDict:
+        """``POST /solve`` → the canonical report, parsed."""
+        data, _ = self.solve_raw(instance, solver, opts)
+        return json.loads(data.decode("utf-8"))
+
+    def solve_batch_raw(
+        self,
+        instances: Union[Sequence[JSONDict], JSONDict],
+        solvers: Union[str, Sequence[str]],
+        opts: Optional[JSONDict] = None,
+    ) -> Tuple[bytes, int]:
+        payload: JSONDict = {
+            "instances": list(instances) if not isinstance(instances, dict) else instances,
+            "solvers": [solvers] if isinstance(solvers, str) else list(solvers),
+        }
+        if opts:
+            payload["opts"] = opts
+        return self._request("POST", "/solve-batch", payload)
+
+    def solve_batch(
+        self,
+        instances: Union[Sequence[JSONDict], JSONDict],
+        solvers: Union[str, Sequence[str]],
+        opts: Optional[JSONDict] = None,
+    ) -> List[List[JSONDict]]:
+        data, _ = self.solve_batch_raw(instances, solvers, opts)
+        return json.loads(data.decode("utf-8"))
+
+    def sweep_raw(self, spec: JSONDict) -> Tuple[bytes, int]:
+        return self._request("POST", "/sweep", {"spec": spec})
+
+    def sweep(self, spec: JSONDict) -> JSONDict:
+        data, _ = self.sweep_raw(spec)
+        return json.loads(data.decode("utf-8"))
+
+    # -- introspection ------------------------------------------------------
+
+    def _get_json(self, path: str) -> JSONDict:
+        data, _ = self._request("GET", path)
+        return json.loads(data.decode("utf-8"))
+
+    def healthz(self) -> JSONDict:
+        return self._get_json("/healthz")
+
+    def version(self) -> str:
+        return self._get_json("/version")["version"]
+
+    def stats(self) -> JSONDict:
+        return self._get_json("/stats")
+
+    def solvers(self) -> List[JSONDict]:
+        return self._get_json("/solvers")["solvers"]
+
+    def families(self) -> JSONDict:
+        return self._get_json("/families")

@@ -111,6 +111,52 @@ class TestReportRoundtrip:
         # And the re-serialization is byte-identical.
         assert json.dumps(serialize.report_to_json(report2)) == json.dumps(payload)
 
+    @pytest.mark.parametrize("solver", ["sne-cutting-plane", "sne-poly"])
+    def test_profile_metadata_roundtrip(self, solver):
+        """The LP solvers' oracle/LP work counters survive a JSON hop intact.
+
+        ``metadata["profile"]`` carries the OracleStats counters; they must
+        round-trip exactly (ints, not floats), every counter present, and
+        re-serialize byte-identically.
+        """
+        g = random_tree_plus_chords(10, 5, seed=2, chord_factor=1.1)
+        game = BroadcastGame(g, root=0)
+        report = api.solve(game, solver=solver)
+        profile = report.metadata.get("profile")
+        assert profile is not None, "LP solvers must emit profile metadata"
+        assert set(profile) == {
+            "dijkstra_calls",
+            "players_batched",
+            "cut_rounds",
+            "warm_start_hits",
+        }
+        payload = serialize.report_to_json(report)
+        report2 = serialize.report_from_json(json.loads(json.dumps(payload)))
+        profile2 = report2.metadata["profile"]
+        assert profile2 == profile
+        assert all(type(v) is int for v in profile2.values()), profile2
+        assert json.dumps(serialize.report_to_json(report2)) == json.dumps(payload)
+
+    def test_canonical_report_json_zeroes_only_the_wall_clock(self):
+        """canonical_report_json: wall clock pinned to 0.0, nothing else
+        touched, and the result still deserializes."""
+        g = random_tree_plus_chords(8, 4, seed=5, chord_factor=1.1)
+        game = BroadcastGame(g, root=0)
+        report = api.solve(game, solver="sne-poly")
+        raw = serialize.report_to_json(report)
+        canonical = serialize.canonical_report_json(report)
+        assert canonical["wall_clock_seconds"] == 0.0
+        assert {k: v for k, v in canonical.items() if k != "wall_clock_seconds"} == {
+            k: v for k, v in raw.items() if k != "wall_clock_seconds"
+        }
+        # accepts an already-serialized payload too, without mutating it
+        again = serialize.canonical_report_json(raw)
+        assert again == canonical
+        assert raw["wall_clock_seconds"] == report.wall_clock_seconds
+        back = serialize.report_from_json(canonical)
+        assert back.wall_clock_seconds == 0.0
+        assert back.subsidies == report.subsidies
+
     def test_dumps_loads_dispatch(self):
         g = random_tree_plus_chords(8, 4, seed=1, chord_factor=1.1)
         game = BroadcastGame(g, root=0)

@@ -1,5 +1,10 @@
-"""CLI --out flag and report formatting."""
+"""CLI --out flag, report formatting, --version and --canonical."""
 
+import json
+
+import pytest
+
+from repro import __version__
 from repro.cli import main
 
 
@@ -21,3 +26,57 @@ class TestOutFlag:
         out = tmp_path / "a1.txt"
         assert main(["run", "A1", "--out", str(out)]) == 0
         assert "packing rule" in out.read_text()
+
+
+class TestVersionFlag:
+    def test_version_matches_package(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-experiments {__version__}"
+
+
+@pytest.fixture()
+def instance_file(tmp_path):
+    path = tmp_path / "instances.json"
+    assert main(["gen", "--n", "8", "--count", "1", "--seed", "4", "--out", str(path)]) == 0
+    return path
+
+
+class TestCanonicalFlag:
+    def test_canonical_output_is_byte_stable(self, tmp_path, instance_file):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        base = ["solve", str(instance_file), "--solver", "sne-lp2", "--json", "--canonical"]
+        assert main(base + ["--out", str(out_a)]) == 0
+        assert main(base + ["--out", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+        payload = json.loads(out_a.read_text())
+        assert payload["wall_clock_seconds"] == 0.0
+
+    def test_without_canonical_wall_clock_survives(self, tmp_path, instance_file):
+        out = tmp_path / "raw.json"
+        assert (
+            main(["solve", str(instance_file), "--solver", "sne-lp2", "--json",
+                  "--out", str(out)]) == 0
+        )
+        assert json.loads(out.read_text())["wall_clock_seconds"] > 0.0
+
+    def test_canonical_requires_json(self, instance_file, capsys):
+        rc = main(["solve", str(instance_file), "--solver", "sne-lp2", "--canonical"])
+        assert rc == 2
+        assert "--canonical only applies to --json" in capsys.readouterr().err
+
+    def test_solve_batch_canonical(self, tmp_path, instance_file):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        base = [
+            "solve-batch", str(instance_file),
+            "--solver", "sne-lp1", "--solver", "sne-lp2",
+            "--json", "--canonical",
+        ]
+        assert main(base + ["--out", str(out_a)]) == 0
+        assert main(base + ["--out", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+        grid = json.loads(out_a.read_text())
+        assert [[cell["wall_clock_seconds"] for cell in row] for row in grid] == [[0.0, 0.0]]

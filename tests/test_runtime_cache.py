@@ -14,6 +14,8 @@ from repro.runtime import (
     ResultCache,
     SweepRunner,
     SweepSpec,
+    coerce_cache,
+    default_cache_dir,
     experiment_job_key,
     solve_job_key,
 )
@@ -153,6 +155,39 @@ class TestResultCache:
     def test_env_var_default_dir(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
         assert ResultCache().root == tmp_path / "custom"
+
+
+class TestCacheDirPrecedence:
+    """Documented order: explicit path > $REPRO_CACHE_DIR > $XDG_CACHE_HOME
+    > ~/.cache — each layer must beat everything below it."""
+
+    def test_explicit_path_beats_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert ResultCache(tmp_path / "flag").root == tmp_path / "flag"
+        assert coerce_cache(tmp_path / "flag").root == tmp_path / "flag"
+
+    def test_env_var_beats_xdg(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "env"
+
+    def test_xdg_beats_home(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"
+
+    def test_home_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        monkeypatch.setenv("HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / ".cache" / "repro"
+
+    def test_empty_env_var_is_unset(self, tmp_path, monkeypatch):
+        # An empty REPRO_CACHE_DIR (e.g. `REPRO_CACHE_DIR= cmd`) must not
+        # select the current directory; it falls through to XDG/home.
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"
 
 
 class TestInvalidation:

@@ -214,6 +214,108 @@ class TestPoolBreakage:
         assert [outcomes[i]["status"] for i in range(6)] == ["ok"] * 6
 
 
+def _marker_worker(payload):
+    """Test worker: drops a marker file, then returns ok."""
+    from pathlib import Path
+
+    Path(payload["marker"]).write_text("done")
+    return {"status": "ok", "echo": payload["i"], "elapsed_seconds": 0.0}
+
+
+def _slow_worker(payload):
+    """Test worker: the first payload is instant, the rest sleep forever."""
+    import time as _time
+    from pathlib import Path
+
+    if payload["i"] == 0:
+        return {"status": "ok", "echo": 0, "elapsed_seconds": 0.0}
+    Path(payload["marker"]).write_text("started")
+    _time.sleep(60.0)
+    return {"status": "ok", "echo": payload["i"], "elapsed_seconds": 60.0}
+
+
+class TestInterruption:
+    """Ctrl-C mid-sweep: no lost finished work, no orphaned workers."""
+
+    def test_close_salvages_finished_but_unyielded_outcomes(self, tmp_path):
+        from repro.runtime import execute_payloads
+
+        payloads = [
+            {"i": i, "marker": str(tmp_path / f"m{i}")} for i in range(6)
+        ]
+        salvaged = {}
+        gen = execute_payloads(
+            payloads, _marker_worker, jobs=2, salvage=lambda i, raw: salvaged.update({i: raw})
+        )
+        _, first = next(gen)
+        # Wait until every worker has actually finished its job...
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if all((tmp_path / f"m{i}").exists() for i in range(6)):
+                break
+            time.sleep(0.02)
+        else:  # pragma: no cover - diagnostic
+            pytest.fail("workers never finished")
+        time.sleep(0.3)  # let the futures settle after the marker writes
+        # ...then interrupt: everything completed-but-unyielded is salvaged.
+        gen.close()
+        yielded = {first["echo"]}
+        assert yielded | set(salvaged) == set(range(6))
+        assert all(raw["status"] == "ok" for raw in salvaged.values())
+
+    def test_close_terminates_running_workers_promptly(self, tmp_path):
+        import multiprocessing
+
+        from repro.runtime import execute_payloads
+
+        payloads = [
+            {"i": i, "marker": str(tmp_path / f"s{i}")} for i in range(3)
+        ]
+        gen = execute_payloads(payloads, _slow_worker, jobs=2, salvage=None)
+        _, first = next(gen)
+        assert first["echo"] == 0
+        # A slow job must actually be running before we interrupt.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if any((tmp_path / f"s{i}").exists() for i in (1, 2)):
+                break
+            time.sleep(0.02)
+        start = time.monotonic()
+        gen.close()  # must terminate the sleepers, not join them
+        assert time.monotonic() - start < 10.0
+        # and no orphaned worker processes linger
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    def test_interrupt_in_consumer_flushes_cache_and_stops_pool(self, tmp_path):
+        """KeyboardInterrupt in the progress callback mid-parallel-sweep."""
+        jobs = small_spec().expand()
+        cache = ResultCache(tmp_path)
+
+        def interrupt_on_first_fresh(outcome, done, total):
+            if not outcome.cached:
+                raise KeyboardInterrupt
+
+        start = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(
+                jobs=2, cache=cache, progress=interrupt_on_first_fresh
+            ).run(jobs)
+        assert time.monotonic() - start < 30.0  # no shutdown hang
+        # At least the job that triggered the interrupt was flushed; the
+        # resumed sweep finishes from disk and matches a fresh run.
+        assert len(cache) >= 1
+        resumed = SweepRunner(cache=cache).run(jobs)
+        assert resumed.ok
+        assert resumed.cache_hits >= 1
+        fresh = SweepRunner(cache=ResultCache(tmp_path / "fresh")).run(jobs)
+        assert result_bytes(resumed) == result_bytes(fresh)
+
+
 class TestTimeouts:
     def test_job_timeout_context_fires(self):
         with pytest.raises(JobTimeout):

@@ -44,6 +44,7 @@ NAV: List[Tuple[str, str]] = [
     ("Architecture", "architecture.md"),
     ("Reproducing the paper", "reproducing.md"),
     ("Sweep runtime & cache", "runtime.md"),
+    ("Solver daemon", "serving.md"),
     ("Scenario library", "scenarios.md"),
     ("Performance", "performance.md"),
     ("API reference", "api/index.md"),
@@ -53,6 +54,7 @@ NAV: List[Tuple[str, str]] = [
 API_PACKAGES = [
     "repro.api",
     "repro.runtime",
+    "repro.serve",
     "repro.scenarios",
     "repro.graphs",
     "repro.games",
