@@ -15,7 +15,7 @@ to_general`): a weighted game with uniform demands, a symmetric directed
 game, or a multicast game whose terminals cover every node coerces
 losslessly; anything outside the overlap raises a
 :class:`~repro.games.base.FamilyCoercionError` naming the obstruction.
-Importing this module populates the registry with the nine built-in
+Importing this module populates the registry with the eleven built-in
 solvers.
 """
 
@@ -32,6 +32,11 @@ from repro.games.multicast import MulticastGame
 from repro.games.weighted import WeightedNetworkDesignGame, WeightedState
 from repro.graphs.graph import Edge
 from repro.subsidies.aon import AONResult, greedy_aon_sne, solve_aon_sne_exact
+from repro.subsidies.approx import (
+    ApproxSNEResult,
+    solve_sne_greedy,
+    solve_sne_primal_dual,
+)
 from repro.subsidies.assignment import SubsidyAssignment
 from repro.subsidies.combinatorial import combinatorial_sne
 from repro.subsidies.snd import SNDResult, snd_heuristic, solve_snd_exact
@@ -234,6 +239,109 @@ def solve_sne_poly(
     with Timer() as t:
         res = solve_sne_polynomial_lp2(state, method=method, verify=verify, fast=fast)
     return _report_from_sne(res, state, "sne-poly", t.elapsed, verify)
+
+
+# ---------------------------------------------------------------------------
+# SNE scale tier: certified approximate / anytime solvers
+# ---------------------------------------------------------------------------
+
+
+def _report_from_approx(
+    res: ApproxSNEResult, state: AnyState, solver: str, elapsed: float, checked: bool
+) -> SolveReport:
+    target_edges, target_cost = _target_of(state)
+    metadata: dict = {"method": res.method, "rounds": res.rounds, "cuts": res.cuts}
+    if res.certificate is not None:
+        # The certified bracket lb <= OPT <= ub; deterministic for a given
+        # instance/opts (no timestamps), so it participates in canonical
+        # report bytes — unlike `profile`, which is provenance.
+        metadata["certificate"] = res.certificate.as_dict()
+    if res.anytime is not None:
+        metadata["anytime"] = res.anytime.as_dict()
+    if res.profile is not None:
+        metadata["profile"] = res.profile
+    return SolveReport(
+        solver=solver,
+        problem="sne",
+        subsidies=res.subsidies,
+        budget_used=res.subsidies.cost,
+        target_edges=target_edges,
+        target_cost=target_cost,
+        feasible=res.feasible,
+        verified=checked and res.verified and res.feasible,
+        optimal=res.feasible and res.optimal,
+        metadata=metadata,
+        wall_clock_seconds=elapsed,
+    )
+
+
+@register_solver(
+    "approx-greedy",
+    problem="sne",
+    description="certified greedy: full-path subsidies + pooled-row lower bound",
+    broadcast_only=False,
+    requires_tree_state=False,
+    exact=False,
+    version="1",
+)
+def solve_approx_greedy(
+    instance: AnyInstance,
+    method: str = "highs",
+    verify: bool = True,
+    fast: bool = True,
+    bound: str = "auto",
+    anytime: bool = False,
+    deadline: Optional[float] = None,
+    target_gap: Optional[float] = None,
+) -> SolveReport:
+    state = as_any_state(instance)
+    with Timer() as t:
+        res = solve_sne_greedy(
+            state,
+            method=method,
+            verify=verify,
+            fast=fast,
+            bound=bound,
+            anytime=anytime,
+            deadline=deadline,
+            target_gap=target_gap,
+        )
+    return _report_from_approx(res, state, "approx-greedy", t.elapsed, verify)
+
+
+@register_solver(
+    "approx-primal-dual",
+    problem="sne",
+    description="anytime LP(1) cutting planes: monotone certified lower bounds",
+    broadcast_only=False,
+    requires_tree_state=False,
+    exact=False,  # exact at convergence, but deadline/target-gap stop early
+    aliases=("approx-anytime",),
+    version="1",
+)
+def solve_approx_primal_dual(
+    instance: AnyInstance,
+    method: str = "highs",
+    max_rounds: int = 200,
+    verify: bool = True,
+    fast: bool = True,
+    anytime: bool = False,
+    deadline: Optional[float] = None,
+    target_gap: Optional[float] = None,
+) -> SolveReport:
+    state = as_any_state(instance)
+    with Timer() as t:
+        res = solve_sne_primal_dual(
+            state,
+            method=method,
+            max_rounds=max_rounds,
+            verify=verify,
+            fast=fast,
+            anytime=anytime,
+            deadline=deadline,
+            target_gap=target_gap,
+        )
+    return _report_from_approx(res, state, "approx-primal-dual", t.elapsed, verify)
 
 
 # ---------------------------------------------------------------------------

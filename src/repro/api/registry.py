@@ -6,7 +6,7 @@ facade uses to coerce inputs, and the adapter callable that produces a
 canonical :class:`repro.api.report.SolveReport`.
 
 Solvers register themselves with the :func:`register_solver` decorator;
-:mod:`repro.api.adapters` registers the nine built-in solvers on import.
+:mod:`repro.api.adapters` registers the eleven built-in solvers on import.
 Lookup is by canonical name or alias, and unknown names raise
 :class:`UnknownSolverError` with close-match suggestions.
 """

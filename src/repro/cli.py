@@ -220,6 +220,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve_p.add_argument("--budget", type=float, default=None, help="SND budget")
     solve_p.add_argument("--method", default=None, help="LP backend (highs/simplex)")
+    solve_p.add_argument(
+        "--anytime",
+        action="store_true",
+        help="(approx-* solvers) record the improving (round, upper bound, "
+        "lower bound) trajectory in the report metadata",
+    )
+    solve_p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="(approx-* solvers) stop early after this wall-clock budget and "
+        "return the best certified iterate so far",
+    )
+    solve_p.add_argument(
+        "--target-gap",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="(approx-* solvers) stop once the certified relative gap "
+        "(upper - lower) / upper drops to this value",
+    )
     solve_p.add_argument("--json", action="store_true", help="emit the report as JSON")
     solve_p.add_argument(
         "--canonical",
@@ -403,6 +425,24 @@ def _emit(text: str, out: Optional[str]) -> None:
             fh.write(text + "\n")
 
 
+def _emit_json_streaming(payload: Any, out: Optional[str]) -> None:
+    """Stream ``json.dumps(payload, indent=2)`` chunk by chunk to the sink.
+
+    ``json.dump`` walks the encoder's chunk iterator straight into the
+    file, so a large instance set costs its payload dicts — never payload
+    *plus* the whole pretty-printed string.  With ``--out`` the file is
+    the only sink (no multi-megabyte stdout echo); otherwise chunks
+    stream to stdout.
+    """
+    if out:
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    else:
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+
+
 def _read_payload(path: str) -> Any:
     if path == "-":
         return json.load(sys.stdin)
@@ -431,6 +471,13 @@ def _solver_opts(args: argparse.Namespace) -> dict:
         opts["budget"] = args.budget
     if args.method is not None:
         opts["method"] = args.method
+    # Anytime knobs exist only on `solve` (batch sweeps stay deterministic).
+    if getattr(args, "anytime", False):
+        opts["anytime"] = True
+    if getattr(args, "deadline", None) is not None:
+        opts["deadline"] = args.deadline
+    if getattr(args, "target_gap", None) is not None:
+        opts["target_gap"] = args.target_gap
     return opts
 
 
@@ -525,7 +572,7 @@ def _cmd_gen(args: argparse.Namespace) -> int:
         game = generate_instance(model, args.n, seed, **params)
         instances.append(api.serialize.game_to_json(game))
     payload = {"kind": "instance-set", "instances": instances}
-    _emit(json.dumps(payload, indent=2), args.out)
+    _emit_json_streaming(payload, args.out)
     return 0
 
 
@@ -548,7 +595,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         return 2
     report = api.solve(instances[0], solver=args.solver, **_solver_opts(args))
     if args.json:
-        _emit(json.dumps(_report_json(report, args.canonical), indent=2), args.out)
+        payload = _report_json(report, args.canonical)
+        if not args.canonical:
+            # Peak RSS is a property of this process run, not of the
+            # instance — canonical output (the byte-stable form the serve
+            # daemon mirrors) must not carry it.
+            from repro.utils.resources import peak_rss_bytes
+
+            payload["metadata"] = {
+                **payload.get("metadata", {}),
+                "peak_rss_bytes": peak_rss_bytes(),
+            }
+        _emit(json.dumps(payload, indent=2), args.out)
     else:
         _emit(report.summary(), args.out)
     return 0 if report.feasible else 1

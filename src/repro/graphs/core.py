@@ -99,13 +99,13 @@ class IndexedGraph:
         "edge_u",
         "edge_v",
         "edge_weights",
-        "edge_labels",
+        "_edge_labels",
         "_id_of",
         "_edge_id",
-        "_indptr_list",
-        "_neighbors_list",
-        "_adj_edge_list",
-        "_weights_list",
+        "_indptr_l",
+        "_neighbors_l",
+        "_adj_edge_l",
+        "_weights_l",
         "_arc_slots",
     )
 
@@ -132,32 +132,39 @@ class IndexedGraph:
             ew.append(float(w))
         m = len(edge_labels)
 
-        self.labels: List[Node] = labels
+        self.labels: Sequence[Node] = labels
         self._id_of = id_of
-        self.edge_labels = edge_labels
-        self._edge_id = edge_id
+        self._edge_labels: Optional[List[Edge]] = edge_labels
+        self._edge_id: Optional[Dict[Edge, int]] = edge_id
         self.edge_u = np.asarray(eu, dtype=np.int64).reshape(m)
         self.edge_v = np.asarray(ev, dtype=np.int64).reshape(m)
         self.edge_weights = np.asarray(ew, dtype=np.float64).reshape(m)
+        self._build_csr(n)
 
-        # CSR over both arc directions, grouped by tail then head.
-        tails = np.concatenate([self.edge_u, self.edge_v])
-        heads = np.concatenate([self.edge_v, self.edge_u])
-        eids = np.concatenate([np.arange(m), np.arange(m)])
+    def _build_csr(self, n: int, idx_dtype=np.int64) -> None:
+        """CSR over both arc directions, grouped by tail then head."""
+        m = len(self.edge_weights)
+        tails = np.concatenate([self.edge_u, self.edge_v]).astype(np.int64)
+        heads = np.concatenate([self.edge_v, self.edge_u]).astype(idx_dtype)
+        eids = np.concatenate(
+            [np.arange(m, dtype=idx_dtype), np.arange(m, dtype=idx_dtype)]
+        )
         order = np.lexsort((heads, tails))
         self.neighbors = heads[order]
         self.adj_edge = eids[order]
         self.weights = self.edge_weights[self.adj_edge]
-        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=idx_dtype)
         np.cumsum(np.bincount(tails, minlength=n), out=indptr[1:])
         self.indptr = indptr
 
         # Plain-list mirrors for the Python-level inner loops (list indexing
-        # is several times faster than numpy scalar indexing).
-        self._indptr_list = indptr.tolist()
-        self._neighbors_list = self.neighbors.tolist()
-        self._adj_edge_list = self.adj_edge.tolist()
-        self._weights_list = self.weights.tolist()
+        # is several times faster than numpy scalar indexing) are built
+        # lazily: the array-native scale tier never touches them, which
+        # keeps million-node snapshots at a few int32/float64 arrays.
+        self._indptr_l: Optional[List[int]] = None
+        self._neighbors_l: Optional[List[int]] = None
+        self._adj_edge_l: Optional[List[int]] = None
+        self._weights_l: Optional[List[float]] = None
         self._arc_slots: Optional[List[List[int]]] = None
 
     # -- construction ------------------------------------------------------
@@ -167,6 +174,60 @@ class IndexedGraph:
         """Snapshot a :class:`Graph` (prefer the cached ``Graph.to_indexed``)."""
         return cls(graph.nodes, graph.edges())
 
+    @classmethod
+    def from_arrays(
+        cls,
+        num_nodes: int,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        edge_weights: np.ndarray,
+        validate: bool = True,
+    ) -> "IndexedGraph":
+        """Array-native constructor for the memory-lean scale tier.
+
+        Node labels are the identity ``range(num_nodes)`` (no dicts, no
+        interning — ids *are* labels), the CSR index arrays are int32 when
+        they fit, and the label-level side structures (``edge_labels``,
+        ``id_of`` maps, plain-list mirrors) stay lazy.  A million-node
+        instance therefore costs a handful of flat arrays rather than the
+        dict-of-dicts a :class:`Graph` round trip would materialize.
+
+        Note the identity labeling differs from ``Graph.to_indexed()``'s
+        repr-order interning (where ``10`` sorts before ``2``); edge and
+        node *ids* of the two constructions are not comparable, only the
+        label-level ``(u, v, w)`` triples are.
+        """
+        n = int(num_nodes)
+        eu = np.ascontiguousarray(edge_u, dtype=np.int64)
+        ev = np.ascontiguousarray(edge_v, dtype=np.int64)
+        ew = np.ascontiguousarray(edge_weights, dtype=np.float64)
+        m = len(ew)
+        if len(eu) != m or len(ev) != m:
+            raise ValueError("edge_u/edge_v/edge_weights length mismatch")
+        if validate and m:
+            if int(eu.min()) < 0 or int(ev.min()) < 0 or max(
+                int(eu.max()), int(ev.max())
+            ) >= n:
+                raise ValueError("edge endpoint out of range")
+            if bool((eu == ev).any()):
+                raise ValueError("self-loop edge")
+            lo, hi = np.minimum(eu, ev), np.maximum(eu, ev)
+            keys = lo * np.int64(n) + hi
+            if len(np.unique(keys)) != m:
+                raise ValueError("duplicate edge")
+        idx_dtype = np.int32 if max(n + 1, 2 * m) < 2**31 else np.int64
+
+        self = cls.__new__(cls)
+        self.labels = range(n)
+        self._id_of = None
+        self._edge_labels = None
+        self._edge_id = None
+        self.edge_u = eu.astype(idx_dtype)
+        self.edge_v = ev.astype(idx_dtype)
+        self.edge_weights = ew
+        self._build_csr(n, idx_dtype=idx_dtype)
+        return self
+
     # -- size --------------------------------------------------------------
 
     @property
@@ -175,28 +236,88 @@ class IndexedGraph:
 
     @property
     def num_edges(self) -> int:
-        return len(self.edge_labels)
+        return len(self.edge_weights)
+
+    # -- lazy label-level structures ---------------------------------------
+
+    @property
+    def edge_labels(self) -> List[Edge]:
+        """``edge_labels[e]``: canonical ``(u, v)`` label pair of edge ``e``."""
+        labels = self._edge_labels
+        if labels is None:
+            node = self.labels
+            labels = [
+                canonical_edge(node[int(u)], node[int(v)])
+                for u, v in zip(self.edge_u.tolist(), self.edge_v.tolist())
+            ]
+            self._edge_labels = labels
+        return labels
+
+    @property
+    def _edge_index(self) -> Dict[Edge, int]:
+        idx = self._edge_id
+        if idx is None:
+            idx = {e: i for i, e in enumerate(self.edge_labels)}
+            self._edge_id = idx
+        return idx
+
+    @property
+    def _indptr_list(self) -> List[int]:
+        mirror = self._indptr_l
+        if mirror is None:
+            mirror = self._indptr_l = self.indptr.tolist()
+        return mirror
+
+    @property
+    def _neighbors_list(self) -> List[int]:
+        mirror = self._neighbors_l
+        if mirror is None:
+            mirror = self._neighbors_l = self.neighbors.tolist()
+        return mirror
+
+    @property
+    def _adj_edge_list(self) -> List[int]:
+        mirror = self._adj_edge_l
+        if mirror is None:
+            mirror = self._adj_edge_l = self.adj_edge.tolist()
+        return mirror
+
+    @property
+    def _weights_list(self) -> List[float]:
+        mirror = self._weights_l
+        if mirror is None:
+            mirror = self._weights_l = self.weights.tolist()
+        return mirror
 
     # -- label <-> id ------------------------------------------------------
 
     def id_of(self, label: Node) -> int:
         """Int id of a node label (KeyError when absent)."""
-        return self._id_of[label]
+        id_of = self._id_of
+        if id_of is None:  # identity labels from ``from_arrays``
+            if isinstance(label, int) and 0 <= label < len(self.labels):
+                return label
+            raise KeyError(label)
+        return id_of[label]
 
     def label_of(self, node_id: int) -> Node:
         """Original hashable label of a node id."""
         return self.labels[node_id]
 
     def has_label(self, label: Node) -> bool:
-        return label in self._id_of
+        try:
+            self.id_of(label)
+        except KeyError:
+            return False
+        return True
 
     def edge_id(self, u: Node, v: Node) -> int:
         """Edge id of the undirected edge {u, v} (KeyError when absent)."""
-        return self._edge_id[canonical_edge(u, v)]
+        return self._edge_index[canonical_edge(u, v)]
 
     def edge_id_of(self, edge: Edge) -> int:
         """Edge id of an already-canonical edge key."""
-        return self._edge_id[edge]
+        return self._edge_index[edge]
 
     def edge_of(self, eid: int) -> Edge:
         """Canonical label pair of an edge id."""
@@ -204,7 +325,7 @@ class IndexedGraph:
 
     def path_edge_ids(self, node_labels: Sequence[Node]) -> List[int]:
         """Edge ids along a node-label walk."""
-        eid = self._edge_id
+        eid = self._edge_index
         return [
             eid[canonical_edge(a, b)] for a, b in zip(node_labels, node_labels[1:])
         ]
@@ -253,9 +374,9 @@ class IndexedGraph:
         mask = np.zeros(len(self.neighbors), dtype=bool)
         indptr = self._indptr_list
         neighbors = self._neighbors_list
-        id_of = self._id_of
+        id_of = self.id_of
         for u_label, v_label in arcs:
-            u, v = id_of[u_label], id_of[v_label]
+            u, v = id_of(u_label), id_of(v_label)
             lo, hi = indptr[u], indptr[u + 1]
             k = bisect_left(neighbors, v, lo, hi)  # heads sorted within a tail
             if k >= hi or neighbors[k] != v:

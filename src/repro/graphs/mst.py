@@ -53,6 +53,34 @@ def kruskal_mst(graph: Graph) -> List[Edge]:
     return tree
 
 
+def kruskal_mst_ids(ig) -> np.ndarray:
+    """Kruskal at the edge-id level over an :class:`IndexedGraph`.
+
+    Returns the tree's edge ids as an int64 array (in discovery order).
+    Tie-break is ``(weight, id_u, id_v)`` — identical to :func:`kruskal_mst`
+    for ``Graph.to_indexed()`` snapshots (ids are interned in ``_sort_key``
+    order there) and plain numeric order for ``IndexedGraph.from_arrays``
+    graphs.  Never materializes edge labels, so it is the MST entry point
+    for the memory-lean scale tier.
+    """
+    n = ig.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((ig.edge_v, ig.edge_u, ig.edge_weights))
+    eu = ig.edge_u.tolist()
+    ev = ig.edge_v.tolist()
+    uf = IntUnionFind(n)
+    tree: List[int] = []
+    for i in order.tolist():
+        if uf.union(eu[i], ev[i]):
+            tree.append(i)
+            if len(tree) == n - 1:
+                break
+    if len(tree) != n - 1:
+        raise ValueError("graph is disconnected; no spanning tree exists")
+    return np.asarray(tree, dtype=np.int64)
+
+
 def prim_mst(graph: Graph, start: Node | None = None) -> List[Edge]:
     """Minimum spanning tree via Prim's algorithm with a binary heap."""
     if graph.num_nodes == 0:

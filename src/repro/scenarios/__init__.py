@@ -23,13 +23,21 @@ from repro.scenarios.families import (
     scenario_instances,
     scenario_names,
 )
+from repro.scenarios.scale import (
+    LARGE_N_THRESHOLD,
+    ScaleInstance,
+    build_scenario_indexed,
+)
 
 __all__ = [
     "GAME_PARAMS",
+    "LARGE_N_THRESHOLD",
     "SCENARIOS",
+    "ScaleInstance",
     "ScenarioFamily",
     "UnknownScenarioError",
     "build_scenario",
+    "build_scenario_indexed",
     "get_scenario",
     "scenario_instances",
     "scenario_names",

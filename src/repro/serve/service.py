@@ -293,6 +293,7 @@ class SolverService:
                     raise ServeRequestError(400, f"{type(exc).__name__}: {exc}") from exc
                 elapsed = time.perf_counter() - start
             self.counters.bump("solves")
+            self._bump_report_counters(report.metadata)
             payload = api.serialize.report_to_json(report)
             try:
                 # Same entry shape as SweepRunner.run stores, so the daemon
@@ -317,6 +318,31 @@ class SolverService:
         if joined:
             self.counters.bump("coalesced_joins")
         return result
+
+    def _bump_report_counters(self, metadata: Optional[JSONDict]) -> None:
+        """Fold a report's engine profile / anytime log into ``/stats``.
+
+        Solvers that ran the best-response engine attach an ``OracleStats``
+        delta as ``metadata["profile"]``; the anytime solvers attach their
+        ``(round, ub, lb)`` trajectory as ``metadata["anytime"]``.  Both
+        aggregate into monotone daemon-wide counters (``engine_*`` /
+        ``anytime_*``) surfaced as sections of ``GET /stats``.
+        """
+        meta = metadata or {}
+        profile = meta.get("profile")
+        if isinstance(profile, dict):
+            for name, value in profile.items():
+                if isinstance(value, int) and not isinstance(value, bool):
+                    self.counters.bump(f"engine_{name}", value)
+        anytime = meta.get("anytime")
+        if isinstance(anytime, dict):
+            self.counters.bump("anytime_solves")
+            iterates = anytime.get("iterates")
+            if isinstance(iterates, list):
+                self.counters.bump("anytime_iterates", len(iterates))
+            stopped = anytime.get("stopped")
+            if isinstance(stopped, str):
+                self.counters.bump(f"anytime_stopped_{stopped.replace('-', '_')}")
 
     # -- endpoint bodies ----------------------------------------------------
 
@@ -429,18 +455,31 @@ class SolverService:
         return self._body({"version": __version__})
 
     def stats_json(self) -> bytes:
-        """``GET /stats``: counters, LRU occupancy, admission state."""
+        """``GET /stats``: counters, LRU occupancy, admission, engine work."""
         root = getattr(self.cache, "root", None)
+        counters = self.counters.as_dict()
+        engine = {
+            name[len("engine_"):]: value
+            for name, value in counters.items()
+            if name.startswith("engine_")
+        }
+        anytime = {
+            name[len("anytime_"):]: value
+            for name, value in counters.items()
+            if name.startswith("anytime_")
+        }
         return self._body(
             {
                 "kind": "serve-stats",
                 "version": __version__,
                 "uptime_seconds": time.time() - self.started_at,
-                "counters": self.counters.as_dict(),
+                "counters": counters,
+                "engine": engine,
+                "anytime": anytime,
                 "result_cache": {
                     "root": str(root) if root else None,
-                    "hits": self.counters.as_dict().get("result_cache_hits", 0),
-                    "misses": self.counters.as_dict().get("result_cache_misses", 0),
+                    "hits": counters.get("result_cache_hits", 0),
+                    "misses": counters.get("result_cache_misses", 0),
                 },
                 "instances": self.instances.stats(),
                 "admission": self.admission.stats(),

@@ -23,6 +23,16 @@ DESIGN solvers.
     ``"combinatorial"``).
 """
 
+from repro.subsidies.approx import (
+    AnytimeLog,
+    ApproxSNEResult,
+    GapCertificate,
+    IndexedApproxResult,
+    lagrangian_lower_bound,
+    solve_sne_greedy,
+    solve_sne_greedy_indexed,
+    solve_sne_primal_dual,
+)
 from repro.subsidies.assignment import SubsidyAssignment
 from repro.subsidies.sne_lp import (
     SNEResult,
@@ -46,6 +56,14 @@ from repro.subsidies.combinatorial import (
 )
 
 __all__ = [
+    "AnytimeLog",
+    "ApproxSNEResult",
+    "GapCertificate",
+    "IndexedApproxResult",
+    "lagrangian_lower_bound",
+    "solve_sne_greedy",
+    "solve_sne_greedy_indexed",
+    "solve_sne_primal_dual",
     "SubsidyAssignment",
     "SNEResult",
     "solve_sne",

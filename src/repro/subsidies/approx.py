@@ -1,0 +1,762 @@
+"""Approximate & anytime SNE solvers with certified optimality gaps.
+
+The exact LP(1)/LP(2)/LP(3) pipeline answers the paper's question to
+optimality but tops out around a few hundred nodes.  This module is the
+scale tier above it: heuristics that always return a *feasible* subsidy
+assignment together with a **certified lower bound** on the optimum, so
+every run carries a proved optimality gap ``ub - lb``:
+
+* :func:`solve_sne_greedy` — generic greedy over any game family: per
+  round, every violated player's own path is fully subsidized (a fully
+  subsidized path has cost 0 and deviation costs are nonnegative, so each
+  round permanently settles its violated players — at most ``n_players``
+  rounds).  Violated LP(1) rows are pooled; the certificate is either the
+  pooled-row LP relaxation optimum or the closed-form Lagrangian bound.
+* :func:`solve_sne_primal_dual` — the exact LP(1) cutting-plane loop run
+  *anytime*: each round's LP objective is a monotone certified lower
+  bound (the LP over any subset of the exponentially many rows is a
+  relaxation), upper bounds come from greedy completion of the current
+  iterate, and the loop stops on ``deadline`` / ``target_gap`` or —
+  without either — converges to the same optimum (and byte-identical
+  subsidies) as ``sne-cutting-plane``.
+* :func:`solve_sne_greedy_indexed` — the memory-lean broadcast path for
+  10^5–10^6-node instances: no per-player dicts, no ``Graph``, just the
+  :class:`~repro.graphs.core.IndexedGraph` CSR arrays and vectorized
+  Lemma 2 incidence slacks over an
+  :class:`~repro.graphs.indexed_tree.IndexedTree`.
+
+Certificate soundness rests on two facts.  (1) Every pooled row is a
+valid constraint of the full LP(1)/LP(3), so the LP over any row subset
+is a relaxation and its optimum — or any Lagrangian value of it — lower
+bounds the true minimum subsidy.  (2) Fully subsidizing every established
+target edge is always feasible (own costs drop to 0 and deviation costs
+stay nonnegative), so ``wgt(T)`` caps every upper bound and deadline
+bailouts always have a feasible fallback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.games.broadcast import TreeState
+from repro.games.engine import BestResponseEngine
+from repro.graphs.core import IndexedGraph
+from repro.graphs.indexed_tree import IndexedTree
+from repro.graphs.mst import kruskal_mst_ids
+from repro.lp import IncrementalLP, LinearProgram, LPStatus, solve_lp
+from repro.subsidies.assignment import SubsidyAssignment
+from repro.subsidies.sne_lp import AnyState, SNEResult, _verify_with_binding
+from repro.utils.tolerances import LP_TOL
+
+#: pooled-row LPs are solved exactly below this edge count; above it the
+#: closed-form Lagrangian bound is used (deterministic in the instance).
+LP_BOUND_MAX_EDGES = 2000
+
+#: gaps below ``1e-9 * max(1, ub)`` count as proved optimal.
+_OPT_TOL = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GapCertificate:
+    """A certified bracket ``lower_bound <= OPT <= upper_bound``.
+
+    ``kind`` names the lower-bound construction: ``"lp-relaxation"``
+    (pooled violated rows solved exactly), ``"lagrangian"`` (closed-form
+    uniform-multiplier bound over the pooled rows) or ``"exact"`` (the
+    cutting-plane loop converged, so the LP optimum itself is the bound).
+    """
+
+    kind: str
+    lower_bound: float
+    upper_bound: float
+
+    @property
+    def gap(self) -> float:
+        return max(0.0, self.upper_bound - self.lower_bound)
+
+    @property
+    def relative_gap(self) -> float:
+        return self.gap / self.upper_bound if self.upper_bound > 0 else 0.0
+
+    @property
+    def proves_optimal(self) -> bool:
+        return self.gap <= _OPT_TOL * max(1.0, self.upper_bound)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "lower_bound": self.lower_bound,
+            "upper_bound": self.upper_bound,
+            "gap": self.gap,
+            "relative_gap": self.relative_gap,
+        }
+
+
+@dataclass
+class AnytimeLog:
+    """The improving ``(round, upper_bound, lower_bound)`` trajectory.
+
+    Iterates carry no timestamps on purpose: reports must stay
+    byte-stable across runs (the serve daemon's canonical-bytes
+    contract), and wall-clock provenance already lives in
+    ``wall_clock_seconds``.
+    """
+
+    iterates: List[Tuple[int, float, float]] = field(default_factory=list)
+    #: why the loop ended: "converged" | "deadline" | "target-gap" | "max-rounds"
+    stopped: str = "converged"
+
+    def record(self, round_idx: int, ub: float, lb: float) -> None:
+        self.iterates.append((round_idx, float(ub), float(lb)))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "iterates": [[r, ub, lb] for r, ub, lb in self.iterates],
+            "stopped": self.stopped,
+        }
+
+
+@dataclass
+class ApproxSNEResult(SNEResult):
+    """An :class:`~repro.subsidies.sne_lp.SNEResult` plus its certificate."""
+
+    certificate: Optional[GapCertificate] = None
+    anytime: Optional[AnytimeLog] = None
+    #: the certificate's gap closed to (numerical) zero
+    optimal: bool = False
+
+
+@dataclass
+class IndexedApproxResult:
+    """Array-level outcome of the memory-lean broadcast greedy.
+
+    ``subsidy_vector`` is indexed by edge id of the input
+    :class:`~repro.graphs.core.IndexedGraph`; nothing label-keyed is
+    materialized (that is the point of this path).
+    """
+
+    subsidy_vector: np.ndarray
+    cost: float
+    feasible: bool
+    verified: bool
+    method: str
+    rounds: int
+    certificate: GapCertificate
+    tree_eids: np.ndarray
+    num_incidences: int
+    anytime: Optional[AnytimeLog] = None
+
+    @property
+    def optimal(self) -> bool:
+        return self.certificate.proves_optimal
+
+
+# ---------------------------------------------------------------------------
+# Certified lower bounds over pooled rows
+# ---------------------------------------------------------------------------
+
+
+def lagrangian_lower_bound(
+    weights: np.ndarray, g: np.ndarray, total_deficit: float
+) -> Tuple[float, float]:
+    """Closed-form Lagrangian lower bound over pooled rows, no LP solve.
+
+    The pool holds rows ``a_j . b >= c_j`` (valid for every feasible
+    subsidy vector) with ``c_j > 0``; ``g = sum_j a_j`` and
+    ``total_deficit = sum_j c_j``.  Relaxing all rows with one uniform
+    multiplier ``lam >= 0`` gives, for ``0 <= b <= w``::
+
+        L(lam) = lam * sum_j c_j + sum_e w_e * min(0, 1 - lam * g_e)
+
+    which is concave piecewise-linear in ``lam`` with breakpoints at
+    ``1/g_e`` (``g_e > 0``).  The exact maximizer is found by a sorted
+    slope scan in O(m log m); any value of ``L`` certifies
+    ``OPT >= L(lam)``.  Returns ``(bound, lam)``.
+    """
+    if total_deficit <= 0.0:
+        return 0.0, 0.0
+    pos = g > 0.0
+    if not bool(pos.any()):
+        # Cannot happen when the pool comes from a feasible instance
+        # (b = w satisfies every row, forcing g . w >= total_deficit > 0);
+        # stay conservative rather than claim an unbounded dual.
+        return 0.0, 0.0
+    lam_bp = 1.0 / g[pos]
+    wg = weights[pos] * g[pos]
+    order = np.argsort(lam_bp)
+    lam_sorted = lam_bp[order]
+    slopes = total_deficit - np.cumsum(wg[order])
+    nonpos = slopes <= 0.0
+    k = int(np.argmax(nonpos)) if bool(nonpos.any()) else len(lam_sorted) - 1
+    lam = float(lam_sorted[k])
+    value = lam * total_deficit + float(
+        np.minimum(0.0, weights * (1.0 - lam * g)).sum()
+    )
+    return max(0.0, value), lam
+
+
+def _pooled_lp_lower_bound(
+    weights: np.ndarray, rows: List[Tuple[np.ndarray, float]], method: str
+) -> Optional[float]:
+    """Exact optimum of the pooled-row relaxation (``row . b <= rhs`` form)."""
+    n = len(weights)
+    lp = LinearProgram(n_vars=n, c=np.ones(n), upper=weights.copy())
+    for row, rhs in rows:
+        lp.add_constraint(row, rhs)
+    res = solve_lp(lp, method=method)
+    if res.status is not LPStatus.OPTIMAL or res.objective is None:
+        return None
+    return max(0.0, float(res.objective))
+
+
+def _resolve_bound(bound: str, num_edges: int) -> str:
+    if bound == "auto":
+        return "lp" if num_edges <= LP_BOUND_MAX_EDGES else "lagrangian"
+    if bound not in ("lp", "lagrangian"):
+        raise ValueError(f"unknown bound {bound!r} (use auto|lp|lagrangian)")
+    return bound
+
+
+# ---------------------------------------------------------------------------
+# Shared generic machinery (engine-binding based, all game families)
+# ---------------------------------------------------------------------------
+
+
+def _established_eids(state: AnyState, ig) -> List[int]:
+    """Edge ids of the target state's established edges."""
+    if isinstance(state, TreeState):
+        edges = [e for e in state.edges if state.loads[e] > 0]
+    else:
+        edges = list(state.established_edges())
+    return [ig.edge_id_of(e) for e in edges]
+
+
+class _RowPool:
+    """Violated LP(1) rows accumulated across rounds, for the certificate.
+
+    Rows arrive in the oracle's ``row . b <= rhs`` orientation; the pool
+    keeps them verbatim (for the LP bound) and accumulates ``g`` /
+    ``total_deficit`` of the equivalent ``(-row) . b >= -rhs`` form for
+    rows with positive deficit (the only ones the Lagrangian uses).
+    """
+
+    def __init__(self, n_vars: int) -> None:
+        self.rows: List[Tuple[np.ndarray, float]] = []
+        self.g = np.zeros(n_vars)
+        self.total_deficit = 0.0
+
+    def add(self, row: np.ndarray, rhs: float) -> None:
+        self.rows.append((row, rhs))
+        if rhs < 0.0:
+            self.g -= row
+            self.total_deficit -= rhs
+
+    def lower_bound(
+        self, weights: np.ndarray, bound: str, method: str
+    ) -> Tuple[float, str]:
+        if not self.rows:
+            return 0.0, bound if bound != "lp" else "lp-relaxation"
+        if bound == "lp":
+            lb = _pooled_lp_lower_bound(weights, self.rows, method)
+            if lb is not None:
+                return lb, "lp-relaxation"
+        lb, _lam = lagrangian_lower_bound(weights, self.g, self.total_deficit)
+        return lb, "lagrangian"
+
+
+def _oracle_rows(binding, scan, cur_path, weights, n_vars, wb):
+    """Violated players with their LP(1) rows at net weights ``wb``.
+
+    Identical row construction to ``solve_sne_cutting_plane_lp1``'s
+    separation oracle (same share coefficients, same orientation), so the
+    primal-dual loop admits exactly the cuts the exact solver would.
+    """
+    out = []
+    for rec in scan(wb, tol=LP_TOL, find_all=True):
+        row = np.zeros(n_vars)
+        rhs = 0.0
+        for e in cur_path(rec.position):
+            c = binding.current_share_coeff(rec.position, e)
+            row[e] -= c
+            rhs -= weights[e] * c
+        for e in rec.edge_ids:
+            c = binding.joining_share_coeff(rec.position, e)
+            row[e] += c
+            rhs += weights[e] * c
+        out.append((rec, row, float(rhs)))
+    return out
+
+
+def _greedy_rounds(
+    binding,
+    scan,
+    cur_path,
+    weights,
+    b: np.ndarray,
+    pool: Optional[_RowPool],
+    deadline_at: Optional[float],
+) -> Tuple[np.ndarray, int, bool]:
+    """Fully subsidize every violated player's own path until none remain.
+
+    Mutates and returns ``b``.  Returns ``(b, rounds, timed_out)``;
+    on timeout ``b`` is *not* feasible yet (callers fall back to the
+    full-target assignment).  Termination: a fully subsidized own path
+    costs 0 and deviations are nonnegative, so each round's violated
+    players stay satisfied forever — at most ``n_players`` rounds.
+    """
+    n_vars = len(weights)
+    rounds = 0
+    while True:
+        if deadline_at is not None and time.monotonic() >= deadline_at and rounds:
+            return b, rounds, True
+        wb = np.maximum(0.0, weights - b)
+        found = _oracle_rows(binding, scan, cur_path, weights, n_vars, wb)
+        if not found:
+            return b, rounds, False
+        rounds += 1
+        for rec, row, rhs in found:
+            if pool is not None:
+                pool.add(row, rhs)
+            for e in cur_path(rec.position):
+                b[e] = weights[e]
+
+
+# ---------------------------------------------------------------------------
+# Greedy (all game families)
+# ---------------------------------------------------------------------------
+
+
+def solve_sne_greedy(
+    state: AnyState,
+    method: str = "highs",
+    verify: bool = True,
+    fast: bool = True,
+    bound: str = "auto",
+    anytime: bool = False,
+    deadline: Optional[float] = None,
+    target_gap: Optional[float] = None,
+) -> ApproxSNEResult:
+    """Greedy full-path subsidies with a certified gap, any game family.
+
+    Per round, every violated player (from the engine binding's exact
+    scan — ``fast=False`` uses the pre-batching ``scan_legacy`` reference
+    and must produce identical subsidies) gets its own path fully
+    subsidized.  The violated LP(1) rows seen along the way are pooled
+    and turned into a certified lower bound (``bound``: ``"lp"`` solves
+    the pooled relaxation exactly, ``"lagrangian"`` uses the closed-form
+    dual value, ``"auto"`` picks by instance size).
+
+    ``deadline`` (seconds of wall clock) aborts the scan loop and falls
+    back to fully subsidizing every established target edge — always
+    feasible, cost ``wgt(T)``.  ``target_gap`` stops early once the
+    certified relative gap of the *fallback* bracket reaches the target.
+    ``anytime`` records the ``(round, ub, lb)`` trajectory.
+    """
+    graph = state.game.graph
+    engine = BestResponseEngine.for_graph(graph)
+    binding = engine.bind(state)
+    stats = engine.stats
+    before = stats.snapshot()
+    ig = engine.ig
+    n_vars = engine.num_edges
+    weights = ig.edge_weights
+    cur_path = binding.current_path_eids
+    scan = binding.scan if fast else binding.scan_legacy
+
+    established = _established_eids(state, ig)
+    full_target = np.zeros(n_vars)
+    full_target[established] = weights[established]
+    ub_fallback = float(full_target.sum())
+
+    deadline_at = time.monotonic() + deadline if deadline is not None else None
+    pool = _RowPool(n_vars)
+    log = AnytimeLog() if anytime else None
+    bound_mode = _resolve_bound(bound, n_vars)
+
+    b = np.zeros(n_vars)
+    rounds = 0
+    timed_out = False
+    stopped = "converged"
+    while True:
+        if deadline_at is not None and time.monotonic() >= deadline_at and rounds:
+            timed_out = True
+            stopped = "deadline"
+            break
+        wb = np.maximum(0.0, weights - b)
+        found = _oracle_rows(binding, scan, cur_path, weights, n_vars, wb)
+        if not found:
+            break
+        rounds += 1
+        for rec, row, rhs in found:
+            pool.add(row, rhs)
+            for e in cur_path(rec.position):
+                b[e] = weights[e]
+        if log is not None:
+            lb_r, _ = lagrangian_lower_bound(weights, pool.g, pool.total_deficit)
+            log.record(rounds, ub_fallback, lb_r)
+        if target_gap is not None and ub_fallback > 0:
+            lb_r, _ = lagrangian_lower_bound(weights, pool.g, pool.total_deficit)
+            if (ub_fallback - lb_r) / ub_fallback <= target_gap:
+                timed_out = True  # settle via the feasible fallback
+                stopped = "target-gap"
+                break
+
+    if timed_out:
+        b = full_target.copy()
+
+    subsidies = SubsidyAssignment.from_vector(graph, list(ig.edge_labels), b)
+    cost = subsidies.cost
+    lb, kind = pool.lower_bound(weights, bound_mode, method)
+    lb = min(lb, cost)
+    certificate = GapCertificate(kind, lb, cost)
+    if log is not None:
+        log.stopped = stopped
+        log.record(rounds + (1 if timed_out else 0), cost, lb)
+    verified = _verify_with_binding(engine, binding, subsidies, fast) if verify else True
+    return ApproxSNEResult(
+        subsidies=subsidies,
+        cost=cost,
+        feasible=True,
+        verified=verified,
+        method="greedy",
+        rounds=max(rounds, 1),
+        cuts=len(pool.rows),
+        profile=stats.delta(before),
+        certificate=certificate,
+        anytime=log,
+        optimal=certificate.proves_optimal,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Primal-dual anytime (all game families)
+# ---------------------------------------------------------------------------
+
+
+def solve_sne_primal_dual(
+    state: AnyState,
+    method: str = "highs",
+    max_rounds: int = 200,
+    verify: bool = True,
+    fast: bool = True,
+    anytime: bool = False,
+    deadline: Optional[float] = None,
+    target_gap: Optional[float] = None,
+) -> ApproxSNEResult:
+    """LP(1) cutting planes run anytime: monotone certified lower bounds.
+
+    The loop is the exact solver's loop (same incremental LP, same oracle
+    rounding, same cut order): run to convergence it returns the same
+    optimum — and byte-identical subsidies — as ``sne-cutting-plane``,
+    with certificate kind ``"exact"`` and gap 0.  Each round's LP
+    objective is a certified lower bound (LP over a row subset is a
+    relaxation of LP(1)), monotone because rows only accumulate.  Upper
+    bounds come from greedy completion of the current LP iterate
+    (computed per round when ``anytime``, else only at an early stop),
+    seeded with the always-feasible full-target assignment.  ``deadline``
+    / ``target_gap`` stop early with the best feasible vector found.
+    """
+    graph = state.game.graph
+    engine = BestResponseEngine.for_graph(graph)
+    binding = engine.bind(state)
+    stats = engine.stats
+    before = stats.snapshot()
+    ig = engine.ig
+    n_vars = engine.num_edges
+    all_edges = list(ig.edge_labels)
+    weights = ig.edge_weights
+    cur_path = binding.current_path_eids
+    scan = binding.scan if fast else binding.scan_legacy
+
+    lp: Union[IncrementalLP, LinearProgram]
+    if fast:
+        lp = IncrementalLP(n_vars, c=np.ones(n_vars), upper=weights.copy())
+    else:
+        lp = LinearProgram(n_vars=n_vars, c=np.ones(n_vars), upper=weights.copy())
+
+    established = _established_eids(state, ig)
+    best_ub_vec = np.zeros(n_vars)
+    best_ub_vec[established] = weights[established]
+    best_ub = float(best_ub_vec.sum())
+
+    deadline_at = time.monotonic() + deadline if deadline is not None else None
+    log = AnytimeLog() if anytime else None
+    lb = 0.0
+    rounds = 0
+    cuts_added = 0
+    converged = False
+    stopped = "max-rounds"
+    final_x: Optional[np.ndarray] = None
+    last_x: Optional[np.ndarray] = None
+
+    def completed_ub(x: np.ndarray) -> Optional[np.ndarray]:
+        b0 = np.minimum(np.where(x > 1e-12, x, 0.0), weights)
+        done, _r, out_of_time = _greedy_rounds(
+            binding, scan, cur_path, weights, b0, None, deadline_at
+        )
+        return None if out_of_time else done
+
+    for round_idx in range(1, max_rounds + 1):
+        rounds = round_idx
+        if isinstance(lp, IncrementalLP):
+            res = lp.solve(method=method)
+        else:
+            res = solve_lp(lp, method=method)
+        if res.status is not LPStatus.OPTIMAL or res.x is None:
+            stats.cut_rounds += rounds
+            if isinstance(lp, IncrementalLP):
+                stats.warm_start_hits += lp.stats.warm_start_hits
+            zero = SubsidyAssignment.zero(graph)
+            return ApproxSNEResult(
+                subsidies=zero,
+                cost=float("inf"),
+                feasible=False,
+                verified=False,
+                method="primal-dual",
+                rounds=rounds,
+                cuts=cuts_added,
+                profile=stats.delta(before),
+                certificate=GapCertificate("exact", float("inf"), float("inf")),
+                anytime=log,
+            )
+        lb = max(lb, float(res.objective))
+        last_x = res.x
+        b_round = np.where(res.x > 1e-12, res.x, 0.0)
+        wb = np.maximum(0.0, weights - b_round)
+        found = _oracle_rows(binding, scan, cur_path, weights, n_vars, wb)
+        if not found:
+            converged = True
+            stopped = "converged"
+            final_x = res.x
+            break
+        if anytime:
+            comp = completed_ub(res.x)
+            if comp is not None:
+                comp_cost = float(comp.sum())
+                if comp_cost < best_ub:
+                    best_ub, best_ub_vec = comp_cost, comp
+        if log is not None:
+            log.record(round_idx, best_ub, lb)
+        if (
+            target_gap is not None
+            and best_ub > 0
+            and (best_ub - lb) / best_ub <= target_gap
+        ):
+            stopped = "target-gap"
+            break
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            stopped = "deadline"
+            break
+        for _rec, row, rhs in found:
+            lp.add_constraint(row, rhs)
+            cuts_added += 1
+
+    stats.cut_rounds += rounds
+    if isinstance(lp, IncrementalLP):
+        stats.warm_start_hits += lp.stats.warm_start_hits
+
+    if converged and final_x is not None:
+        subsidies = SubsidyAssignment.from_vector(graph, all_edges, final_x)
+        cost = subsidies.cost
+        certificate = GapCertificate("exact", min(lb, cost), cost)
+    else:
+        if (stopped == "max-rounds" or not anytime) and last_x is not None:
+            # One completion attempt from the last iterate before falling
+            # back to the full-target assignment.
+            comp = completed_ub(last_x)
+            if comp is not None and float(comp.sum()) < best_ub:
+                best_ub, best_ub_vec = float(comp.sum()), comp
+        subsidies = SubsidyAssignment.from_vector(graph, all_edges, best_ub_vec)
+        cost = subsidies.cost
+        certificate = GapCertificate("lp-relaxation", min(lb, cost), cost)
+    if log is not None:
+        log.stopped = stopped
+        log.record(rounds, cost, certificate.lower_bound)
+    verified = _verify_with_binding(engine, binding, subsidies, fast) if verify else True
+    return ApproxSNEResult(
+        subsidies=subsidies,
+        cost=cost,
+        feasible=True,
+        verified=verified,
+        method="primal-dual",
+        rounds=rounds,
+        cuts=cuts_added,
+        profile=stats.delta(before),
+        certificate=certificate,
+        anytime=log,
+        optimal=certificate.proves_optimal,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Memory-lean indexed greedy (broadcast, 10^5-10^6 nodes)
+# ---------------------------------------------------------------------------
+
+
+def solve_sne_greedy_indexed(
+    ig: IndexedGraph,
+    root: int,
+    tree_eids: Optional[np.ndarray] = None,
+    multiplicity: Optional[np.ndarray] = None,
+    tol: float = LP_TOL,
+    anytime: bool = False,
+    deadline: Optional[float] = None,
+    target_gap: Optional[float] = None,
+    max_rounds: int = 10_000,
+) -> IndexedApproxResult:
+    """Certified greedy SNE on a broadcast instance, pure arrays end to end.
+
+    The target is the rooted spanning tree over ``tree_eids`` (default:
+    the Kruskal MST at the edge-id level).  Per round the Lemma 2
+    incidence slacks are evaluated for *all* non-tree incidences at once
+    — two prefix-sum passes and one batch LCA, no per-player structures —
+    and every violated incidence's own subpath ``u -> lca`` is fully
+    subsidized via the diff-counting subtree pass.  Violated rows
+    accumulate into the closed-form Lagrangian lower bound
+    (:func:`lagrangian_lower_bound`), so the returned
+    :class:`GapCertificate` is certified without ever building an LP.
+
+    Memory: O(n + m) flat float64/int arrays; nothing label- or
+    player-keyed.  ``deadline`` falls back to fully subsidizing every
+    established tree edge (always feasible).
+    """
+    w = ig.edge_weights
+    m = ig.num_edges
+    n = ig.num_nodes
+    if tree_eids is None:
+        tree_eids = kruskal_mst_ids(ig)
+    tree = IndexedTree(ig, root, tree_eids)
+
+    if multiplicity is None:
+        mult = np.ones(n)
+        mult[root] = 0.0
+    else:
+        mult = np.asarray(multiplicity, dtype=np.float64)
+    loads = tree.edge_loads(mult)
+    inv_own = np.zeros(m)
+    used = loads > 0
+    inv_own[used] = 1.0 / loads[used]
+    inv_dev = np.zeros(m)
+    inv_dev[tree.is_tree_edge] = 1.0 / (loads[tree.is_tree_edge] + 1.0)
+
+    # All incidences (u, v) once: u deviates along a non-tree edge to v
+    # and follows v's tree path; the shared suffix above lca(u, v)
+    # cancels (Lemma 2).
+    nontree = np.flatnonzero(~tree.is_tree_edge)
+    U = np.concatenate([ig.edge_u[nontree], ig.edge_v[nontree]]).astype(np.int64)
+    V = np.concatenate([ig.edge_v[nontree], ig.edge_u[nontree]]).astype(np.int64)
+    Wc = np.concatenate([w[nontree], w[nontree]])
+    keep = (U != root) & (mult[U] > 0)
+    L = tree.lca(U, V) if len(U) else np.empty(0, dtype=np.int64)
+
+    # Row constants at b = 0 (rows are fixed linear constraints; their
+    # deficits don't move as subsidies grow).
+    p1_0 = tree.prefix_sum_edges(w * inv_own)
+    p2_0 = tree.prefix_sum_edges(w * inv_dev)
+    deficit0 = (p1_0[U] - p1_0[L]) - (p2_0[V] - p2_0[L]) - Wc if len(U) else Wc
+
+    established = tree_eids[loads[tree_eids] > 0]
+    ub_fallback = float(w[established].sum())
+
+    deadline_at = time.monotonic() + deadline if deadline is not None else None
+    log = AnytimeLog() if anytime else None
+    b = np.zeros(m)
+    g = np.zeros(m)
+    total_deficit = 0.0
+    pooled = np.zeros(len(U), dtype=bool)
+    pe = tree.parent_eid
+    rounds = 0
+    num_rows = 0
+    timed_out = False
+    stopped = "converged"
+
+    def _mark_paths(tops: np.ndarray, stops: np.ndarray) -> np.ndarray:
+        """Nodes x whose parent edge lies on >=1 path top -> stop (counts)."""
+        marks = np.zeros(n, dtype=np.int64)
+        np.add.at(marks, tops, 1)
+        np.add.at(marks, stops, -1)
+        return tree.subtree_counts(marks)
+
+    while rounds < max_rounds:
+        if deadline_at is not None and time.monotonic() >= deadline_at and rounds:
+            timed_out = True
+            stopped = "deadline"
+            break
+        wn = w - b
+        p1 = tree.prefix_sum_edges(wn * inv_own)
+        p2 = tree.prefix_sum_edges(wn * inv_dev)
+        slack = Wc + (p2[V] - p2[L]) - (p1[U] - p1[L]) if len(U) else Wc
+        viol = keep & (slack < -tol) if len(U) else np.zeros(0, dtype=bool)
+        if not bool(viol.any()):
+            break
+        rounds += 1
+        # Pool each violated row once for the Lagrangian certificate.
+        new = viol & ~pooled & (deficit0 > 0)
+        if bool(new.any()):
+            cnt_own = _mark_paths(U[new], L[new])
+            cnt_dev = _mark_paths(V[new], L[new])
+            nz = np.flatnonzero(cnt_own | cnt_dev)
+            nz = nz[nz != root]
+            eids = pe[nz]
+            g[eids] += cnt_own[nz] * inv_own[eids] - cnt_dev[nz] * inv_dev[eids]
+            total_deficit += float(deficit0[new].sum())
+            num_rows += int(new.sum())
+        pooled |= viol
+        # Greedy step: fully subsidize every violated own subpath.
+        cnt = _mark_paths(U[viol], L[viol])
+        hit = np.flatnonzero(cnt > 0)
+        hit = hit[hit != root]
+        b[pe[hit]] = w[pe[hit]]
+        if log is not None:
+            lb_r, _ = lagrangian_lower_bound(w, g, total_deficit)
+            log.record(rounds, ub_fallback, lb_r)
+        if target_gap is not None and ub_fallback > 0:
+            lb_r, _ = lagrangian_lower_bound(w, g, total_deficit)
+            if (ub_fallback - lb_r) / ub_fallback <= target_gap:
+                timed_out = True
+                stopped = "target-gap"
+                break
+
+    if timed_out:
+        b = np.zeros(m)
+        b[established] = w[established]
+        feasible_now = True
+        verified = True  # full-target subsidies are feasible by construction
+    else:
+        # Re-evaluate every incidence slack at the final subsidies: the
+        # vectorized analogue of the exact checker's broadcast scan.
+        wn = w - b
+        p1 = tree.prefix_sum_edges(wn * inv_own)
+        p2 = tree.prefix_sum_edges(wn * inv_dev)
+        slack = Wc + (p2[V] - p2[L]) - (p1[U] - p1[L]) if len(U) else Wc
+        verified = not bool((keep & (slack < -tol)).any()) if len(U) else True
+        feasible_now = verified
+
+    cost = float(b.sum())
+    lb, _lam = lagrangian_lower_bound(w, g, total_deficit)
+    lb = min(lb, cost)
+    certificate = GapCertificate("lagrangian", lb, cost)
+    if log is not None:
+        log.stopped = stopped
+        log.record(rounds + (1 if timed_out else 0), cost, lb)
+    return IndexedApproxResult(
+        subsidy_vector=b,
+        cost=cost,
+        feasible=feasible_now,
+        verified=verified,
+        method="greedy-indexed",
+        rounds=max(rounds, 1),
+        certificate=certificate,
+        tree_eids=tree_eids,
+        num_incidences=int(keep.sum()),
+        anytime=log,
+    )

@@ -14,6 +14,7 @@ from repro.utils.tolerances import (
     nonnegative,
 )
 from repro.utils.rng import child_seeds, ensure_rng
+from repro.utils.resources import peak_rss_bytes
 from repro.utils.timing import Timer
 from repro.utils.validation import (
     check_edge_weight,
@@ -30,6 +31,7 @@ __all__ = [
     "nonnegative",
     "ensure_rng",
     "child_seeds",
+    "peak_rss_bytes",
     "Timer",
     "check_edge_weight",
     "check_positive_int",

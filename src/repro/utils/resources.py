@@ -1,0 +1,30 @@
+"""Process resource introspection for the scale tier.
+
+One tiny helper shared by ``repro-experiments solve --json`` (which reports
+the solve's peak RSS in its metadata) and ``benchmarks/bench_scale.py``
+(which gates the memory budget of the 10^5-node anytime runs): the
+process-wide peak resident set size, normalized to bytes.
+
+``getrusage`` reports ``ru_maxrss`` in kilobytes on Linux but bytes on
+macOS; on platforms without the :mod:`resource` module (Windows) the peak
+is simply unknown and reported as 0 rather than crashing the caller.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover - Windows
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (0 if unknown)."""
+    if resource is None:  # pragma: no cover - Windows
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024

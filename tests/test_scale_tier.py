@@ -1,0 +1,469 @@
+"""Scale tier: indexed scenario builders, IndexedTree, approximate solvers.
+
+Covers the anytime/approximate subsidy stack end to end:
+
+* the array-native scenario builders reproduce the legacy ``Graph``
+  builders draw for draw (label-level ``(u, v, w)`` triples identical);
+* :class:`~repro.graphs.indexed_tree.IndexedTree` agrees with the
+  dict-based :class:`~repro.graphs.tree.RootedTree` on depths, LCAs,
+  subtree loads and root-path prefix sums;
+* the greedy/primal-dual solvers emit *valid* gap certificates
+  (``lower_bound <= exact optimum <= budget``) on every game family, with
+  fast/cold parity and primal-dual convergence to the exact LP subsidies;
+* anytime stopping (deadline / target gap / max rounds) always returns a
+  feasible, verified assignment;
+* the CLI / serve surfaces: ``--anytime`` knobs, peak-RSS metadata,
+  ``engine_*`` / ``anytime_*`` daemon counters.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.games import BroadcastGame, check_equilibrium
+from repro.games.directed import DirectedNetworkDesignGame
+from repro.games.game import NetworkDesignGame
+from repro.games.multicast import MulticastGame
+from repro.games.weighted import WeightedNetworkDesignGame
+from repro.graphs.core import IndexedGraph
+from repro.graphs.generators import random_tree_plus_chords
+from repro.graphs.graph import canonical_edge
+from repro.graphs.indexed_tree import IndexedTree
+from repro.graphs.mst import kruskal_mst, kruskal_mst_ids
+from repro.graphs.tree import RootedTree
+from repro.scenarios import build_scenario, build_scenario_indexed
+from repro.subsidies import (
+    SubsidyAssignment,
+    lagrangian_lower_bound,
+    solve_sne_cutting_plane_lp1,
+    solve_sne_greedy,
+    solve_sne_greedy_indexed,
+    solve_sne_primal_dual,
+)
+from repro.utils.resources import peak_rss_bytes
+from repro.utils.rng import ensure_rng
+
+
+# ---------------------------------------------------------------------------
+# the RNG contract the vectorized builders rely on
+# ---------------------------------------------------------------------------
+
+
+class TestUniformVectorizationContract:
+    def test_batched_uniform_equals_scalar_draws(self):
+        a = ensure_rng(42).uniform(0.75, 1.25, size=64)
+        rng = ensure_rng(42)
+        b = np.array([float(rng.uniform(0.75, 1.25)) for _ in range(64)])
+        assert a.tolist() == b.tolist()
+
+
+# ---------------------------------------------------------------------------
+# indexed scenario builders == legacy Graph builders, draw for draw
+# ---------------------------------------------------------------------------
+
+
+def _label_triples_graph(g):
+    return {(canonical_edge(u, v), w) for u, v, w in g.edges()}
+
+
+def _label_triples_indexed(ig):
+    return {
+        (canonical_edge(u, v), w)
+        for u, v, w in zip(
+            ig.edge_u.tolist(), ig.edge_v.tolist(), ig.edge_weights.tolist()
+        )
+    }
+
+
+SCENARIO_CASES = [
+    ("grid", dict(n=17, seed=3)),
+    ("grid", dict(n=17, seed=3, jitter=0.0)),
+    ("hypercube", dict(n=40, seed=5)),
+    ("augmented-cube", dict(n=33, seed=9)),
+    ("power-law", dict(n=30, seed=11, m=3)),
+    ("power-law", dict(n=24, seed=4)),
+    ("isp-like", dict(n=25, seed=2, hubs=5)),
+    ("isp-like", dict(n=40, seed=8)),
+    ("lower-bound-cycle", dict(n=12, seed=0)),
+    ("lower-bound-cycle", dict(n=13, seed=0, shape="wheel")),
+]
+
+
+class TestIndexedBuildersMatchLegacy:
+    @pytest.mark.parametrize("name,kwargs", SCENARIO_CASES)
+    def test_same_label_triples(self, name, kwargs):
+        game = build_scenario(name, **kwargs)
+        inst = build_scenario_indexed(name, **kwargs)
+        assert _label_triples_graph(game.graph) == _label_triples_indexed(inst.ig)
+        assert game.graph.num_nodes == inst.num_nodes
+        assert inst.root == 0 and inst.name == name
+
+    def test_weights_bitwise_identical(self):
+        game = build_scenario("isp-like", n=120, seed=7)
+        inst = build_scenario_indexed("isp-like", n=120, seed=7)
+        assert sorted(w for _, _, w in game.graph.edges()) == sorted(
+            inst.ig.edge_weights.tolist()
+        )
+
+    def test_rejects_non_broadcast_games(self):
+        with pytest.raises(ValueError, match="broadcast"):
+            build_scenario_indexed("grid", n=9, game="weighted")
+        with pytest.raises(ValueError, match="not supported at scale"):
+            build_scenario_indexed("grid", n=9, terminals="half")
+
+    def test_rejects_unknown_params(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            build_scenario_indexed("grid", n=9, radius=0.5)
+
+    def test_large_instance_is_lean(self):
+        inst = build_scenario_indexed("grid", n=50_000, seed=1)
+        assert inst.num_nodes == 50_000
+        # identity labels, int32 CSR, no label dicts materialized
+        assert isinstance(inst.ig.labels, range)
+        assert inst.ig.neighbors.dtype == np.int32
+        assert inst.ig._edge_labels is None and inst.ig._id_of is None
+
+
+# ---------------------------------------------------------------------------
+# IndexedGraph.from_arrays lazy surfaces
+# ---------------------------------------------------------------------------
+
+
+class TestFromArrays:
+    def test_round_trip_and_lazy_labels(self):
+        ig = IndexedGraph.from_arrays(
+            4, [0, 1, 2, 0], [1, 2, 3, 3], [1.0, 2.0, 3.0, 4.0]
+        )
+        assert ig.num_nodes == 4 and ig.num_edges == 4
+        assert ig.edge_labels == [(0, 1), (1, 2), (2, 3), (0, 3)]
+        assert ig.id_of(2) == 2
+        assert ig.edge_id(3, 0) == 3
+        assert ig.has_label(3) and not ig.has_label(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            IndexedGraph.from_arrays(2, [0], [2], [1.0])
+        with pytest.raises(ValueError, match="self-loop"):
+            IndexedGraph.from_arrays(2, [1], [1], [1.0])
+        with pytest.raises(ValueError, match="duplicate"):
+            IndexedGraph.from_arrays(2, [0, 1], [1, 0], [1.0, 2.0])
+
+    def test_dijkstra_agrees_with_interned_snapshot(self):
+        g = random_tree_plus_chords(30, 15, seed=5, chord_factor=1.2)
+        ig_legacy = g.to_indexed()
+        triples = [(u, v, w) for u, v, w in g.edges()]
+        ig_new = IndexedGraph.from_arrays(
+            g.num_nodes,
+            [u for u, _, _ in triples],
+            [v for _, v, _ in triples],
+            [w for _, _, w in triples],
+        )
+        from repro.graphs.core import dijkstra_indexed
+
+        d_legacy = dijkstra_indexed(ig_legacy, ig_legacy.id_of(0))[0]
+        d_new = dijkstra_indexed(ig_new, 0)[0]
+        by_label_legacy = {ig_legacy.labels[i]: d_legacy[i] for i in range(30)}
+        assert {i: d_new[i] for i in range(30)} == pytest.approx(by_label_legacy)
+
+
+class TestKruskalIds:
+    def test_matches_label_level_kruskal(self):
+        g = random_tree_plus_chords(40, 25, seed=9, chord_factor=1.1)
+        ig = g.to_indexed()
+        eids = kruskal_mst_ids(ig)
+        labels = {canonical_edge(*ig.edge_labels[e]) for e in eids.tolist()}
+        assert labels == {canonical_edge(u, v) for u, v in kruskal_mst(g)}
+
+    def test_disconnected_raises(self):
+        ig = IndexedGraph.from_arrays(4, [0, 2], [1, 3], [1.0, 1.0])
+        with pytest.raises(ValueError, match="disconnected"):
+            kruskal_mst_ids(ig)
+
+
+# ---------------------------------------------------------------------------
+# IndexedTree vs RootedTree
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tree_pair():
+    g = random_tree_plus_chords(40, 20, seed=13, chord_factor=1.3)
+    ig = g.to_indexed()
+    eids = kruskal_mst_ids(ig)
+    itree = IndexedTree(ig, ig.id_of(0), eids)
+    rtree = RootedTree(0, [ig.edge_labels[e] for e in eids.tolist()])
+    return g, ig, itree, rtree
+
+
+class TestIndexedTree:
+    def test_depths_and_parents(self, tree_pair):
+        g, ig, itree, rtree = tree_pair
+        for u in g.nodes:
+            uid = ig.id_of(u)
+            assert itree.depth[uid] == len(rtree.path_to_root(u))
+
+    def test_batch_lca(self, tree_pair):
+        g, ig, itree, rtree = tree_pair
+        rng = ensure_rng(3)
+        us = rng.integers(0, 40, size=200)
+        vs = rng.integers(0, 40, size=200)
+        got = itree.lca(us, vs)
+        for a, b, l in zip(us.tolist(), vs.tolist(), got.tolist()):
+            assert ig.labels[l] == rtree.lca(ig.labels[a], ig.labels[b])
+
+    def test_prefix_sums_match_root_paths(self, tree_pair):
+        g, ig, itree, rtree = tree_pair
+        prefix = itree.prefix_sum_edges(ig.edge_weights)
+        for u in g.nodes:
+            expect = sum(g.weight(a, b) for a, b in rtree.path_to_root(u))
+            assert prefix[ig.id_of(u)] == pytest.approx(expect)
+
+    def test_edge_loads_count_players_below(self, tree_pair):
+        g, ig, itree, rtree = tree_pair
+        loads = itree.edge_loads()
+        for eid in itree.tree_eids.tolist():
+            edge = canonical_edge(*ig.edge_labels[eid])
+            expect = sum(
+                1
+                for u in g.nodes
+                if u != 0
+                and edge in {canonical_edge(a, b) for a, b in rtree.path_to_root(u)}
+            )
+            assert loads[eid] == pytest.approx(expect)
+
+    def test_non_spanning_edges_raise(self, tree_pair):
+        _, ig, itree, _ = tree_pair
+        with pytest.raises(ValueError, match="n - 1"):
+            IndexedTree(ig, 0, itree.tree_eids[:-1])
+        bad = itree.tree_eids.copy()
+        bad[-1] = bad[0]  # duplicate edge: no longer spanning
+        with pytest.raises(ValueError):
+            IndexedTree(ig, 0, bad)
+
+
+# ---------------------------------------------------------------------------
+# certified gaps on every game family (the property-test satellite)
+# ---------------------------------------------------------------------------
+
+
+def _family_zoo():
+    g = random_tree_plus_chords(14, 7, seed=3, chord_factor=1.1)
+    others = [u for u in g.nodes if u != 0]
+    demands = [1.0 + (i % 3) * 0.5 for i in range(6)]
+    return {
+        "broadcast": BroadcastGame(g, root=0),
+        "multicast": MulticastGame(g, 0, others[:5]),
+        "general": NetworkDesignGame(g, [(u, 0) for u in others[:6]]),
+        "weighted": WeightedNetworkDesignGame(
+            g, [(u, 0) for u in others[:6]], demands
+        ),
+        "directed": DirectedNetworkDesignGame(g, [(u, 0) for u in others[:6]]),
+    }
+
+
+@pytest.fixture(scope="module")
+def zoo_states():
+    return {name: game.default_state() for name, game in _family_zoo().items()}
+
+
+class TestCertifiedGaps:
+    @pytest.mark.parametrize("family", sorted(_family_zoo()))
+    def test_greedy_brackets_exact_optimum(self, family, zoo_states):
+        state = zoo_states[family]
+        exact = solve_sne_cutting_plane_lp1(state)
+        greedy = solve_sne_greedy(state)
+        assert greedy.feasible and greedy.verified
+        cert = greedy.certificate
+        assert cert.lower_bound >= 0.0
+        # greedy_budget - lower_bound >= 0, and the interval brackets OPT
+        assert greedy.cost - cert.lower_bound >= -1e-9
+        assert cert.lower_bound <= exact.cost + 1e-6
+        assert exact.cost <= greedy.cost + 1e-6
+        assert cert.gap == pytest.approx(cert.upper_bound - cert.lower_bound)
+
+    @pytest.mark.parametrize("family", sorted(_family_zoo()))
+    def test_greedy_fast_cold_parity(self, family, zoo_states):
+        state = zoo_states[family]
+        fast = solve_sne_greedy(state, fast=True)
+        cold = solve_sne_greedy(state, fast=False)
+        assert dict(fast.subsidies.items()) == dict(cold.subsidies.items())
+        assert fast.verified == cold.verified
+
+    def test_zoo_is_nontrivial(self, zoo_states):
+        """At least one family needs a strictly positive budget."""
+        budgets = [
+            solve_sne_cutting_plane_lp1(state).cost
+            for state in zoo_states.values()
+        ]
+        assert max(budgets) > 0.0
+
+
+class TestPrimalDual:
+    @pytest.mark.parametrize("family", sorted(_family_zoo()))
+    def test_converges_to_exact_subsidies(self, family, zoo_states):
+        state = zoo_states[family]
+        exact = solve_sne_cutting_plane_lp1(state)
+        pd = solve_sne_primal_dual(state)
+        assert pd.optimal and pd.certificate.kind == "exact"
+        assert pd.certificate.relative_gap == 0.0
+        assert dict(pd.subsidies.items()) == dict(exact.subsidies.items())
+
+    def test_anytime_iterates_are_monotone(self, zoo_states):
+        pd = solve_sne_primal_dual(zoo_states["broadcast"], anytime=True)
+        log = pd.anytime
+        assert log is not None and log.stopped == "converged"
+        ubs = [ub for _, ub, _ in log.iterates]
+        lbs = [lb for _, _, lb in log.iterates]
+        assert all(a >= b - 1e-9 for a, b in zip(ubs, ubs[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(lbs, lbs[1:]))
+        assert ubs[-1] == pytest.approx(pd.cost)
+
+    def test_max_rounds_stop_is_feasible(self, zoo_states):
+        pd = solve_sne_primal_dual(zoo_states["broadcast"], max_rounds=1)
+        assert pd.feasible and pd.verified
+        assert pd.anytime is None  # no anytime flag -> no log
+        assert pd.certificate.kind in ("lp-relaxation", "exact")
+        assert pd.cost >= pd.certificate.lower_bound - 1e-9
+
+    def test_target_gap_stop(self, zoo_states):
+        pd = solve_sne_primal_dual(
+            zoo_states["broadcast"], anytime=True, target_gap=0.99
+        )
+        assert pd.feasible and pd.verified
+        assert pd.anytime.stopped in ("target-gap", "converged")
+
+    def test_deadline_stop(self, zoo_states):
+        pd = solve_sne_primal_dual(
+            zoo_states["broadcast"], anytime=True, deadline=0.0
+        )
+        assert pd.feasible and pd.verified
+        assert pd.anytime.stopped == "deadline"
+
+
+# ---------------------------------------------------------------------------
+# the indexed (memory-lean) greedy solver
+# ---------------------------------------------------------------------------
+
+
+class TestIndexedGreedy:
+    def test_certified_and_nash_on_broadcast(self):
+        game = build_scenario("grid", n=30, seed=5)
+        state = game.mst_state()
+        exact = solve_sne_cutting_plane_lp1(state)
+
+        ig = game.graph.to_indexed()
+        res = solve_sne_greedy_indexed(ig, ig.id_of(game.root))
+        assert res.feasible and res.verified
+        assert res.certificate.lower_bound <= exact.cost + 1e-6
+        assert exact.cost <= res.cost + 1e-6
+
+        values = {
+            canonical_edge(*ig.edge_labels[e]): float(res.subsidy_vector[e])
+            for e in np.nonzero(res.subsidy_vector)[0].tolist()
+        }
+        sub = SubsidyAssignment(game.graph, values)
+        assert check_equilibrium(state, sub).is_equilibrium
+
+    def test_scale_instance_end_to_end(self):
+        inst = build_scenario_indexed("grid", n=2_000, seed=2)
+        res = solve_sne_greedy_indexed(inst.ig, inst.root, anytime=True)
+        assert res.feasible and res.verified
+        assert res.anytime is not None and res.anytime.iterates
+        assert 0.0 <= res.certificate.lower_bound <= res.cost + 1e-9
+        assert res.num_incidences > 0
+
+    def test_deadline_bailout_is_always_feasible(self):
+        inst = build_scenario_indexed("power-law", n=500, seed=6)
+        res = solve_sne_greedy_indexed(inst.ig, inst.root, anytime=True, deadline=0.0)
+        assert res.feasible and res.verified
+        assert res.anytime.stopped == "deadline"
+        assert res.cost <= inst.ig.edge_weights.sum() + 1e-9
+
+
+class TestLagrangianBound:
+    def test_single_row_exact(self):
+        # one constraint b/1 >= 1 with w = 2: the optimum is b = 1
+        bound, lam = lagrangian_lower_bound(
+            np.array([2.0]), np.array([1.0]), 1.0
+        )
+        assert bound == pytest.approx(1.0)
+        assert lam > 0.0
+
+    def test_zero_deficit_is_zero(self):
+        bound, lam = lagrangian_lower_bound(np.array([2.0]), np.array([1.0]), 0.0)
+        assert bound == 0.0 and lam == 0.0
+
+
+# ---------------------------------------------------------------------------
+# surfaces: serve daemon counters, CLI anytime knobs, peak-RSS metadata
+# ---------------------------------------------------------------------------
+
+
+class TestServeCounters:
+    def test_engine_and_anytime_sections(self):
+        from repro.serve.service import ServeConfig, SolverService
+
+        svc = SolverService(ServeConfig(cache=False))
+        payload = api.serialize.game_to_json(build_scenario("grid", n=12, seed=7))
+        body = svc.solve_json(
+            {
+                "instance": payload,
+                "solver": "approx-primal-dual",
+                "opts": {"anytime": True},
+            }
+        )
+        report = json.loads(body)
+        assert report["metadata"]["anytime"]["stopped"] == "converged"
+        svc.solve_json({"instance": payload, "solver": "sne-cutting-plane"})
+        stats = json.loads(svc.stats_json())
+        assert stats["engine"]["cut_rounds"] >= 1
+        assert stats["engine"]["dijkstra_calls"] >= 1
+        assert stats["anytime"]["solves"] == 1
+        assert stats["anytime"]["iterates"] >= 1
+        assert stats["anytime"]["stopped_converged"] == 1
+
+
+@pytest.fixture()
+def grid_instance_file(tmp_path, capsys):
+    path = tmp_path / "grid.json"
+    assert (
+        main(
+            ["gen", "--family", "grid", "--n", "12", "--seed", "7",
+             "--out", str(path)]
+        )
+        == 0
+    )
+    # streaming gen with --out writes the file only — no stdout echo
+    assert capsys.readouterr().out == ""
+    assert json.loads(path.read_text())["kind"] == "instance-set"
+    return path
+
+
+class TestCLIScaleKnobs:
+    def test_anytime_flags_reach_the_solver(self, grid_instance_file, capsys):
+        rc = main(
+            ["solve", str(grid_instance_file), "--solver", "approx-primal-dual",
+             "--anytime", "--target-gap", "0.99", "--json"]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        meta = report["metadata"]
+        assert meta["anytime"]["stopped"] in ("target-gap", "converged")
+        assert meta["certificate"]["lower_bound"] >= 0.0
+        assert meta["peak_rss_bytes"] > 0
+
+    def test_canonical_output_has_no_rss(self, grid_instance_file, capsys):
+        rc = main(
+            ["solve", str(grid_instance_file), "--solver", "approx-greedy",
+             "--json", "--canonical"]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "peak_rss_bytes" not in report["metadata"]
+        assert report["wall_clock_seconds"] == 0.0
+
+    def test_peak_rss_helper_is_positive_here(self):
+        assert peak_rss_bytes() > 0
