@@ -31,6 +31,7 @@ from repro.games.game import NetworkDesignGame, State
 from repro.games.multicast import MulticastGame
 from repro.games.weighted import WeightedNetworkDesignGame, WeightedState
 from repro.graphs.graph import Edge
+from repro.lp import get_backend
 from repro.subsidies.aon import AONResult, greedy_aon_sne, solve_aon_sne_exact
 from repro.subsidies.approx import (
     ApproxSNEResult,
@@ -153,6 +154,15 @@ def _report_from_sne(
 ) -> SolveReport:
     target_edges, target_cost = _target_of(state)
     metadata = {"method": res.method, "rounds": res.rounds, "cuts": res.cuts}
+    if res.backend is not None:
+        # Canonical LP backend name (registry spelling), for provenance,
+        # the serve daemon's per-backend counters, and cache keying via
+        # the solver version bumps below.
+        metadata["backend"] = res.backend
+    if res.certificate is not None:
+        # The exact rational re-derivation of the verdict; deterministic
+        # for a given instance, so it participates in canonical bytes.
+        metadata["exact_certificate"] = res.certificate.as_dict()
     if res.profile is not None:
         # Solve-path provenance (oracle searches, batch skips, cut rounds,
         # LP warm starts).  Like wall_clock_seconds it describes *how* the
@@ -183,12 +193,22 @@ def _report_from_sne(
     description="LP (3): one row per non-tree incidence (Lemma 2; broadcast)",
     broadcast_only=True,
     requires_tree_state=True,
-    version="1",
+    # version 2: LP backend registry — `method` accepts any backend
+    # name/alias, the backend joins the metadata, and certify=True attaches
+    # an exact rational certificate
+    version="2",
 )
-def solve_sne_lp3(instance: AnyInstance, method: str = "highs", verify: bool = True) -> SolveReport:
+def solve_sne_lp3(
+    instance: AnyInstance,
+    method: str = "highs",
+    verify: bool = True,
+    certify: bool = False,
+) -> SolveReport:
     state = as_tree_state(instance)
     with Timer() as t:
-        res = solve_sne_broadcast_lp3(state, method=method, verify=verify)
+        res = solve_sne_broadcast_lp3(
+            state, method=method, verify=verify, certify=certify
+        )
     return _report_from_sne(res, state, "sne-lp3", t.elapsed, verify)
 
 
@@ -199,9 +219,11 @@ def solve_sne_lp3(instance: AnyInstance, method: str = "highs", verify: bool = T
     broadcast_only=False,
     requires_tree_state=False,
     aliases=("sne-lp1",),
-    # version 3: warm-started incremental cutting planes + batched
-    # separation oracle, and profile counters joined the report metadata
-    version="3",
+    # version 4: LP backend registry — backend name joined the metadata,
+    # certify=True exact-certifies the final cutting-plane relaxation
+    # (version 3: warm-started incremental cutting planes + batched
+    # separation oracle, and profile counters joined the report metadata)
+    version="4",
 )
 def solve_sne_cutting_plane(
     instance: AnyInstance,
@@ -209,11 +231,17 @@ def solve_sne_cutting_plane(
     max_rounds: int = 200,
     verify: bool = True,
     fast: bool = True,
+    certify: bool = False,
 ) -> SolveReport:
     state = as_any_state(instance)
     with Timer() as t:
         res = solve_sne_cutting_plane_lp1(
-            state, method=method, max_rounds=max_rounds, verify=verify, fast=fast
+            state,
+            method=method,
+            max_rounds=max_rounds,
+            verify=verify,
+            fast=fast,
+            certify=certify,
         )
     return _report_from_sne(res, state, "sne-cutting-plane", t.elapsed, verify)
 
@@ -225,19 +253,23 @@ def solve_sne_cutting_plane(
     broadcast_only=False,
     requires_tree_state=False,
     aliases=("sne-lp2",),
-    # version 3: sparse incremental row construction (the dense build was
-    # quadratic) and profile counters joined the report metadata
-    version="3",
+    # version 4: LP backend registry — backend name joined the metadata,
+    # certify=True exact-certifies the full LP (2)
+    # (version 3: sparse incremental row construction and profile counters)
+    version="4",
 )
 def solve_sne_poly(
     instance: AnyInstance,
     method: str = "highs",
     verify: bool = True,
     fast: bool = True,
+    certify: bool = False,
 ) -> SolveReport:
     state = as_any_state(instance)
     with Timer() as t:
-        res = solve_sne_polynomial_lp2(state, method=method, verify=verify, fast=fast)
+        res = solve_sne_polynomial_lp2(
+            state, method=method, verify=verify, fast=fast, certify=certify
+        )
     return _report_from_sne(res, state, "sne-poly", t.elapsed, verify)
 
 
@@ -247,10 +279,17 @@ def solve_sne_poly(
 
 
 def _report_from_approx(
-    res: ApproxSNEResult, state: AnyState, solver: str, elapsed: float, checked: bool
+    res: ApproxSNEResult,
+    state: AnyState,
+    solver: str,
+    elapsed: float,
+    checked: bool,
+    backend: Optional[str] = None,
 ) -> SolveReport:
     target_edges, target_cost = _target_of(state)
     metadata: dict = {"method": res.method, "rounds": res.rounds, "cuts": res.cuts}
+    if backend is not None:
+        metadata["backend"] = backend
     if res.certificate is not None:
         # The certified bracket lb <= OPT <= ub; deterministic for a given
         # instance/opts (no timestamps), so it participates in canonical
@@ -282,7 +321,8 @@ def _report_from_approx(
     broadcast_only=False,
     requires_tree_state=False,
     exact=False,
-    version="1",
+    # version 2: LP backend registry — backend name joined the metadata
+    version="2",
 )
 def solve_approx_greedy(
     instance: AnyInstance,
@@ -306,7 +346,9 @@ def solve_approx_greedy(
             deadline=deadline,
             target_gap=target_gap,
         )
-    return _report_from_approx(res, state, "approx-greedy", t.elapsed, verify)
+    return _report_from_approx(
+        res, state, "approx-greedy", t.elapsed, verify, backend=get_backend(method).name
+    )
 
 
 @register_solver(
@@ -317,7 +359,8 @@ def solve_approx_greedy(
     requires_tree_state=False,
     exact=False,  # exact at convergence, but deadline/target-gap stop early
     aliases=("approx-anytime",),
-    version="1",
+    # version 2: LP backend registry — backend name joined the metadata
+    version="2",
 )
 def solve_approx_primal_dual(
     instance: AnyInstance,
@@ -341,7 +384,14 @@ def solve_approx_primal_dual(
             deadline=deadline,
             target_gap=target_gap,
         )
-    return _report_from_approx(res, state, "approx-primal-dual", t.elapsed, verify)
+    return _report_from_approx(
+        res,
+        state,
+        "approx-primal-dual",
+        t.elapsed,
+        verify,
+        backend=get_backend(method).name,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -98,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("solvers", help="list the repro.api solver registry")
+    sub.add_parser("backends", help="list the repro.lp backend registry")
     sub.add_parser(
         "families",
         help="list the repro.scenarios instance families and the game families",
@@ -219,7 +220,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver", required=True, help="registry solver name (see 'solvers')"
     )
     solve_p.add_argument("--budget", type=float, default=None, help="SND budget")
-    solve_p.add_argument("--method", default=None, help="LP backend (highs/simplex)")
+    solve_p.add_argument(
+        "--backend",
+        "--method",
+        dest="method",
+        default=None,
+        help="LP backend from the repro.lp registry (see 'backends'); "
+        "legacy spellings highs/simplex still work",
+    )
+    solve_p.add_argument(
+        "--certify",
+        action="store_true",
+        help="(sne-lp1/lp2/lp3) re-derive the float verdict with the "
+        "Fraction-exact backend and attach a rationally-verified "
+        "certificate to the report metadata",
+    )
     solve_p.add_argument(
         "--anytime",
         action="store_true",
@@ -265,7 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="thread-pool size (1 = serial)"
     )
     batch_p.add_argument("--budget", type=float, default=None, help="SND budget")
-    batch_p.add_argument("--method", default=None, help="LP backend (highs/simplex)")
+    batch_p.add_argument(
+        "--backend",
+        "--method",
+        dest="method",
+        default=None,
+        help="LP backend from the repro.lp registry (see 'backends')",
+    )
     batch_p.add_argument("--json", action="store_true", help="emit reports as JSON")
     batch_p.add_argument(
         "--canonical",
@@ -471,7 +492,9 @@ def _solver_opts(args: argparse.Namespace) -> dict:
         opts["budget"] = args.budget
     if args.method is not None:
         opts["method"] = args.method
-    # Anytime knobs exist only on `solve` (batch sweeps stay deterministic).
+    # Certify/anytime knobs exist only on `solve` (batch sweeps stay lean).
+    if getattr(args, "certify", False):
+        opts["certify"] = True
     if getattr(args, "anytime", False):
         opts["anytime"] = True
     if getattr(args, "deadline", None) is not None:
@@ -493,6 +516,20 @@ def _cmd_solvers() -> int:
         print(
             f"{spec.name:18s} {spec.problem:8s} [{', '.join(flags)}] "
             f"{spec.description}{alias}"
+        )
+    return 0
+
+
+def _cmd_backends() -> int:
+    from repro import lp
+
+    for spec in lp.list_backends():
+        caps = [flag for flag, on in spec.capabilities().items() if on]
+        avail = "" if spec.available else f" (unavailable: needs {spec.requires})"
+        alias = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(
+            f"{spec.name:14s} [{', '.join(caps) or 'cold'}] "
+            f"{spec.description}{alias}{avail}"
         )
     return 0
 
@@ -796,7 +833,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command in ("list", "solvers", "families"):
+    if args.command in ("list", "solvers", "backends", "families"):
         try:
             if args.command == "list":
                 for key in EXPERIMENTS:
@@ -804,6 +841,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 0
             if args.command == "solvers":
                 return _cmd_solvers()
+            if args.command == "backends":
+                return _cmd_backends()
             return _cmd_families()
         except BrokenPipeError:
             # Downstream consumer (e.g. `| head`) closed stdout: not a user

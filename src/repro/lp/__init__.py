@@ -1,10 +1,19 @@
 """Linear programming substrate.
 
-Two interchangeable backends sit behind :func:`solve_lp`:
+Every LP solve goes through the :mod:`repro.lp.backends` registry — a
+catalogue of :class:`~repro.lp.backends.LPBackendSpec` entries with
+capability flags (``warm_start`` / ``sparse`` / ``exact`` /
+``incremental``), looked up by name or alias via :func:`solve_lp`:
 
-* ``"highs"`` — scipy's HiGHS (production default),
-* ``"simplex"`` — the from-scratch dense two-phase simplex in
-  :mod:`repro.lp.simplex`, kept as an independently-tested reference.
+* ``"highs-sparse"`` (alias ``"highs"``) — scipy's HiGHS (production
+  default), sparse-fed with warm-guided re-solve shortcuts,
+* ``"warm-tableau"`` (alias ``"simplex"``) — the from-scratch dense
+  two-phase simplex in :mod:`repro.lp.simplex`, kept as an
+  independently-tested reference with dual-simplex warm restarts,
+* ``"exact"`` — a Fraction-arithmetic two-phase simplex whose verdicts
+  come with :class:`~repro.lp.backends.ExactCertificate` proofs,
+* ``"pulp-cbc"`` — COIN-OR CBC via PuLP, an independent conformance
+  implementation (available only when ``pulp`` is installed).
 
 :mod:`repro.lp.cutting_plane` provides the constraint-generation driver used
 to solve the paper's exponential-size LP (1) with a shortest-path separation
@@ -12,27 +21,49 @@ oracle (the practical stand-in for the ellipsoid method cited in Theorem 1).
 
 :mod:`repro.lp.incremental` is the fast path for that driver's access
 pattern: :class:`IncrementalLP` stores rows sparsely (``O(nnz)`` cut
-appends) and warm-starts re-solves — a dual-simplex basis resume on the
-``"simplex"`` backend (:class:`~repro.lp.simplex.WarmSimplex`), a sparse
-+ previous-solution-guided path on ``"highs"`` — while returning exactly
-the answers of the dense cold path.
+appends) and holds one warm-state session per backend — a dual-simplex
+basis resume on ``"warm-tableau"``, a sparse + previous-solution-guided
+path on ``"highs-sparse"`` — while returning exactly the answers of the
+dense cold path.
 """
 
 from repro.lp.problem import LinearProgram, LPResult, LPStatus
 from repro.lp.simplex import WarmSimplex, simplex_solve
-from repro.lp.backend import solve_lp
+from repro.lp.backends import (
+    BackendUnavailableError,
+    ExactCertificate,
+    LPBackendSpec,
+    UnknownBackendError,
+    backend_names,
+    certify_result,
+    exact_solve_certified,
+    get_backend,
+    list_backends,
+    register_backend,
+    solve_lp,
+)
 from repro.lp.incremental import IncrementalLP, LPStats
 from repro.lp.cutting_plane import CuttingPlaneResult, solve_with_cutting_planes
 
 __all__ = [
-    "LinearProgram",
-    "LPResult",
-    "LPStatus",
+    "BackendUnavailableError",
+    "CuttingPlaneResult",
+    "ExactCertificate",
     "IncrementalLP",
+    "LinearProgram",
+    "LPBackendSpec",
+    "LPResult",
     "LPStats",
+    "LPStatus",
+    "UnknownBackendError",
     "WarmSimplex",
+    "backend_names",
+    "certify_result",
+    "exact_solve_certified",
+    "get_backend",
+    "list_backends",
+    "register_backend",
     "simplex_solve",
     "solve_lp",
-    "CuttingPlaneResult",
     "solve_with_cutting_planes",
 ]

@@ -1,52 +1,17 @@
-"""Unified LP solving entry point.
+"""Unified LP solving entry point (compatibility shim).
 
-``solve_lp(problem, method=...)`` dispatches to scipy's HiGHS (default) or
-the in-repo simplex.  Both return the same :class:`repro.lp.problem.LPResult`
-so callers and tests can swap them freely.
+``solve_lp(problem, method=...)`` now dispatches through the
+:mod:`repro.lp.backends` registry — ``method`` accepts any registered
+backend name or alias (``"highs"`` and ``"simplex"`` remain the legacy
+spellings of ``highs-sparse`` / ``warm-tableau``).  This module survives
+as the historical import location; new code should import from
+:mod:`repro.lp.backends` directly.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from scipy.optimize import linprog
+# Importing the package registers the built-in backends.
+from repro.lp.backends import solve_lp
+from repro.lp.backends.highs import _SCIPY_STATUS
 
-from repro.lp.problem import LinearProgram, LPResult, LPStatus
-from repro.lp.simplex import simplex_solve
-
-_SCIPY_STATUS = {
-    0: LPStatus.OPTIMAL,
-    1: LPStatus.ITERATION_LIMIT,
-    2: LPStatus.INFEASIBLE,
-    3: LPStatus.UNBOUNDED,
-}
-
-
-def solve_lp(problem: LinearProgram, method: str = "highs", max_iter: int = 20_000) -> LPResult:
-    """Solve a canonical-form LP with the chosen backend.
-
-    Parameters
-    ----------
-    problem:
-        The LP in ``min c.x : A x <= b, l <= x <= u`` form.
-    method:
-        ``"highs"`` (scipy) or ``"simplex"`` (from-scratch reference solver).
-    """
-    if method == "simplex":
-        return simplex_solve(problem, max_iter=max_iter)
-    if method != "highs":
-        raise ValueError(f"unknown LP method {method!r}")
-
-    A, b = problem.matrices()
-    bounds = list(zip(problem.lower, problem.upper))
-    res = linprog(
-        problem.c,
-        A_ub=A if A.size else None,
-        b_ub=b if b.size else None,
-        bounds=bounds,
-        method="highs",
-    )
-    status = _SCIPY_STATUS.get(res.status, LPStatus.INFEASIBLE)
-    if status is not LPStatus.OPTIMAL:
-        return LPResult(status)
-    x = np.asarray(res.x, dtype=float)
-    return LPResult(LPStatus.OPTIMAL, x=x, objective=float(res.fun))
+__all__ = ["solve_lp", "_SCIPY_STATUS"]

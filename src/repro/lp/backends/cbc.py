@@ -1,0 +1,62 @@
+"""The optional ``pulp-cbc`` backend: COIN-OR CBC driven through PuLP.
+
+A conformance implementation, not a performance path: CBC is a wholly
+independent simplex/branch-and-cut codebase, so agreement with the
+HiGHS-sparse and warm-tableau backends on the conformance matrix is
+evidence the *formulations* are right, not just that one solver is
+self-consistent.  The module imports ``pulp`` lazily inside the solve so
+the registry can always describe the backend; :attr:`LPBackendSpec.
+available` is what callers (and the conformance suite's skip path) gate
+on when pulp is absent.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.lp.problem import LinearProgram, LPResult, LPStatus
+
+import numpy as np
+
+
+def solve_dense(problem: LinearProgram, max_iter: int = 20_000) -> LPResult:
+    """One cold CBC solve of a dense :class:`LinearProgram` via PuLP."""
+    import pulp  # gated by LPBackendSpec.requires = "pulp"
+
+    n = problem.n_vars
+    model = pulp.LpProblem("repro_lp", pulp.LpMinimize)
+    xs = []
+    for j in range(n):
+        lo = problem.lower[j]
+        hi = problem.upper[j]
+        xs.append(
+            pulp.LpVariable(
+                f"x{j}",
+                lowBound=None if math.isinf(lo) else float(lo),
+                upBound=None if math.isinf(hi) else float(hi),
+            )
+        )
+    model += pulp.lpSum(float(cj) * xj for cj, xj in zip(problem.c, xs) if cj != 0.0)
+    for i, (row, rhs) in enumerate(zip(problem.rows, problem.rhs)):
+        nz = np.nonzero(row)[0]
+        model += (
+            pulp.lpSum(float(row[j]) * xs[j] for j in nz) <= float(rhs),
+            f"row{i}",
+        )
+    solver = pulp.PULP_CBC_CMD(msg=False)
+    model.solve(solver)
+    status = model.status
+    if status == pulp.LpStatusOptimal:
+        x = np.array([pulp.value(xj) or 0.0 for xj in xs], dtype=float)
+        # Recompute the objective from x rather than trusting CBC's
+        # reported value: PuLP drops constant terms and CBC rounds its
+        # printed objective, but c.x in float64 matches the other
+        # backends' convention exactly.
+        return LPResult(LPStatus.OPTIMAL, x=x, objective=float(problem.c @ x))
+    if status == pulp.LpStatusUnbounded:
+        return LPResult(LPStatus.UNBOUNDED)
+    if status == pulp.LpStatusInfeasible:
+        return LPResult(LPStatus.INFEASIBLE)
+    # LpStatusNotSolved / LpStatusUndefined: treat as an iteration limit so
+    # callers see a non-ok verdict without inventing a new status.
+    return LPResult(LPStatus.ITERATION_LIMIT)

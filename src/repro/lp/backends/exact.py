@@ -1,0 +1,623 @@
+"""The ``exact`` backend: Fraction-arithmetic two-phase simplex + certificates.
+
+Every float backend in this repo ultimately answers with IEEE-754 doubles;
+this module answers with :class:`fractions.Fraction`.  The simplex mirrors
+the pivot structure of :mod:`repro.lp.simplex` (same standard-form
+compilation: shift lower bounds out, compile finite upper bounds into
+rows; same two-phase artificial-variable scheme) but pivots with exact
+rational arithmetic under Bland's rule throughout, which guarantees
+termination without any epsilon anywhere.  ``Fraction(float)`` is exact
+binary-to-rational conversion, so the LP the exact simplex solves is
+*precisely* the LP the float backends saw — not a re-rounded cousin.
+
+Each solve can emit an :class:`ExactCertificate` whose :meth:`~
+ExactCertificate.verify` re-checks the verdict by pure-rational
+substitution against the original problem:
+
+* ``OPTIMAL`` — primal feasibility, dual feasibility (KKT multipliers
+  extracted from the optimal tableau's reduced costs), complementary
+  slackness and the objective value, all as exact identities;
+* ``INFEASIBLE`` — a Farkas vector ``u >= 0`` with ``u.A >= 0`` and
+  ``u.b < 0`` over the compiled standard form (no ``x >= 0`` point can
+  satisfy ``A x <= b``);
+* ``UNBOUNDED`` — a feasible point plus an improving ray ``d >= 0`` with
+  ``A d <= 0`` and ``c . d < 0``.
+
+Knife-edge instances.  An LP assembled from float arithmetic can be
+*exactly* infeasible by one ulp while every float backend solves it
+happily: LP (2)'s equilibrium row, for example, carries a float-rounded
+path-cost sum as its rhs, which can exceed the exact telescoped sum of
+the per-edge relaxation rows by ~1e-17.  The strict rational verdict
+(INFEASIBLE, with a verifying Farkas vector) is then true but answers a
+different question than the float backends.  :func:`exact_solve` and
+:func:`certify_result` therefore fall back, when the minimal uniform rhs
+relaxation defeating the Farkas certificate is below :data:`RHS_RELAX`
+(``2**-30``, inside every float backend's feasibility tolerance), to
+solving the LP with every row's rhs relaxed by exactly ``RHS_RELAX``.
+The relaxation is *part of the certificate* (:attr:`ExactCertificate.
+rhs_relax`) and of the exact verification — never a hidden epsilon.
+
+Cost model: exact pivots are O(m·n) Fraction multiplies with growing
+denominators — orders of magnitude slower than HiGHS.  The backend exists
+to *certify* answers on demand (``--certify``, the conformance corpus),
+not to replace the float production path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lp.problem import LinearProgram, LPResult, LPStatus
+
+#: termination backstop — Bland's rule cannot cycle, so hitting this means
+#: a bug, not a hard instance; sized far above any test problem's pivots
+_MAX_PIVOTS = 200_000
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+#: the tolerance-faithful fallback relaxation: when an LP is exactly
+#: infeasible by less than this (per uniformly-relaxed rhs unit), the
+#: float backends' ~1e-9 feasibility tolerances all report it solvable,
+#: so the certified answer is for the RHS_RELAX-relaxed LP instead.
+#: Exactly representable as both a Fraction and a float (~9.31e-10).
+RHS_RELAX = Fraction(1, 2**30)
+
+
+def _frac(value: float) -> Fraction:
+    """Exact rational for a finite float (binary expansion, no rounding)."""
+    return Fraction(value)
+
+
+def _frac_vec(values: Sequence[float]) -> List[Fraction]:
+    return [_frac(float(v)) for v in values]
+
+
+# ---------------------------------------------------------------------------
+# Standard-form compilation (exact mirror of simplex._compile_standard_form)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _StandardForm:
+    """``min c.x' : A x' <= b, x' >= 0`` with ``x = x' + shift`` (all exact)."""
+
+    A: List[List[Fraction]]  # m rows (original rows first, then upper-bound rows)
+    b: List[Fraction]
+    c: List[Fraction]
+    shift: List[Fraction]
+    n: int  # variables
+    m0: int  # original rows (before upper-bound rows)
+    ub_cols: List[int]  # ub row k bounds variable ub_cols[k]
+
+
+def _compile_exact(
+    problem: LinearProgram, rhs_relax: Fraction = _ZERO
+) -> _StandardForm:
+    n = problem.n_vars
+    lower = _frac_vec(problem.lower)
+    if any(math.isinf(float(lv)) for lv in problem.lower):
+        raise ValueError("exact backend requires finite lower bounds")
+    c = _frac_vec(problem.c)
+    rows = [_frac_vec(r) for r in problem.rows]
+    b = [
+        _frac(rv) + rhs_relax - sum(row[j] * lower[j] for j in range(n))
+        for row, rv in zip(rows, problem.rhs)
+    ]
+    m0 = len(rows)
+    ub_cols: List[int] = []
+    for j, uv in enumerate(problem.upper):
+        if math.isfinite(float(uv)):
+            ub_row = [_ZERO] * n
+            ub_row[j] = _ONE
+            rows.append(ub_row)
+            b.append(_frac(float(uv)) + rhs_relax - lower[j])
+            ub_cols.append(j)
+    return _StandardForm(A=rows, b=b, c=c, shift=lower, n=n, m0=m0, ub_cols=ub_cols)
+
+
+# ---------------------------------------------------------------------------
+# Exact tableau pivoting (Bland's rule; terminates, no epsilons)
+# ---------------------------------------------------------------------------
+
+
+def _exact_pivot(
+    T: List[List[Fraction]], rhs: List[Fraction], row: int, col: int, basis: List[int]
+) -> None:
+    piv = T[row][col]
+    T[row] = [v / piv for v in T[row]]
+    rhs[row] /= piv
+    prow = T[row]
+    for i in range(len(T)):
+        if i != row and T[i][col] != 0:
+            f = T[i][col]
+            T[i] = [v - f * p for v, p in zip(T[i], prow)]
+            rhs[i] -= f * rhs[row]
+    basis[row] = col
+
+
+def _exact_reduced(
+    T: List[List[Fraction]], obj: List[Fraction], basis: List[int]
+) -> List[Fraction]:
+    """Reduced costs ``obj - obj_B . T`` as exact rationals."""
+    total = len(obj)
+    reduced = list(obj)
+    for i, bi in enumerate(basis):
+        w = obj[bi]
+        if w != 0:
+            ti = T[i]
+            for j in range(total):
+                if ti[j] != 0:
+                    reduced[j] -= w * ti[j]
+    return reduced
+
+
+def _exact_run(
+    T: List[List[Fraction]],
+    rhs: List[Fraction],
+    obj: List[Fraction],
+    basis: List[int],
+    frozen: Optional[set] = None,
+) -> Tuple[LPStatus, Optional[int], int]:
+    """Bland-rule primal simplex in place.
+
+    Returns ``(OPTIMAL, None, pivots)`` or ``(UNBOUNDED, entering_col,
+    pivots)`` — the column witnessing unboundedness feeds the ray
+    certificate.
+    """
+    m = len(T)
+    for it in range(_MAX_PIVOTS):
+        reduced = _exact_reduced(T, obj, basis)
+        col = -1
+        for j, r in enumerate(reduced):  # Bland: lowest improving index
+            if r < 0 and (frozen is None or j not in frozen):
+                col = j
+                break
+        if col < 0:
+            return LPStatus.OPTIMAL, None, it
+        row, best = -1, None
+        for i in range(m):
+            t = T[i][col]
+            if t > 0:
+                ratio = rhs[i] / t
+                if best is None or ratio < best or (ratio == best and basis[i] < basis[row]):
+                    row, best = i, ratio
+        if row < 0:
+            return LPStatus.UNBOUNDED, col, it
+        _exact_pivot(T, rhs, row, col, basis)
+    raise RuntimeError("exact simplex exceeded the pivot backstop (Bland cannot cycle)")
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+
+def _frac_str(v: Fraction) -> str:
+    return f"{v.numerator}/{v.denominator}" if v.denominator != 1 else str(v.numerator)
+
+
+@dataclass
+class ExactCertificate:
+    """An exactly verifiable proof of one LP verdict.
+
+    Every field is a :class:`fractions.Fraction` (or a tuple of them);
+    :meth:`verify` re-derives the verdict from the original problem by
+    pure-rational substitution — no floats, no tolerances.
+    """
+
+    status: LPStatus
+    #: exact optimum (OPTIMAL) in original variable space
+    x: Optional[Tuple[Fraction, ...]] = None
+    objective: Optional[Fraction] = None
+    #: KKT multipliers (OPTIMAL): one per original row / lower bound / upper bound
+    row_duals: Optional[Tuple[Fraction, ...]] = None
+    lower_duals: Optional[Tuple[Fraction, ...]] = None
+    upper_duals: Optional[Tuple[Fraction, ...]] = None
+    #: Farkas vector over the compiled standard-form rows (INFEASIBLE)
+    farkas: Optional[Tuple[Fraction, ...]] = None
+    #: improving ray + feasible point in original space (UNBOUNDED)
+    ray: Optional[Tuple[Fraction, ...]] = None
+    feasible_point: Optional[Tuple[Fraction, ...]] = None
+    #: exact pivots spent producing this certificate
+    pivots: int = 0
+    #: uniform rhs relaxation the verdict is stated for (0 = the strict LP;
+    #: RHS_RELAX when the tolerance-faithful fallback engaged — see the
+    #: module docstring).  Part of verification, never a hidden epsilon.
+    rhs_relax: Fraction = _ZERO
+    #: optional label tying the certificate to what it certifies
+    subject: Dict[str, object] = field(default_factory=dict)
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self, problem: LinearProgram) -> bool:
+        """Re-check this certificate against ``problem``, exactly."""
+        if self.status is LPStatus.OPTIMAL:
+            return self._verify_optimal(problem)
+        if self.status is LPStatus.INFEASIBLE:
+            return self._verify_infeasible(problem)
+        if self.status is LPStatus.UNBOUNDED:
+            return self._verify_unbounded(problem)
+        return False
+
+    def _verify_optimal(self, problem: LinearProgram) -> bool:
+        assert self.x is not None and self.objective is not None
+        assert self.row_duals is not None and self.lower_duals is not None
+        assert self.upper_duals is not None
+        n = problem.n_vars
+        x = list(self.x)
+        c = _frac_vec(problem.c)
+        lower = _frac_vec(problem.lower)
+        rows = [_frac_vec(r) for r in problem.rows]
+        rhs = _frac_vec(problem.rhs)
+        mu, lam, nu = list(self.row_duals), list(self.lower_duals), list(self.upper_duals)
+        if len(x) != n or len(mu) != len(rows) or len(lam) != n or len(nu) != n:
+            return False
+        relax = self.rhs_relax
+        # 1. Primal feasibility (w.r.t. the relaxed rhs the verdict is for).
+        for j in range(n):
+            if x[j] < lower[j]:
+                return False
+            uj = float(problem.upper[j])
+            if math.isfinite(uj) and x[j] > _frac(uj) + relax:
+                return False
+        slacks = [
+            bv + relax - sum(row[j] * x[j] for j in range(n))
+            for row, bv in zip(rows, rhs)
+        ]
+        if any(s < 0 for s in slacks):
+            return False
+        # 2. Dual feasibility + stationarity:  c + A^T mu + nu - lam = 0.
+        if any(m_ < 0 for m_ in mu) or any(v < 0 for v in lam) or any(v < 0 for v in nu):
+            return False
+        for j in range(n):
+            station = c[j] + sum(mu[i] * rows[i][j] for i in range(len(rows))) + nu[j] - lam[j]
+            if station != 0:
+                return False
+        # 3. Complementary slackness.
+        for i in range(len(rows)):
+            if mu[i] != 0 and slacks[i] != 0:
+                return False
+        for j in range(n):
+            if lam[j] != 0 and x[j] != lower[j]:
+                return False
+            if nu[j] != 0:
+                uj = float(problem.upper[j])
+                if not math.isfinite(uj) or x[j] != _frac(uj) + relax:
+                    return False
+        # 4. Objective identity.
+        return sum(c[j] * x[j] for j in range(n)) == self.objective
+
+    def _verify_infeasible(self, problem: LinearProgram) -> bool:
+        assert self.farkas is not None
+        sf = _compile_exact(problem, self.rhs_relax)
+        u = list(self.farkas)
+        if len(u) != len(sf.A) or any(v < 0 for v in u):
+            return False
+        # u >= 0, u.A >= 0 componentwise, u.b < 0: then any x' >= 0 gives
+        # 0 <= (u.A).x' <= u.b < 0 — the standard form is empty, hence so is
+        # the original feasible region (the compilation is a bijection).
+        for j in range(sf.n):
+            if sum(u[i] * sf.A[i][j] for i in range(len(sf.A))) < 0:
+                return False
+        return sum(u[i] * sf.b[i] for i in range(len(sf.b))) < 0
+
+    def _verify_unbounded(self, problem: LinearProgram) -> bool:
+        assert self.ray is not None and self.feasible_point is not None
+        n = problem.n_vars
+        d = list(self.ray)
+        p = list(self.feasible_point)
+        if len(d) != n or len(p) != n:
+            return False
+        lower = _frac_vec(problem.lower)
+        rows = [_frac_vec(r) for r in problem.rows]
+        rhs = _frac_vec(problem.rhs)
+        c = _frac_vec(problem.c)
+        relax = self.rhs_relax
+        # Feasible point (w.r.t. the relaxed rhs the verdict is for).
+        for j in range(n):
+            if p[j] < lower[j]:
+                return False
+            uj = float(problem.upper[j])
+            if math.isfinite(uj) and p[j] > _frac(uj) + relax:
+                return False
+        for row, bv in zip(rows, rhs):
+            if sum(row[j] * p[j] for j in range(n)) > bv + relax:
+                return False
+        # Improving recession direction: d >= 0 (w.r.t. the shifted cone),
+        # zero on finitely-bounded coordinates, A d <= 0, c.d < 0.
+        for j in range(n):
+            if d[j] < 0:
+                return False
+            if math.isfinite(float(problem.upper[j])) and d[j] != 0:
+                return False
+        for row in rows:
+            if sum(row[j] * d[j] for j in range(n)) > 0:
+                return False
+        return sum(c[j] * d[j] for j in range(n)) < 0
+
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (fractions as ``"p/q"`` strings)."""
+        out: dict = {"status": self.status.name, "pivots": self.pivots}
+        if self.rhs_relax != 0:
+            out["rhs_relax"] = _frac_str(self.rhs_relax)
+        if self.objective is not None:
+            out["objective"] = _frac_str(self.objective)
+            out["objective_float"] = float(self.objective)
+        if self.x is not None:
+            out["x"] = [_frac_str(v) for v in self.x]
+        if self.row_duals is not None:
+            out["row_duals"] = [_frac_str(v) for v in self.row_duals]
+        if self.farkas is not None:
+            out["farkas"] = [_frac_str(v) for v in self.farkas]
+        if self.ray is not None:
+            out["ray"] = [_frac_str(v) for v in self.ray]
+        if self.subject:
+            out["subject"] = dict(self.subject)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The solver
+# ---------------------------------------------------------------------------
+
+
+def exact_solve_certified(
+    problem: LinearProgram,
+    max_iter: int = 20_000,
+    rhs_relax: Fraction = _ZERO,
+) -> Tuple[LPResult, ExactCertificate]:
+    """Solve exactly and return ``(float-view result, certificate)``.
+
+    ``max_iter`` is accepted for contract uniformity but ignored — Bland's
+    rule terminates on its own and a certificate must never be truncated.
+    ``rhs_relax`` states the verdict for the uniformly rhs-relaxed LP (see
+    the module docstring); it is recorded on the certificate and enters
+    its verification, so the proof stays an exact statement.
+    """
+    sf = _compile_exact(problem, rhs_relax)
+    n, m = sf.n, len(sf.A)
+
+    if m == 0:
+        # Only x >= lower remains: optimal at the lower-bound vertex unless
+        # some cost is negative (then the coordinate ray is improving).
+        neg = next((j for j in range(n) if sf.c[j] < 0), None)
+        if neg is not None:
+            ray = [_ZERO] * n
+            ray[neg] = _ONE
+            cert = ExactCertificate(
+                LPStatus.UNBOUNDED,
+                ray=tuple(ray),
+                feasible_point=tuple(sf.shift),
+                rhs_relax=rhs_relax,
+            )
+            return LPResult(LPStatus.UNBOUNDED), cert
+        x = tuple(sf.shift)
+        obj = sum(sf.c[j] * x[j] for j in range(n))
+        cert = ExactCertificate(
+            LPStatus.OPTIMAL,
+            x=x,
+            objective=obj,
+            row_duals=(),
+            lower_duals=tuple(sf.c),
+            upper_duals=tuple([_ZERO] * n),
+            rhs_relax=rhs_relax,
+        )
+        return (
+            LPResult(
+                LPStatus.OPTIMAL,
+                x=np.array([float(v) for v in x]),
+                objective=float(obj),
+            ),
+            cert,
+        )
+
+    # Build the tableau: n structural + m slack + n_art artificial columns.
+    neg = [bv < 0 for bv in sf.b]
+    n_art = sum(neg)
+    total = n + m + n_art
+    T: List[List[Fraction]] = []
+    rhs: List[Fraction] = []
+    basis: List[int] = []
+    art_cols: List[int] = []
+    k = 0
+    for i in range(m):
+        sign = -_ONE if neg[i] else _ONE
+        row = [_ZERO] * total
+        for j in range(n):
+            row[j] = -sf.A[i][j] if neg[i] else sf.A[i][j]
+        row[n + i] = sign
+        if neg[i]:
+            col = n + m + k
+            row[col] = _ONE
+            art_cols.append(col)
+            basis.append(col)
+            k += 1
+        else:
+            basis.append(n + i)
+        T.append(row)
+        rhs.append(-sf.b[i] if neg[i] else sf.b[i])
+
+    pivots = 0
+
+    # Phase 1: minimize the artificial sum.
+    if n_art:
+        obj1 = [_ZERO] * total
+        for col in art_cols:
+            obj1[col] = _ONE
+        status, _, spent = _exact_run(T, rhs, obj1, basis)
+        pivots += spent
+        # Phase 1 is bounded below by 0, so UNBOUNDED is impossible.
+        assert status is LPStatus.OPTIMAL
+        reduced1 = _exact_reduced(T, obj1, basis)
+        art_set = set(art_cols)
+        # Phase-1 objective value = sum of the basic artificial values.
+        val = sum(rhs[i] for i in range(m) if basis[i] in art_set)
+        if val > 0:
+            # Farkas vector from the phase-1 duals: the reduced cost of
+            # slack i is exactly u_i after the sign flip baked into the
+            # tableau rows (see _verify_infeasible).
+            u = tuple(reduced1[n + i] for i in range(m))
+            cert = ExactCertificate(
+                LPStatus.INFEASIBLE, farkas=u, pivots=pivots, rhs_relax=rhs_relax
+            )
+            return LPResult(LPStatus.INFEASIBLE), cert
+        # Drive remaining artificials out of the basis where possible,
+        # then retire the artificial columns entirely (exact mirror of the
+        # float pipeline in repro.lp.simplex._two_phase_tableau).
+        for i in range(m):
+            if basis[i] in art_set and rhs[i] == 0:
+                pivot_col = next(
+                    (j for j in range(n + m) if T[i][j] != 0), None
+                )
+                if pivot_col is not None:
+                    _exact_pivot(T, rhs, i, pivot_col, basis)
+        for i in range(m):
+            if basis[i] in art_set:
+                # Redundant row: inert identity placeholder.
+                T[i] = [_ZERO] * total
+                T[i][basis[i]] = _ONE
+                rhs[i] = _ZERO
+            else:
+                for col in art_cols:
+                    T[i][col] = _ZERO
+        for i in range(m):
+            if basis[i] in art_set:
+                T[i][basis[i]] = _ONE
+
+    # Phase 2: the real objective.
+    obj2 = [_ZERO] * total
+    for j in range(n):
+        obj2[j] = sf.c[j]
+    frozen = set(art_cols) if n_art else None
+    status, unb_col, spent = _exact_run(T, rhs, obj2, basis, frozen=frozen)
+    pivots += spent
+
+    if status is LPStatus.UNBOUNDED:
+        assert unb_col is not None
+        ray_full = [_ZERO] * total
+        ray_full[unb_col] = _ONE
+        for i in range(m):
+            if T[i][unb_col] != 0:
+                ray_full[basis[i]] = -T[i][unb_col]
+        ray = tuple(ray_full[:n])
+        point_full = [_ZERO] * total
+        for i in range(m):
+            point_full[basis[i]] = rhs[i]
+        point = tuple(point_full[j] + sf.shift[j] for j in range(n))
+        cert = ExactCertificate(
+            LPStatus.UNBOUNDED,
+            ray=ray,
+            feasible_point=point,
+            pivots=pivots,
+            rhs_relax=rhs_relax,
+        )
+        return LPResult(LPStatus.UNBOUNDED), cert
+
+    assert status is LPStatus.OPTIMAL
+    x_std = [_ZERO] * total
+    for i in range(m):
+        x_std[basis[i]] = rhs[i]
+    x = tuple(x_std[j] + sf.shift[j] for j in range(n))
+    obj_val = sum(sf.c[j] * x[j] for j in range(n))
+
+    reduced = _exact_reduced(T, obj2, basis)
+    mu_all = [reduced[n + i] for i in range(m)]  # standard-form row duals
+    lam = [reduced[j] for j in range(n)]  # lower-bound duals (x' >= 0)
+    row_duals = mu_all[: sf.m0]
+    nu = [_ZERO] * n  # upper-bound duals
+    for k_, j in enumerate(sf.ub_cols):
+        nu[j] = mu_all[sf.m0 + k_]
+    cert = ExactCertificate(
+        LPStatus.OPTIMAL,
+        x=x,
+        objective=obj_val,
+        row_duals=tuple(row_duals),
+        lower_duals=tuple(lam),
+        upper_duals=tuple(nu),
+        pivots=pivots,
+        rhs_relax=rhs_relax,
+    )
+    result = LPResult(
+        LPStatus.OPTIMAL,
+        x=np.array([float(v) for v in x]),
+        objective=float(obj_val),
+    )
+    return result, cert
+
+
+def _min_uniform_relax(
+    problem: LinearProgram, farkas: Tuple[Fraction, ...]
+) -> Optional[Fraction]:
+    """Smallest uniform rhs relaxation that defeats this Farkas vector.
+
+    ``u . (b + t*1) >= 0`` first holds at ``t = -u.b / sum(u)``; a larger
+    relaxation *may* still leave the LP infeasible (another certificate
+    can exist), but a smaller one certainly cannot fix it.
+    """
+    sf = _compile_exact(problem)
+    u_dot_b = sum(u * b for u, b in zip(farkas, sf.b))
+    u_sum = sum(farkas)
+    if u_sum <= 0:  # degenerate certificate; no finite relaxation bound
+        return None
+    return -u_dot_b / u_sum
+
+
+def exact_solve_certified_auto(
+    problem: LinearProgram, max_iter: int = 20_000
+) -> Tuple[LPResult, ExactCertificate]:
+    """Strict exact solve, with the tolerance-faithful fallback.
+
+    Answers for the strict LP whenever possible.  When the strict LP is
+    infeasible by less than :data:`RHS_RELAX` — a knife-edge artifact of
+    float-assembled coefficients that every float backend's feasibility
+    tolerance absorbs silently — re-solves the LP with each rhs relaxed
+    by exactly ``RHS_RELAX`` and returns that verdict, with the
+    relaxation recorded on the certificate.  Genuinely infeasible LPs
+    keep their strict Farkas certificate.
+    """
+    result, cert = exact_solve_certified(problem, max_iter=max_iter)
+    if cert.status is LPStatus.INFEASIBLE:
+        assert cert.farkas is not None
+        t_min = _min_uniform_relax(problem, cert.farkas)
+        if t_min is not None and 0 < t_min <= RHS_RELAX:
+            relaxed, relaxed_cert = exact_solve_certified(
+                problem, max_iter=max_iter, rhs_relax=RHS_RELAX
+            )
+            relaxed_cert.pivots += cert.pivots
+            if relaxed_cert.status is not LPStatus.INFEASIBLE:
+                return relaxed, relaxed_cert
+    return result, cert
+
+
+def exact_solve(problem: LinearProgram, max_iter: int = 20_000) -> LPResult:
+    """The registered backend entry: exact solve, float-view result."""
+    result, _ = exact_solve_certified_auto(problem, max_iter=max_iter)
+    return result
+
+
+def certify_result(
+    problem: LinearProgram, subject: Optional[Dict[str, object]] = None
+) -> ExactCertificate:
+    """Exact-solve ``problem`` and return a verified certificate.
+
+    Raises ``RuntimeError`` if the freshly produced certificate fails its
+    own :meth:`~ExactCertificate.verify` — that would mean an arithmetic
+    bug, and a certificate that cannot certify itself must never be
+    reported.
+    """
+    _, cert = exact_solve_certified_auto(problem)
+    if subject:
+        cert.subject.update(subject)
+    if not cert.verify(problem):
+        raise RuntimeError(
+            f"exact certificate failed self-verification (status {cert.status.name})"
+        )
+    return cert

@@ -1,0 +1,205 @@
+"""The LP backend registry: one declarative catalogue of every LP solver.
+
+Mirrors :mod:`repro.api.registry` (the subsidy-solver registry) one layer
+down: each LP backend is described by an :class:`LPBackendSpec` — its
+canonical name, capability flags (``warm_start`` / ``sparse`` / ``exact`` /
+``incremental``), aliases, an optional import requirement gating
+availability, and two callables implementing the uniform contract:
+
+* ``solve(problem, max_iter=...) -> LPResult`` — one cold solve of a dense
+  :class:`~repro.lp.problem.LinearProgram`;
+* ``make_session(inc) -> session`` — a warm-state holder bound to one
+  :class:`~repro.lp.incremental.IncrementalLP`, whose
+  ``session.solve(cached)`` answers the row-appending re-solve pattern.
+
+Backends register themselves with :func:`register_backend`;
+:mod:`repro.lp.backends` registers the built-ins on import.  Lookup is by
+canonical name or alias; unknown names raise :class:`UnknownBackendError`
+(a ``ValueError``, so legacy ``solve_lp(method=...)`` callers keep their
+error contract) and known-but-uninstallable backends raise
+:class:`BackendUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lp.problem import LinearProgram, LPResult
+
+
+class UnknownBackendError(ValueError):
+    """Raised when an LP backend name is not in the registry."""
+
+    def __init__(self, name: str, known: List[str]):
+        self.name = name
+        self.known = known
+        suggestions = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+        msg = f"unknown LP backend {name!r}; known backends: {', '.join(known)}"
+        if suggestions:
+            msg += f" (did you mean {' or '.join(repr(s) for s in suggestions)}?)"
+        super().__init__(msg)
+
+
+class BackendUnavailableError(RuntimeError):
+    """A registered backend whose import requirement is missing."""
+
+    def __init__(self, name: str, requires: str):
+        self.name = name
+        self.requires = requires
+        super().__init__(
+            f"LP backend {name!r} needs the optional dependency {requires!r}, "
+            f"which is not installed (pip install {requires})"
+        )
+
+
+class ColdSession:
+    """Fallback incremental session: rebuild dense and solve cold.
+
+    Used by backends without incremental machinery (``exact``,
+    ``pulp-cbc``).  Correct for every backend by the dense-twin contract
+    (:meth:`~repro.lp.incremental.IncrementalLP.to_linear_program`
+    materializes identical rows in order); never warm.
+    """
+
+    def __init__(self, spec: "LPBackendSpec", inc) -> None:
+        self._spec = spec
+        self._inc = inc
+
+    def solve(self, cached, max_iter: int = 20_000) -> Tuple[LPResult, bool]:
+        return self._spec.solve(self._inc.to_linear_program(), max_iter=max_iter), False
+
+
+@dataclass(frozen=True)
+class LPBackendSpec:
+    """Declarative description of one registered LP backend."""
+
+    #: canonical registry name, e.g. ``"highs-sparse"``
+    name: str
+    #: one-line human description (shown by ``repro-experiments backends``)
+    description: str
+    #: cold dense solve: ``(problem, max_iter=...) -> LPResult``
+    solve: Callable[..., LPResult]
+    #: re-solves can resume from previous solve state (basis / optimum)
+    warm_start: bool = False
+    #: consumes sparse row storage without densifying
+    sparse: bool = False
+    #: exact rational arithmetic — verdicts are proofs, not float estimates
+    exact: bool = False
+    #: ships a bespoke incremental session (vs. the ColdSession fallback)
+    incremental: bool = False
+    #: alternative lookup names (``"highs"``/``"simplex"`` legacy spellings)
+    aliases: Tuple[str, ...] = field(default=())
+    #: import name gating availability (``None`` = always available)
+    requires: Optional[str] = None
+    #: bespoke session factory ``(spec, inc) -> session``; None = ColdSession
+    session_factory: Optional[Callable[..., object]] = None
+    #: backend version; bump when outputs for a fixed problem can change
+    version: str = "1"
+
+    @property
+    def available(self) -> bool:
+        """Whether the backend can actually run in this environment."""
+        if self.requires is None:
+            return True
+        try:
+            importlib.import_module(self.requires)
+            return True
+        except ImportError:
+            return False
+
+    def make_session(self, inc) -> object:
+        """A warm-state session bound to one :class:`IncrementalLP`."""
+        factory = self.session_factory or ColdSession
+        return factory(self, inc)
+
+    def capabilities(self) -> Dict[str, bool]:
+        """The capability flags as a plain dict (CLI / ``/stats`` rendering)."""
+        return {
+            "warm_start": self.warm_start,
+            "sparse": self.sparse,
+            "exact": self.exact,
+            "incremental": self.incremental,
+        }
+
+
+_REGISTRY: Dict[str, LPBackendSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_backend(spec: LPBackendSpec) -> LPBackendSpec:
+    """Record ``spec`` in the catalogue.
+
+    Re-registering a taken name (or alias) raises ``ValueError`` — backend
+    names are a public API surface (CLI ``--backend``, report metadata,
+    the serve daemon's ``/stats`` backend section).
+    """
+    for key in (spec.name, *spec.aliases):
+        if key in _REGISTRY or key in _ALIASES:
+            raise ValueError(f"LP backend name {key!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def get_backend(name: str, require_available: bool = True) -> LPBackendSpec:
+    """Look up a backend by canonical name or alias.
+
+    ``require_available`` (default) raises :class:`BackendUnavailableError`
+    when the backend's optional dependency is missing; pass ``False`` to
+    inspect the spec anyway (the conformance suite's skip path does).
+    """
+    if not isinstance(name, str):
+        raise TypeError(f"backend name must be a string, got {type(name).__name__}")
+    key = _ALIASES.get(name, name)
+    spec = _REGISTRY.get(key)
+    if spec is None:
+        raise UnknownBackendError(name, backend_names())
+    if require_available and not spec.available:
+        assert spec.requires is not None
+        raise BackendUnavailableError(spec.name, spec.requires)
+    return spec
+
+
+def list_backends(
+    available_only: bool = False,
+    *,
+    warm_start: Optional[bool] = None,
+    sparse: Optional[bool] = None,
+    exact: Optional[bool] = None,
+    incremental: Optional[bool] = None,
+) -> List[LPBackendSpec]:
+    """All registered backends, optionally filtered by capability flags."""
+    specs = sorted(_REGISTRY.values(), key=lambda s: s.name)
+    if available_only:
+        specs = [s for s in specs if s.available]
+    for flag, want in (
+        ("warm_start", warm_start),
+        ("sparse", sparse),
+        ("exact", exact),
+        ("incremental", incremental),
+    ):
+        if want is not None:
+            specs = [s for s in specs if getattr(s, flag) == want]
+    return specs
+
+
+def backend_names(include_aliases: bool = False) -> List[str]:
+    """Canonical names of all registered backends."""
+    names = sorted(_REGISTRY)
+    if include_aliases:
+        names += sorted(_ALIASES)
+    return names
+
+
+def solve_lp(problem: LinearProgram, method: str = "highs", max_iter: int = 20_000) -> LPResult:
+    """Solve a canonical-form LP with the chosen backend.
+
+    The uniform front door: ``method`` is any registered backend name or
+    alias (``"highs"`` and ``"simplex"`` remain valid legacy spellings for
+    ``highs-sparse`` / ``warm-tableau``).
+    """
+    return get_backend(method).solve(problem, max_iter=max_iter)

@@ -1,0 +1,44 @@
+"""The ``warm-tableau`` backend: the repo's own two-phase simplex.
+
+Cold solves go through :func:`repro.lp.simplex.simplex_solve` (the dense
+reference implementation the cutting-plane driver was developed against);
+incremental sessions wrap :class:`repro.lp.simplex.WarmSimplex`, which
+keeps the final tableau alive across cut appends and resumes from the
+previous optimal basis with dual-simplex pivots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.lp.problem import LinearProgram, LPResult
+from repro.lp.simplex import WarmSimplex, simplex_solve
+
+
+def solve_dense(problem: LinearProgram, max_iter: int = 20_000) -> LPResult:
+    """One cold two-phase tableau solve of a dense :class:`LinearProgram`."""
+    return simplex_solve(problem, max_iter=max_iter)
+
+
+class TableauSession:
+    """Warm tableau state for one :class:`~repro.lp.incremental.IncrementalLP`."""
+
+    def __init__(self, spec, inc) -> None:
+        self._inc = inc
+        self._warm: Optional[WarmSimplex] = None
+        self._rows_fed = 0
+
+    def solve(self, cached, max_iter: int = 20_000) -> Tuple[LPResult, bool]:
+        inc = self._inc
+        warm = self._warm
+        if warm is None:
+            # max_iter is captured at first solve, matching the historical
+            # IncrementalLP._solve_simplex behavior.
+            warm = self._warm = WarmSimplex(
+                inc.n_vars, inc.c, inc.lower, inc.upper, max_iter=max_iter
+            )
+            self._rows_fed = 0
+        for i in range(self._rows_fed, inc._m):
+            warm.add_row(inc.row(i), inc._rhs[i])
+        self._rows_fed = inc._m
+        return warm.solve()

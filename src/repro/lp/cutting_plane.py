@@ -16,7 +16,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.lp.backend import solve_lp
+from repro.lp.backends import solve_lp
 from repro.lp.incremental import IncrementalLP
 from repro.lp.problem import LinearProgram, LPResult, LPStatus
 
@@ -49,9 +49,13 @@ def solve_with_cutting_planes(
 ) -> CuttingPlaneResult:
     """Iteratively solve ``problem``, adding oracle cuts until none violate.
 
+    ``method`` is any :mod:`repro.lp.backends` registry name or alias; the
+    relaxation re-solves each round go through that backend uniformly.
+
     The ``problem`` object is mutated (rows accumulate), which lets callers
-    inspect the final working LP.  Raises no exception on non-convergence;
-    check :attr:`CuttingPlaneResult.converged`.
+    inspect the final working LP — the ``--certify`` path exact-solves
+    exactly this accumulated relaxation.  Raises no exception on
+    non-convergence; check :attr:`CuttingPlaneResult.converged`.
 
     An :class:`~repro.lp.incremental.IncrementalLP` problem takes the fast
     path: cut rows append in O(nnz) and each round's re-solve warm-starts

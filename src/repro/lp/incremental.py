@@ -9,14 +9,15 @@ path built for exactly that pattern:
 * the constraint store is CSR-shaped from the start (``data`` / ``indices``
   / ``indptr`` growth buffers with amortized-doubling capacity), so a cut
   appends in ``O(nnz(row))`` and nothing dense is ever materialized;
-* the HiGHS backend receives the rows as a ``scipy.sparse.csr_matrix``
-  *view* over the buffers — construction is O(1)-ish per solve — and a
-  re-solve whose appended rows are already satisfied by the previous
-  optimum is answered from that optimum without calling the solver at all
-  (adding satisfied constraints cannot displace the optimum of a
-  minimization);
-* the bespoke tableau backend resumes from the previous optimal basis via
-  :class:`~repro.lp.simplex.WarmSimplex` (dual-simplex warm start).
+* each backend from the :mod:`repro.lp.backends` registry holds its warm
+  state in a per-program *session* (``spec.make_session(inc)``): the
+  ``highs-sparse`` session feeds the rows as a ``scipy.sparse.csr_matrix``
+  *view* over the buffers and answers satisfied-cut re-solves from the
+  previous optimum without calling the solver; the ``warm-tableau``
+  session resumes from the previous optimal basis via
+  :class:`~repro.lp.simplex.WarmSimplex` (dual-simplex warm start);
+  backends without incremental machinery fall back to a cold
+  dense-rebuild session.
 
 Exact parity with the dense path is part of the contract: the HiGHS
 backend receives bit-identical matrices either way (scipy canonicalizes
@@ -32,53 +33,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
-from scipy.optimize import linprog
 
-from repro.lp.backend import _SCIPY_STATUS
-from repro.lp.problem import LinearProgram, LPResult, LPStatus
-from repro.lp.simplex import WarmSimplex
-
-
-def _capture_highs_direct():
-    """Bind HiGHS core handles once, skipping scipy's per-call pipeline.
-
-    ``scipy.optimize.linprog`` spends a large, problem-size-independent
-    slice of each call parsing arguments, re-validating options and
-    rebuilding solver state.  The cutting-plane loop calls with the same
-    (validated, canonical) structures every round, so the fast path feeds
-    the HiGHS core directly: one prebuilt ``HighsOptions`` carrying
-    exactly the values scipy's ``method="highs"`` path sets (presolve on,
-    dual simplex strategy, output off), a ``HighsLp`` filled from the CSC
-    buffers, then ``passOptions``/``passModel``/``run``.  Same library,
-    same options, same matrices — bit-identical answers (the benchmark
-    asserts this against the public ``linprog`` path).  Returns ``None``
-    when scipy's private layout changed; callers then fall back to
-    ``linprog``.
-    """
-    try:
-        from scipy.optimize import _linprog_highs as glue
-        from scipy.optimize._highspy import _highs_wrapper as wrapper_mod
-
-        core = wrapper_mod._h
-        options = core.HighsOptions()
-        # Exactly the non-default values _highs_wrapper applies for
-        # scipy's method="highs" (everything else it leaves at default).
-        options.presolve = "on"
-        options.highs_debug_level = int(glue.HighsDebugLevel.kHighsDebugLevelNone)
-        options.log_to_console = False
-        options.output_flag = False
-        options.simplex_strategy = int(glue.s_c.SimplexStrategy.kSimplexStrategyDual)
-        return {
-            "core": core,
-            "inf": glue.kHighsInf,
-            "to_scipy": glue._highs_to_scipy_status_message,
-            "options": options,
-        }
-    except Exception:  # pragma: no cover - exercised only on scipy drift
-        return None
-
-
-_HIGHS_DIRECT = _capture_highs_direct()
+# Import via the package so the built-in backends are always registered.
+from repro.lp.backends import get_backend
+from repro.lp.problem import LinearProgram, LPResult
 
 
 @dataclass
@@ -139,12 +97,10 @@ class IncrementalLP:
         self._nnz = 0
         self._rhs: List[float] = []
 
-        #: last solve per method: (rows_solved, LPResult)
+        #: last solve per canonical backend name: (rows_solved, LPResult)
         self._last: dict = {}
-        self._warm: Optional[WarmSimplex] = None
-        self._warm_rows_fed = 0
-        #: (lb, ub) with infinities replaced for the HiGHS core, built once
-        self._highs_bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: warm-state session per canonical backend name
+        self._sessions: dict = {}
 
     # -- construction --------------------------------------------------------
 
@@ -256,129 +212,24 @@ class IncrementalLP:
     # -- solving -------------------------------------------------------------
 
     def solve(self, method: str = "highs", max_iter: int = 20_000) -> LPResult:
-        """Solve with the chosen backend, warm-starting where possible."""
+        """Solve with the chosen backend, warm-starting where possible.
+
+        ``method`` is any :mod:`repro.lp.backends` registry name or alias;
+        warm state (and the last-result cache) is keyed by the canonical
+        backend name, so ``"highs"`` and ``"highs-sparse"`` share a
+        session.
+        """
+        spec = get_backend(method)
         self.stats.solves += 1
-        cached = self._last.get(method)
+        cached = self._last.get(spec.name)
         if cached is not None and cached[0] == self._m:
             self.stats.warm_start_hits += 1
             return cached[1]
-        if method == "highs":
-            result, warm = self._solve_highs(cached)
-        elif method == "simplex":
-            result, warm = self._solve_simplex(max_iter)
-        else:
-            raise ValueError(f"unknown LP method {method!r}")
+        session = self._sessions.get(spec.name)
+        if session is None:
+            session = self._sessions[spec.name] = spec.make_session(self)
+        result, warm = session.solve(cached, max_iter=max_iter)
         if warm:
             self.stats.warm_start_hits += 1
-        self._last[method] = (self._m, result)
+        self._last[spec.name] = (self._m, result)
         return result
-
-    def _solve_highs(
-        self, cached: Optional[Tuple[int, LPResult]]
-    ) -> Tuple[LPResult, bool]:
-        # Solution-guided shortcut: rows appended since an optimal solve
-        # that the previous optimum already satisfies cannot displace it.
-        if cached is not None and cached[1].ok:
-            rows_solved, prev = cached
-            x = prev.x
-            assert x is not None
-            lo, hi = self._indptr[rows_solved], self._indptr[self._m]
-            tail = sp.csr_matrix(
-                (
-                    self._data[lo:hi],
-                    self._indices[lo:hi],
-                    self._indptr[rows_solved : self._m + 1] - lo,
-                ),
-                shape=(self._m - rows_solved, self.n_vars),
-                copy=False,
-            )
-            if np.all(tail @ x <= np.asarray(self._rhs[rows_solved:], dtype=float)):
-                return prev, True
-
-        # Rowless LP with strictly positive costs: the optimum is exactly
-        # the lower-bound vertex (unique, and what HiGHS returns bit-for-bit
-        # — LP (1)'s first round hits this every solve).
-        if self._m == 0 and np.all(self.c > 0.0) and np.all(np.isfinite(self.lower)):
-            x = self.lower.copy()
-            return LPResult(LPStatus.OPTIMAL, x=x, objective=float(self.c @ x)), False
-        direct = _HIGHS_DIRECT
-        if direct is not None:
-            try:
-                return self._solve_highs_direct(direct), False
-            except Exception:  # pragma: no cover - scipy drift safety net
-                pass
-        A = self.sparse_matrix() if self._m else None
-        bounds = list(zip(self.lower, self.upper))
-        res = linprog(
-            self.c,
-            A_ub=A,
-            b_ub=np.asarray(self._rhs, dtype=float) if self._m else None,
-            bounds=bounds,
-            method="highs",
-        )
-        status = _SCIPY_STATUS.get(res.status, LPStatus.INFEASIBLE)
-        if status is not LPStatus.OPTIMAL:
-            return LPResult(status), False
-        x = np.asarray(res.x, dtype=float)
-        return LPResult(LPStatus.OPTIMAL, x=x, objective=float(res.fun)), False
-
-    def _solve_highs_direct(self, direct: dict) -> LPResult:
-        """One HiGHS solve through the captured core handles (see above)."""
-        core = direct["core"]
-        inf = direct["inf"]
-        if self._highs_bounds is None:
-            # Bounds are fixed at construction; replace infinities once.
-            self._highs_bounds = (
-                np.where(np.isinf(self.lower), -inf, self.lower),
-                np.where(np.isinf(self.upper), inf, self.upper),
-            )
-        lb, ub = self._highs_bounds
-        A = self.sparse_matrix().tocsc()
-        m = self._m
-        n = self.n_vars
-
-        lp = core.HighsLp()
-        lp.num_col_ = n
-        lp.num_row_ = m
-        lp.a_matrix_.num_col_ = n
-        lp.a_matrix_.num_row_ = m
-        lp.a_matrix_.format_ = core.MatrixFormat.kColwise
-        lp.col_cost_ = self.c
-        lp.col_lower_ = lb
-        lp.col_upper_ = ub
-        lp.row_lower_ = np.full(m, -inf)
-        lp.row_upper_ = np.asarray(self._rhs, dtype=float)
-        lp.a_matrix_.start_ = A.indptr
-        lp.a_matrix_.index_ = A.indices
-        lp.a_matrix_.value_ = A.data
-
-        highs = core._Highs()
-        if highs.passOptions(direct["options"]) == core.HighsStatus.kError:
-            raise RuntimeError("HiGHS rejected the prebuilt options")
-        if highs.passModel(lp) == core.HighsStatus.kError:
-            raise RuntimeError("HiGHS rejected the model")
-        highs.run()
-        model_status = highs.getModelStatus()
-        if model_status != core.HighsModelStatus.kOptimal:
-            scipy_status, _msg = direct["to_scipy"](
-                model_status, highs.modelStatusToString(model_status)
-            )
-            return LPResult(_SCIPY_STATUS.get(scipy_status, LPStatus.INFEASIBLE))
-        solution = highs.getSolution()
-        info = highs.getInfo()
-        x = np.asarray(solution.col_value, dtype=float)
-        return LPResult(
-            LPStatus.OPTIMAL, x=x, objective=float(info.objective_function_value)
-        )
-
-    def _solve_simplex(self, max_iter: int) -> Tuple[LPResult, bool]:
-        warm = self._warm
-        if warm is None:
-            warm = self._warm = WarmSimplex(
-                self.n_vars, self.c, self.lower, self.upper, max_iter=max_iter
-            )
-            self._warm_rows_fed = 0
-        for i in range(self._warm_rows_fed, self._m):
-            warm.add_row(self.row(i), self._rhs[i])
-        self._warm_rows_fed = self._m
-        return warm.solve()

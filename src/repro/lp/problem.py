@@ -17,8 +17,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-#: cached ``(n_rows, A_ub, b_ub)`` triple — see :meth:`LinearProgram.matrices`
-_MatCache = Optional[Tuple[int, np.ndarray, np.ndarray]]
+#: cached ``(version, n_rows, rows_id, A_ub, b_ub)`` — see
+#: :meth:`LinearProgram.matrices`
+_MatCache = Optional[Tuple[int, int, int, np.ndarray, np.ndarray]]
 
 
 class LPStatus(enum.Enum):
@@ -58,6 +59,11 @@ class LinearProgram:
     lower: Optional[np.ndarray] = None
     upper: Optional[np.ndarray] = None
     _mat_cache: _MatCache = field(default=None, init=False, repr=False, compare=False)
+    #: bumped on every mutation made through the construction API; part of
+    #: the cache key so interleaved mutate/solve sequences (e.g. solving
+    #: with one backend, adding a cut, solving with another) can never be
+    #: served a stale compilation even when the row count ends up equal
+    _version: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.c = np.asarray(self.c, dtype=float)
@@ -81,6 +87,7 @@ class LinearProgram:
             raise ValueError(f"row has shape {row.shape}, expected ({self.n_vars},)")
         self.rows.append(row)
         self.rhs.append(float(rhs))
+        self._version += 1
         self._mat_cache = None
 
     def add_sparse_constraint(self, entries: Sequence[Tuple[int, float]], rhs: float) -> None:
@@ -97,19 +104,30 @@ class LinearProgram:
     def matrices(self) -> Tuple[np.ndarray, np.ndarray]:
         """Dense ``(A_ub, b_ub)``; zero-row matrix when unconstrained.
 
-        The compiled pair is cached and invalidated only by
-        :meth:`add_constraint`, so callers that re-solve an unchanged
+        The compiled pair is cached so callers that re-solve an unchanged
         program (the cutting-plane driver does, once per round before the
         oracle adds cuts) stop paying a dense re-materialization each
-        time.  Treat the returned arrays as read-only — they are shared
-        with later callers.
+        time.  The cache key is the mutation version bumped by
+        :meth:`add_constraint` plus the row count and the identity of the
+        ``rows`` list, so any mutate-then-resolve ordering — including a
+        backend swap right after a cut append, or replacing ``rows``
+        wholesale — recompiles instead of serving stale matrices.  (An
+        in-place element assignment like ``lp.rows[0] = r`` is outside the
+        construction API and not detected; mutate through
+        :meth:`add_constraint`.)  Treat the returned arrays as read-only —
+        they are shared with later callers.
         """
         cached = self._mat_cache
-        if cached is not None and cached[0] == len(self.rows):
-            return cached[1], cached[2]
+        if (
+            cached is not None
+            and cached[0] == self._version
+            and cached[1] == len(self.rows)
+            and cached[2] == id(self.rows)
+        ):
+            return cached[3], cached[4]
         if not self.rows:
             A, b = np.zeros((0, self.n_vars)), np.zeros(0)
         else:
             A, b = np.vstack(self.rows), np.asarray(self.rhs, dtype=float)
-        self._mat_cache = (len(self.rows), A, b)
+        self._mat_cache = (self._version, len(self.rows), id(self.rows), A, b)
         return A, b

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro import __version__, api
+from repro.lp import list_backends
 from repro.runtime.cache import AnyCache, coerce_cache, solve_job_key
 from repro.serve.coalesce import Coalescer
 from repro.utils.hashing import UnhashablePayloadError, stable_hash
@@ -343,6 +344,11 @@ class SolverService:
             stopped = anytime.get("stopped")
             if isinstance(stopped, str):
                 self.counters.bump(f"anytime_stopped_{stopped.replace('-', '_')}")
+        backend = meta.get("backend")
+        if isinstance(backend, str) and backend:
+            self.counters.bump(f"backend_{backend.replace('-', '_')}")
+        if "exact_certificate" in meta:
+            self.counters.bump("certified_solves")
 
     # -- endpoint bodies ----------------------------------------------------
 
@@ -468,6 +474,24 @@ class SolverService:
             for name, value in counters.items()
             if name.startswith("anytime_")
         }
+        backends = {
+            "registry": [
+                {
+                    "name": spec.name,
+                    "aliases": list(spec.aliases),
+                    "available": spec.available,
+                    **spec.capabilities(),
+                }
+                for spec in list_backends()
+            ],
+            # solves routed through each LP backend (from report metadata)
+            "usage": {
+                name[len("backend_"):]: value
+                for name, value in counters.items()
+                if name.startswith("backend_")
+            },
+            "certified_solves": counters.get("certified_solves", 0),
+        }
         return self._body(
             {
                 "kind": "serve-stats",
@@ -476,6 +500,7 @@ class SolverService:
                 "counters": counters,
                 "engine": engine,
                 "anytime": anytime,
+                "backends": backends,
                 "result_cache": {
                     "root": str(root) if root else None,
                     "hits": counters.get("result_cache_hits", 0),

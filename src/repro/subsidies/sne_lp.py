@@ -12,7 +12,14 @@ Three formulations, exactly as in the paper:
   Lemma 2.
 
 All solvers minimize total subsidies enforcing the given target state and
-re-verify the result with the exact equilibrium checker.
+re-verify the result with the exact equilibrium checker.  ``method``
+accepts any :mod:`repro.lp.backends` registry name or alias, and
+``certify=True`` re-derives the float verdict with the Fraction-exact
+backend, attaching a rationally-verified
+:class:`~repro.lp.backends.ExactCertificate` to the result: LP (2)/LP (3)
+certify the full LP; LP (1) certifies the final accumulated cutting-plane
+relaxation, whose exact optimum brackets the true LP (1) optimum from
+below while the converged float solution brackets it from above.
 """
 
 from __future__ import annotations
@@ -24,9 +31,12 @@ import numpy as np
 
 from repro.graphs.graph import Edge, Graph, Node, canonical_edge
 from repro.lp import (
+    ExactCertificate,
     IncrementalLP,
     LinearProgram,
     LPStatus,
+    certify_result,
+    get_backend,
     solve_lp,
     solve_with_cutting_planes,
 )
@@ -57,13 +67,43 @@ class SNEResult:
     #: :class:`repro.games.engine.OracleStats` — dijkstra_calls,
     #: players_batched, cut_rounds, warm_start_hits
     profile: Optional[Dict[str, int]] = None
+    #: canonical name of the LP backend that produced the float answer
+    backend: Optional[str] = None
+    #: exact rational re-derivation of the verdict (``certify=True`` only)
+    certificate: Optional[ExactCertificate] = None
 
     def fraction_of_target(self, target_weight: float) -> float:
         return self.subsidies.fraction_of(target_weight)
 
 
-def _infeasible(graph: Graph, method: str) -> SNEResult:
-    return SNEResult(SubsidyAssignment.zero(graph), float("inf"), False, False, method)
+def _infeasible(
+    graph: Graph,
+    method: str,
+    backend: Optional[str] = None,
+    certificate: Optional[ExactCertificate] = None,
+) -> SNEResult:
+    return SNEResult(
+        SubsidyAssignment.zero(graph),
+        float("inf"),
+        False,
+        False,
+        method,
+        backend=backend,
+        certificate=certificate,
+    )
+
+
+def _certify_lp(
+    lp: Union[LinearProgram, IncrementalLP],
+    formulation: str,
+    float_objective: Optional[float],
+) -> ExactCertificate:
+    """Exact-solve (the dense twin of) ``lp`` and self-verify the proof."""
+    dense = lp.to_linear_program() if isinstance(lp, IncrementalLP) else lp
+    subject: Dict[str, object] = {"formulation": formulation}
+    if float_objective is not None:
+        subject["float_objective"] = float(float_objective)
+    return certify_result(dense, subject=subject)
 
 
 def _verify_with_binding(
@@ -149,18 +189,30 @@ def solve_sne_broadcast_lp3(
     state: TreeState,
     method: str = "highs",
     verify: bool = True,
+    certify: bool = False,
 ) -> SNEResult:
     """Minimum subsidies enforcing a broadcast tree state, via LP (3)."""
     graph = state.game.graph
+    backend = get_backend(method).name
     lp, edges = build_broadcast_lp3(state)
     res = solve_lp(lp, method=method)
     if res.status is not LPStatus.OPTIMAL:
-        return _infeasible(graph, "lp3")
+        cert = _certify_lp(lp, "lp3", None) if certify else None
+        return _infeasible(graph, "lp3", backend=backend, certificate=cert)
+    cert = _certify_lp(lp, "lp3", res.objective) if certify else None
     subsidies = SubsidyAssignment.from_vector(graph, edges, res.x)
     verified = (
         check_equilibrium(state, subsidies, tol=LP_TOL).is_equilibrium if verify else True
     )
-    return SNEResult(subsidies, subsidies.cost, True, verified, "lp3")
+    return SNEResult(
+        subsidies,
+        subsidies.cost,
+        True,
+        verified,
+        "lp3",
+        backend=backend,
+        certificate=cert,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -174,6 +226,7 @@ def solve_sne_cutting_plane_lp1(
     max_rounds: int = 200,
     verify: bool = True,
     fast: bool = True,
+    certify: bool = False,
 ) -> SNEResult:
     """Minimum subsidies via the exponential LP (1) + separation oracle.
 
@@ -242,12 +295,21 @@ def solve_sne_cutting_plane_lp1(
             cuts.append((row, float(rhs)))
         return cuts
 
+    backend = get_backend(method).name
     out = solve_with_cutting_planes(lp, oracle, method=method, max_rounds=max_rounds)
     stats.cut_rounds += out.rounds
     if isinstance(lp, IncrementalLP):
         stats.warm_start_hits += lp.stats.warm_start_hits
     if not out.ok:
-        return _infeasible(graph, "lp1")
+        return _infeasible(graph, "lp1", backend=backend)
+    # LP (1) certification targets the *final accumulated relaxation* —
+    # exactly the LP whose optimum the float answer is.  Its exact optimum
+    # is a certified lower bound on the full (exponential) LP (1) optimum,
+    # and the converged float solution is primal-feasible for it, so the
+    # pair brackets the true optimum.
+    cert = (
+        _certify_lp(lp, "lp1-relaxation", out.result.objective) if certify else None
+    )
     subsidies = SubsidyAssignment.from_vector(graph, all_edges, out.result.x)
     verified = (
         _verify_with_binding(engine, binding, subsidies, fast) if verify else True
@@ -261,6 +323,8 @@ def solve_sne_cutting_plane_lp1(
         rounds=out.rounds,
         cuts=out.cuts_added,
         profile=stats.delta(before),
+        backend=backend,
+        certificate=cert,
     )
 
 
@@ -274,6 +338,7 @@ def solve_sne_polynomial_lp2(
     method: str = "highs",
     verify: bool = True,
     fast: bool = True,
+    certify: bool = False,
 ) -> SNEResult:
     """Minimum subsidies via the polynomial LP (2).
 
@@ -374,13 +439,16 @@ def solve_sne_polynomial_lp2(
             rhs -= a_i * graph.weight(*e) / n_a
         lp.add_sparse_constraint(entries, rhs)
 
+    backend = get_backend(method).name
     if isinstance(lp, IncrementalLP):
         res = lp.solve(method=method)
         stats.warm_start_hits += lp.stats.warm_start_hits
     else:
         res = solve_lp(lp, method=method)
     if res.status is not LPStatus.OPTIMAL:
-        return _infeasible(graph, "lp2")
+        cert = _certify_lp(lp, "lp2", None) if certify else None
+        return _infeasible(graph, "lp2", backend=backend, certificate=cert)
+    cert = _certify_lp(lp, "lp2", res.objective) if certify else None
     subsidies = SubsidyAssignment.from_vector(graph, all_edges, res.x[:m])
     # The engine binding is only needed (and only built) for verification.
     verified = (
@@ -395,6 +463,8 @@ def solve_sne_polynomial_lp2(
         verified,
         "lp2",
         profile=stats.delta(before),
+        backend=backend,
+        certificate=cert,
     )
 
 

@@ -1,0 +1,205 @@
+"""Property tests for the Fraction-arithmetic exact simplex backend.
+
+Three layers of assurance, cheapest to strongest:
+
+* **fuzz** — seeded random small LPs with *integer* data (so the float
+  assembly is exact and the rational verdict is the ground truth): the
+  exact backend's certificate must always re-verify by pure-rational
+  substitution, and whenever it reports an optimum the float backends
+  must land within their tolerance of it;
+* **adversarial classics** — Beale's cycling example (Bland's rule must
+  terminate at the known optimum ``-1/20``), plus hand-built degenerate,
+  infeasible and unbounded LPs whose certificates we check field by
+  field;
+* **knife-edge fallback** — the rhs-relaxation machinery: strictly
+  feasible LPs never pick up a relaxation, LPs infeasible by less than
+  ``RHS_RELAX`` get the relaxed verdict with the relaxation *recorded*,
+  genuinely infeasible LPs keep their strict Farkas certificate.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import LinearProgram, LPStatus, simplex_solve, solve_lp
+from repro.lp.backends import (
+    RHS_RELAX,
+    certify_result,
+    exact_solve_certified,
+    exact_solve_certified_auto,
+)
+from repro.lp.backends.exact import _min_uniform_relax
+
+
+def _lp(c, rows, rhs, lower=None, upper=None):
+    lp = LinearProgram(n_vars=len(c), c=np.array(c, float), lower=lower, upper=upper)
+    for row, b in zip(rows, rhs):
+        lp.add_constraint(np.array(row, float), b)
+    return lp
+
+
+# ---------------------------------------------------------------------------
+# fuzz: random integer LPs, certificate always verifies, floats bracket exact
+# ---------------------------------------------------------------------------
+
+_coeff = st.integers(min_value=-5, max_value=5)
+
+
+@st.composite
+def _random_lps(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=0, max_value=5))
+    c = [draw(_coeff) for _ in range(n)]
+    rows = [[draw(_coeff) for _ in range(n)] for _ in range(m)]
+    rhs = [draw(st.integers(min_value=-3, max_value=10)) for _ in range(m)]
+    # roughly half the draws get finite upper bounds (hits the bound-dual
+    # and upper-slack paths; the rest exercise the ray / unbounded paths)
+    upper = None
+    if draw(st.booleans()):
+        upper = [float(draw(st.integers(min_value=0, max_value=8))) for _ in range(n)]
+    return _lp(c, rows, rhs, upper=upper)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_random_lps())
+def test_fuzz_certificate_always_verifies(lp):
+    result, cert = exact_solve_certified_auto(lp)
+    assert cert.status is result.status
+    assert cert.verify(lp), cert.as_dict()
+    # integer data can never sit on a float knife edge, so the strict LP
+    # must have answered — the fallback has nothing to absorb
+    assert cert.rhs_relax == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(_random_lps())
+def test_fuzz_float_backends_bracket_exact_optimum(lp):
+    result, cert = exact_solve_certified_auto(lp)
+    if cert.status is not LPStatus.OPTIMAL:
+        return
+    assert isinstance(cert.objective, Fraction)
+    assert result.objective == pytest.approx(float(cert.objective), abs=1e-12)
+    for solver in (solve_lp, simplex_solve):
+        res = solver(lp)
+        assert res.status is LPStatus.OPTIMAL, solver
+        # the exact optimum is ground truth; float backends must straddle it
+        assert abs(res.objective - float(cert.objective)) <= 1e-6, solver
+
+
+# ---------------------------------------------------------------------------
+# adversarial classics
+# ---------------------------------------------------------------------------
+
+
+def test_beale_cycling_example():
+    """Beale's LP cycles under naive Dantzig pivoting; Bland must finish."""
+    lp = _lp(
+        [-0.75, 150.0, -0.02, 6.0],
+        [[0.25, -60.0, -0.04, 9.0], [0.5, -90.0, -0.02, 3.0], [0.0, 0.0, 1.0, 0.0]],
+        [0.0, 0.0, 1.0],
+    )
+    result, cert = exact_solve_certified(lp)
+    assert cert.status is LPStatus.OPTIMAL
+    # the textbook optimum is -1/20; the exact answer is that optimum for
+    # the *float-rounded* data (-0.02 and -0.04 are not dyadic), one ulp off
+    assert abs(cert.objective - Fraction(-1, 20)) < Fraction(1, 10**15)
+    assert cert.pivots > 0  # Bland's rule finished instead of cycling
+    assert cert.verify(lp)
+    assert result.objective == pytest.approx(-0.05)
+
+
+def test_degenerate_vertex_certificate():
+    # three constraints meet at (0, 1): more tight rows than dimensions
+    lp = _lp([1.0, -1.0], [[1.0, 1.0], [-1.0, 1.0], [0.0, 1.0]], [1.0, 1.0, 1.0])
+    _, cert = exact_solve_certified(lp)
+    assert cert.status is LPStatus.OPTIMAL
+    assert cert.objective == Fraction(-1)
+    assert cert.x == (Fraction(0), Fraction(1))
+    assert cert.verify(lp)
+
+
+def test_infeasible_farkas_certificate():
+    # x1 + x2 <= -1 with x >= 0 is plainly empty
+    lp = _lp([1.0, 1.0], [[1.0, 1.0]], [-1.0])
+    result, cert = exact_solve_certified(lp)
+    assert result.status is LPStatus.INFEASIBLE
+    assert cert.farkas is not None and any(u > 0 for u in cert.farkas)
+    assert cert.verify(lp)
+
+
+def test_unbounded_ray_certificate():
+    # minimize -x2 subject only to x1 <= 1: x2 rides to infinity
+    lp = _lp([0.0, -1.0], [[1.0, 0.0]], [1.0])
+    result, cert = exact_solve_certified(lp)
+    assert result.status is LPStatus.UNBOUNDED
+    assert cert.ray is not None and cert.feasible_point is not None
+    assert cert.verify(lp)
+
+
+def test_certify_result_attaches_subject_and_self_verifies():
+    lp = _lp([1.0, 2.0], [[-1.0, -1.0]], [-1.0])
+    cert = certify_result(lp, subject={"formulation": "unit-test"})
+    assert cert.subject["formulation"] == "unit-test"
+    assert cert.status is LPStatus.OPTIMAL
+    assert cert.objective == Fraction(1)
+    d = cert.as_dict()
+    assert d["objective"] == "1" and d["objective_float"] == 1.0
+    assert "rhs_relax" not in d  # strict verdicts carry no relaxation
+
+
+# ---------------------------------------------------------------------------
+# the knife-edge rhs-relaxation fallback
+# ---------------------------------------------------------------------------
+
+
+def _knife_edge_lp():
+    """Infeasible by exactly 1e-12 < RHS_RELAX: -x <= -(1+1e-12), x <= 1."""
+    return _lp([1.0], [[-1.0], [1.0]], [-(1.0 + 1e-12), 1.0])
+
+
+def test_strict_lp_never_relaxed():
+    lp = _lp([1.0, 1.0], [[-1.0, -1.0]], [-1.0])
+    _, cert = exact_solve_certified_auto(lp)
+    assert cert.status is LPStatus.OPTIMAL
+    assert cert.rhs_relax == 0
+
+
+def test_knife_edge_lp_gets_recorded_relaxation():
+    lp = _knife_edge_lp()
+    # strict solve: genuinely infeasible as exact rationals
+    _, strict = exact_solve_certified(lp)
+    assert strict.status is LPStatus.INFEASIBLE
+    assert strict.verify(lp)
+    # auto solve: the one-ulp gap is inside the documented tolerance, so
+    # the relaxed LP answers — and says so on the certificate
+    result, cert = exact_solve_certified_auto(lp)
+    assert cert.status is LPStatus.OPTIMAL
+    assert cert.rhs_relax == RHS_RELAX
+    assert cert.verify(lp)
+    assert "rhs_relax" in cert.as_dict()
+    assert result.objective == pytest.approx(1.0, abs=2 * float(RHS_RELAX))
+
+
+def test_genuinely_infeasible_keeps_strict_farkas():
+    # gap of 1 >> RHS_RELAX: no relaxation may paper over this
+    lp = _lp([0.0], [[-1.0], [1.0]], [-2.0, 1.0])
+    _, cert = exact_solve_certified_auto(lp)
+    assert cert.status is LPStatus.INFEASIBLE
+    assert cert.rhs_relax == 0
+    assert cert.verify(lp)
+
+
+def test_min_uniform_relax_matches_the_gap():
+    lp = _knife_edge_lp()
+    _, cert = exact_solve_certified(lp)
+    t_min = _min_uniform_relax(lp, cert.farkas)
+    assert t_min is not None and 0 < t_min <= RHS_RELAX
+    # strictly less than t_min cannot help: the same Farkas vector stands
+    _, still = exact_solve_certified(lp, rhs_relax=t_min / 2)
+    assert still.status is LPStatus.INFEASIBLE
+    # relaxing by exactly t_min makes the LP exactly feasible
+    _, relaxed = exact_solve_certified(lp, rhs_relax=t_min)
+    assert relaxed.status is LPStatus.OPTIMAL
+    assert relaxed.verify(lp)

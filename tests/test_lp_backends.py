@@ -1,0 +1,174 @@
+"""Unit tests for the LP backend registry itself.
+
+The conformance suite (``test_backend_conformance.py``) proves the
+backends *agree*; this file proves the registry machinery around them —
+registration atomicity, alias lookup, capability filters, availability
+gating, and the ColdSession fallback for backends without bespoke
+incremental sessions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lp import IncrementalLP, LPStatus
+from repro.lp.backends import registry as reg
+from repro.lp.backends.registry import (
+    BackendUnavailableError,
+    LPBackendSpec,
+    UnknownBackendError,
+    backend_names,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+
+BUILTINS = ("exact", "highs-sparse", "pulp-cbc", "warm-tableau")
+
+
+def _dummy_spec(name, **kw):
+    return LPBackendSpec(name=name, description="test dummy", solve=lambda p, max_iter=0: None, **kw)
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+
+def test_builtins_registered():
+    assert backend_names() == sorted(BUILTINS)
+
+
+def test_register_collision_on_name():
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend(_dummy_spec("highs-sparse"))
+
+
+def test_register_collision_on_alias():
+    # a *new* name whose alias shadows an existing name must also refuse —
+    # and atomically: the unique name must not be left half-registered
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend(_dummy_spec("totally-new", aliases=("exact",)))
+    with pytest.raises(UnknownBackendError):
+        get_backend("totally-new")
+
+
+def test_register_collision_on_existing_alias():
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend(_dummy_spec("another-new", aliases=("simplex",)))
+
+
+def test_registration_round_trip(monkeypatch):
+    monkeypatch.setattr(reg, "_REGISTRY", dict(reg._REGISTRY))
+    monkeypatch.setattr(reg, "_ALIASES", dict(reg._ALIASES))
+    spec = register_backend(_dummy_spec("scratch", aliases=("sc",), exact=True))
+    assert get_backend("scratch") is spec
+    assert get_backend("sc") is spec
+    assert "scratch" in backend_names()
+    assert "sc" in backend_names(include_aliases=True)
+    assert "sc" not in backend_names()
+
+
+# ---------------------------------------------------------------------------
+# lookup
+# ---------------------------------------------------------------------------
+
+
+def test_alias_lookup_matches_canonical():
+    assert get_backend("highs") is get_backend("highs-sparse")
+    assert get_backend("simplex") is get_backend("warm-tableau")
+    assert get_backend("fraction") is get_backend("exact")
+    assert get_backend("rational") is get_backend("exact")
+    cbc = get_backend("cbc", require_available=False)
+    assert cbc is get_backend("pulp-cbc", require_available=False)
+
+
+def test_unknown_backend_is_value_error_with_suggestion():
+    with pytest.raises(UnknownBackendError) as exc:
+        get_backend("highs-sparce")
+    assert isinstance(exc.value, ValueError)  # legacy solve_lp error contract
+    assert "highs-sparse" in str(exc.value)  # difflib suggestion surfaced
+    assert exc.value.known == backend_names()
+
+
+def test_non_string_name_is_type_error():
+    with pytest.raises(TypeError):
+        get_backend(None)
+
+
+def test_availability_gating():
+    spec = get_backend("pulp-cbc", require_available=False)
+    assert spec.requires == "pulp"
+    if spec.available:
+        assert get_backend("pulp-cbc") is spec  # pulp installed: both paths work
+    else:
+        with pytest.raises(BackendUnavailableError, match="pulp"):
+            get_backend("pulp-cbc")
+
+
+def test_backends_without_requirements_always_available():
+    for name in ("exact", "highs-sparse", "warm-tableau"):
+        spec = get_backend(name)
+        assert spec.requires is None and spec.available
+
+
+# ---------------------------------------------------------------------------
+# capability filters
+# ---------------------------------------------------------------------------
+
+
+def test_capability_filters():
+    assert [s.name for s in list_backends(exact=True)] == ["exact"]
+    assert [s.name for s in list_backends(sparse=True)] == ["highs-sparse"]
+    warm = [s.name for s in list_backends(warm_start=True)]
+    assert warm == ["highs-sparse", "warm-tableau"]
+    assert [s.name for s in list_backends(incremental=False, exact=False)] == ["pulp-cbc"]
+
+
+def test_available_only_filter():
+    names = [s.name for s in list_backends(available_only=True)]
+    cbc_available = get_backend("pulp-cbc", require_available=False).available
+    expected = sorted(BUILTINS) if cbc_available else sorted(set(BUILTINS) - {"pulp-cbc"})
+    assert names == expected
+
+
+def test_capabilities_dict_shape():
+    caps = get_backend("highs-sparse").capabilities()
+    assert caps == {"warm_start": True, "sparse": True, "exact": False, "incremental": True}
+
+
+# ---------------------------------------------------------------------------
+# ColdSession fallback
+# ---------------------------------------------------------------------------
+
+
+def test_cold_session_matches_dense_solve():
+    """Backends without bespoke sessions still honor the session contract."""
+    inc = IncrementalLP(2, np.array([1.0, 1.0]))
+    inc.add_constraint([-1.0, -1.0], -1.0)  # x1 + x2 >= 1
+    spec = get_backend("exact")
+    assert spec.session_factory is None
+    session = spec.make_session(inc)
+    result, warm = session.solve(None)
+    assert warm is False  # ColdSession never claims a warm solve
+    assert result.status is LPStatus.OPTIMAL
+    assert result.objective == pytest.approx(1.0)
+    # appended rows are visible on the next solve (dense-twin rebuild)
+    inc.add_constraint([0.0, -1.0], -0.75)  # x2 >= 0.75
+    result2, _ = session.solve(None)
+    assert result2.objective == pytest.approx(1.0)
+    assert result2.x[1] == pytest.approx(0.75)
+
+
+def test_incremental_lp_accepts_backend_names():
+    inc = IncrementalLP(2, np.array([2.0, 3.0]))
+    inc.add_constraint([-1.0, 0.0], -1.0)
+    for method in ("highs", "warm-tableau", "exact"):
+        res = inc.solve(method=method)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(2.0), method
+
+
+def test_spec_is_frozen():
+    spec = get_backend("exact")
+    with pytest.raises(AttributeError):
+        spec.name = "other"

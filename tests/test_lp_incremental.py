@@ -224,3 +224,22 @@ def test_linear_program_matrices_cache():
     A3, b3 = lp.matrices()
     assert A3 is not A1 and A3.shape == (2, 2)
     assert list(b3) == [1.0, 2.0]
+
+
+def test_matrices_cache_invalidated_across_backend_swap():
+    """Regression: append-then-swap-backend must never serve stale matrices.
+
+    The old memo keyed on ``len(rows)`` alone could hand backend B the
+    matrices snapshotted for backend A *before* an ``add_constraint`` if a
+    row list was swapped wholesale; the version-counter key closes that.
+    Every registered always-available backend must see the fresh row.
+    """
+    lp = LinearProgram(n_vars=2, c=np.array([1.0, 1.0]))
+    lp.add_constraint([-1.0, 0.0], -1.0)  # x1 >= 1
+    first = solve_lp(lp, method="highs")
+    assert first.objective == pytest.approx(1.0)
+    lp.add_constraint([0.0, -1.0], -2.0)  # x2 >= 2, added after a solve
+    for method in ("warm-tableau", "exact", "highs-sparse"):
+        res = solve_lp(lp, method=method)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(3.0), method

@@ -46,6 +46,7 @@ NAV: List[Tuple[str, str]] = [
     ("Sweep runtime & cache", "runtime.md"),
     ("Solver daemon", "serving.md"),
     ("Scenario library", "scenarios.md"),
+    ("LP backends", "lp-backends.md"),
     ("Performance", "performance.md"),
     ("API reference", "api/index.md"),
 ]

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Regenerate the pinned conformance corpus in ``tests/conformance_corpus/``.
+
+Each corpus case pins one *hard instance* — augmented-cube and
+lower-bound-cycle scenarios, the two families the paper's lower-bound
+sections lean on — by its generation recipe ``(model, n, seed, params)``
+plus the solve outcome of the default (``highs-sparse``) backend:
+
+* ``budget`` — the optimal subsidy cost, and
+* ``sha256`` — a digest of the full canonical report JSON
+  (:func:`repro.api.serialize.canonical_report_json`, ``sort_keys=True``),
+  so *any* drift in subsidies, metadata, or verdicts shows up, not just
+  objective drift.
+
+``tests/test_backend_conformance.py`` replays every case through every
+registered LP backend: the default backend must reproduce the digest byte
+for byte; the others must match the budget within their documented
+tolerance.  ``exact_ok`` gates the Fraction-arithmetic backend to cells
+where exact pivoting is affordable (LP (2) tableaus grow with
+``players x nodes`` variables and exact pivots are O(m.n) big-rational
+multiplies).
+
+Run from the repo root after any intentional solver/backend change::
+
+    PYTHONPATH=src python tools/gen_conformance_corpus.py
+
+and commit the rewritten JSON.  An unintentional digest change is exactly
+what the corpus exists to catch — regenerate only when the new answers
+have been reviewed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CORPUS_DIR = REPO_ROOT / "tests" / "conformance_corpus"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.runtime.spec import generate_instance  # noqa: E402
+
+#: (name, model, n, seed, params, solver, exact_ok)
+CASES = [
+    # Theorem 12's augmented-cube family: the paper's densest lower-bound
+    # topology; small enough that even the exact backend solves LP (1).
+    ("augmented-cube-8-lp1", "augmented-cube", 8, 11, {}, "sne-cutting-plane", True),
+    ("augmented-cube-8-lp2", "augmented-cube", 8, 11, {}, "sne-poly", False),
+    ("augmented-cube-16-lp1", "augmented-cube", 16, 5, {}, "sne-cutting-plane", True),
+    # Theorem 11's cycle family: closed-form optimum, and at n=9 LP (2) is
+    # a *knife-edge* instance — exactly infeasible by one ulp as rationals
+    # — so this cell locks the exact backend's rhs-relaxation fallback in.
+    ("lower-bound-cycle-9-lp1", "lower-bound-cycle", 9, 0, {}, "sne-cutting-plane", True),
+    ("lower-bound-cycle-9-lp2", "lower-bound-cycle", 9, 0, {}, "sne-poly", True),
+    ("lower-bound-cycle-16-lp1", "lower-bound-cycle", 16, 0, {}, "sne-cutting-plane", True),
+]
+
+
+def report_digest(report) -> str:
+    """The corpus digest: sha256 over sorted canonical report JSON."""
+    payload = api.serialize.canonical_report_json(report)
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def build_case(name, model, n, seed, params, solver, exact_ok) -> dict:
+    game = generate_instance(model, n, seed, **params)
+    report = api.solve(game, solver)
+    if not (report.feasible and report.verified):
+        raise RuntimeError(f"corpus case {name} did not verify — refusing to pin it")
+    return {
+        "kind": "conformance-case",
+        "name": name,
+        "model": model,
+        "n": n,
+        "seed": seed,
+        "params": params,
+        "solver": solver,
+        "exact_ok": exact_ok,
+        "expected": {
+            "budget": report.budget_used,
+            "solver_version": api.get_solver(solver).version,
+            "sha256": report_digest(report),
+        },
+    }
+
+
+def main() -> int:
+    CORPUS_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in CORPUS_DIR.glob("*.json"):
+        stale.unlink()
+    for spec in CASES:
+        case = build_case(*spec)
+        path = CORPUS_DIR / f"{case['name']}.json"
+        path.write_text(json.dumps(case, indent=2, sort_keys=True) + "\n")
+        print(f"{case['name']:26s} budget={case['expected']['budget']:.9f} "
+              f"sha256={case['expected']['sha256'][:16]}…")
+    print(f"\n{len(CASES)} cases written to {CORPUS_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
