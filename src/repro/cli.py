@@ -17,6 +17,11 @@ Usage::
         --model gnp --model hypercube --n 12 --n 16 --count 2 \
         --jobs 4 --json-out grid.json
     repro-experiments sweep --spec sweep.toml --jobs 8
+    repro-experiments sweep --spec sweep.toml --listen 0.0.0.0:8351 \
+        --json-out grid.json                           # distributed coordinator
+    repro-experiments sweep-worker --connect HOST:8351 # ... on each worker host
+    repro-experiments cache stats                      # result-cache occupancy
+    repro-experiments cache prune --older-than 7d
     repro-experiments serve --port 8350 --workers 4    # persistent daemon
     repro-experiments --version
 
@@ -366,6 +371,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-job wall-clock budget in seconds",
     )
+    sweep_p.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a distributed coordinator: serve the job queue over "
+        "HTTP here (port 0 = any free port) and wait for 'sweep-worker "
+        "--connect' processes instead of solving locally",
+    )
+    sweep_p.add_argument(
+        "--spool",
+        default=None,
+        metavar="DIR",
+        help="run as a distributed coordinator over a shared-filesystem "
+        "spool directory (workers join with 'sweep-worker --spool DIR')",
+    )
+    sweep_p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="(distributed) seconds a worker may go silent before its "
+        "leased jobs are stolen (default: derived from --timeout)",
+    )
     _add_cache_flags(sweep_p)
     sweep_p.add_argument(
         "--json-out",
@@ -422,6 +450,87 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--quiet", action="store_true", help="no per-request access log on stderr"
     )
+
+    worker_p = sub.add_parser(
+        "sweep-worker",
+        help="join a distributed sweep: lease jobs from a coordinator "
+        "('sweep --listen' or 'sweep --spool'), solve them, report back",
+    )
+    worker_p.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="HTTP coordinator to lease jobs from (a 'sweep --listen' address)",
+    )
+    worker_p.add_argument(
+        "--spool",
+        default=None,
+        metavar="DIR",
+        help="shared spool directory to claim jobs from (a 'sweep --spool' dir)",
+    )
+    worker_p.add_argument(
+        "--id",
+        dest="worker_id",
+        default=None,
+        help="worker name in coordinator stats (default: hostname-pid)",
+    )
+    worker_p.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sleep between polls when the queue is momentarily empty",
+    )
+    worker_p.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after this many jobs instead of running until the sweep ends",
+    )
+    worker_p.add_argument(
+        "--ready-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long to wait for the coordinator to appear (default 30)",
+    )
+    _add_cache_flags(worker_p)
+    worker_p.add_argument(
+        "--quiet", action="store_true", help="no per-job progress on stderr"
+    )
+
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect or clean the content-addressed result cache",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_stats_p = cache_sub.add_parser(
+        "stats", help="entry count, bytes on disk, and age spread"
+    )
+    cache_stats_p.add_argument(
+        "--json", action="store_true", help="emit the stats as JSON"
+    )
+    cache_clear_p = cache_sub.add_parser(
+        "clear", help="delete every cached entry (current schema)"
+    )
+    cache_prune_p = cache_sub.add_parser(
+        "prune", help="delete entries not refreshed within --older-than"
+    )
+    cache_prune_p.add_argument(
+        "--older-than",
+        required=True,
+        metavar="AGE",
+        help="age threshold: a number of seconds, or NUMBER followed by "
+        "s/m/h/d/w (e.g. 36h, 7d)",
+    )
+    for cache_cmd_p in (cache_stats_p, cache_clear_p, cache_prune_p):
+        cache_cmd_p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="result-cache directory "
+            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
     return parser
 
 
@@ -736,6 +845,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
+    if args.listen or args.spool:
+        if args.jobs != 1:
+            raise ValueError(
+                "--jobs selects the single-host pool; with --listen/--spool "
+                "parallelism comes from sweep-worker processes"
+            )
+        return _run_sweep_coordinator(args, jobs, progress)
+    if args.lease_timeout is not None:
+        raise ValueError("--lease-timeout only applies with --listen/--spool")
+
     runner = SweepRunner(
         jobs=args.jobs,
         cache=_cache_from_args(args),
@@ -760,10 +879,137 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     lines += ["", result.summary_text()]
     _emit("\n".join(lines), args.out)
     if args.json_out:
-        with open(args.json_out, "w") as fh:
-            json.dump(result.to_json(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        # Streams one job record at a time; bytes identical to dumping
+        # result.to_json() with indent=2/sort_keys (regression-tested).
+        result.write_json(args.json_out)
     return 0 if result.ok else 1
+
+
+def _parse_hostport(value: str, flag: str) -> tuple:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"{flag} expects HOST:PORT, got {value!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _parse_age(text: str) -> float:
+    """``--older-than`` values: plain seconds or NUMBER + s/m/h/d/w."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+    raw = text.strip()
+    scale = 1.0
+    if raw and raw[-1].lower() in units:
+        scale = units[raw[-1].lower()]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"--older-than expects NUMBER[s|m|h|d|w] (e.g. 3600, 36h, 7d), "
+            f"got {text!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"--older-than must be >= 0, got {text!r}")
+    return value * scale
+
+
+def _run_sweep_coordinator(args: argparse.Namespace, jobs, progress) -> int:
+    """The distributed branch of ``sweep``: serve the grid to workers."""
+    from repro.runtime.distributed import SweepCoordinator
+
+    coordinator = SweepCoordinator(
+        jobs,
+        cache=_cache_from_args(args),
+        timeout=args.timeout,
+        lease_timeout=args.lease_timeout,
+        json_out=args.json_out,
+        spool=args.spool,
+        progress=progress,
+    )
+    if args.listen:
+        host, port = _parse_hostport(args.listen, "--listen")
+        bound_host, bound_port = coordinator.serve(host, port)
+        print(
+            f"coordinator listening on {bound_host}:{bound_port} "
+            f"(join with: sweep-worker --connect {bound_host}:{bound_port})",
+            file=sys.stderr,
+        )
+    if args.spool:
+        print(
+            f"coordinator spooling to {args.spool} "
+            f"(join with: sweep-worker --spool {args.spool})",
+            file=sys.stderr,
+        )
+    result = coordinator.run()
+    _emit(result.summary_text(), args.out)
+    return 0 if result.ok else 1
+
+
+def _cmd_sweep_worker(args: argparse.Namespace) -> int:
+    """One worker process of a distributed sweep."""
+    from repro.runtime.distributed import IDLE_POLL_SECONDS, run_worker
+
+    if (args.connect is None) == (args.spool is None):
+        raise ValueError(
+            "sweep-worker needs exactly one of --connect HOST:PORT or --spool DIR"
+        )
+    connect = (
+        _parse_hostport(args.connect, "--connect") if args.connect else None
+    )
+    log = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    summary = run_worker(
+        connect=connect,
+        spool=args.spool,
+        worker_id=args.worker_id,
+        cache=_cache_from_args(args),
+        poll=args.poll if args.poll is not None else IDLE_POLL_SECONDS,
+        max_jobs=args.max_jobs,
+        ready_timeout=args.ready_timeout,
+        log=log,
+    )
+    print(summary.summary_text())
+    return 0
+
+
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clean the content-addressed result cache."""
+    import time
+
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"cache root: {stats['root']} (schema v{stats['schema']})")
+        print(f"entries:    {stats['entries']}")
+        print(f"disk:       {_human_bytes(stats['total_bytes'])}")
+        if stats["entries"]:
+            now = time.time()
+            oldest = now - stats["oldest_mtime"]
+            newest = now - stats["newest_mtime"]
+            print(f"ages:       newest {newest:.0f}s, oldest {oldest:.0f}s")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    # prune
+    removed = cache.prune(_parse_age(args.older_than))
+    print(
+        f"pruned {removed} entr{'y' if removed == 1 else 'ies'} older than "
+        f"{args.older_than} from {cache.root}"
+    )
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -848,12 +1094,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             # Downstream consumer (e.g. `| head`) closed stdout: not a user
             # error, no message.
             return _sigpipe_exit()
-    if args.command in ("gen", "solve", "solve-batch", "sweep", "serve"):
+    if args.command in (
+        "gen", "solve", "solve-batch", "sweep", "sweep-worker", "cache", "serve"
+    ):
         handler = {
             "gen": _cmd_gen,
             "solve": _cmd_solve,
             "solve-batch": _cmd_solve_batch,
             "sweep": _cmd_sweep,
+            "sweep-worker": _cmd_sweep_worker,
+            "cache": _cmd_cache,
             "serve": _cmd_serve,
         }[args.command]
         try:

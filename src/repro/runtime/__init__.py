@@ -11,7 +11,11 @@ worker processes, reusing previously computed cells from an on-disk cache.
   (:mod:`repro.runtime.runner`);
 * :class:`ResultCache` — content-addressed storage keyed by
   (instance JSON, solver, solver version, options)
-  (:mod:`repro.runtime.cache`).
+  (:mod:`repro.runtime.cache`);
+* :class:`SweepCoordinator` / :func:`run_worker` — multi-host sharding of
+  a sweep over an HTTP or shared-spool-directory protocol, with
+  lease-based work-stealing and streaming aggregation
+  (:mod:`repro.runtime.distributed`).
 
 >>> from repro.runtime import SweepSpec, SweepRunner
 >>> spec = SweepSpec(solvers=["theorem6"], sizes=[8], count=1, seed=0)
@@ -31,6 +35,13 @@ from repro.runtime.cache import (
     default_cache_dir,
     experiment_job_key,
     solve_job_key,
+)
+from repro.runtime.distributed import (
+    CoordinatorClient,
+    DistributedSweepResult,
+    SweepCoordinator,
+    WorkerSummary,
+    run_worker,
 )
 from repro.runtime.runner import (
     JobOutcome,
@@ -56,15 +67,19 @@ from repro.runtime.workers import (
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CoordinatorClient",
+    "DistributedSweepResult",
     "JobOutcome",
     "JobTimeout",
     "MODELS",
     "NullCache",
     "ResultCache",
+    "SweepCoordinator",
     "SweepJob",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "WorkerSummary",
     "coerce_cache",
     "default_cache_dir",
     "read_spec_file",
@@ -76,5 +91,6 @@ __all__ = [
     "run_experiment_job",
     "run_solve_batch",
     "run_solve_job",
+    "run_worker",
     "solve_job_key",
 ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
@@ -197,6 +198,60 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        return removed
+
+    def stats(self) -> JSONDict:
+        """Occupancy summary: entry count, bytes on disk, age spread.
+
+        One directory walk, no entry is parsed — cheap enough for the
+        ``cache stats`` CLI to run against multi-gigabyte shared caches.
+        """
+        entries = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for path in self._entry_paths():
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # deleted under us by a concurrent prune/clear
+            entries += 1
+            total_bytes += st.st_size
+            oldest = st.st_mtime if oldest is None else min(oldest, st.st_mtime)
+            newest = st.st_mtime if newest is None else max(newest, st.st_mtime)
+        return {
+            "kind": "cache-stats",
+            "root": str(self.root),
+            "schema": CACHE_SCHEMA_VERSION,
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(self, older_than_seconds: float, now: Optional[float] = None) -> int:
+        """Delete entries not written for ``older_than_seconds``; returns count.
+
+        Age is the entry file's mtime — ``put`` rewrites the file (and
+        therefore refreshes it) on every store, so a cell that keeps being
+        produced by live sweeps never ages out, while cells orphaned by a
+        solver-version bump do.  Safe against concurrent writers: a racing
+        ``put`` either lands before the unlink (entry is recreated moments
+        later by its next producer) or after (the fresh entry survives,
+        ``unlink`` already happened on the old inode path — worst case one
+        recomputation, never corruption).
+        """
+        if older_than_seconds < 0:
+            raise ValueError(f"older_than_seconds must be >= 0, got {older_than_seconds}")
+        cutoff = (time.time() if now is None else now) - older_than_seconds
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass  # raced with another pruner/writer
         return removed
 
 

@@ -26,14 +26,18 @@ across ``--jobs 1``, ``--jobs N``, and warm-cache reruns.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import time
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     Any,
     Callable,
     Dict,
+    IO,
+    Iterable,
     Iterator,
     List,
     Mapping,
@@ -74,6 +78,54 @@ def _pool(max_workers: int) -> ProcessPoolExecutor:
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
     return ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
+
+
+def store_solve_entry(
+    cache: AnyCache,
+    key: str,
+    solver: str,
+    report: Optional[JSONDict],
+    elapsed: float,
+) -> None:
+    """Write one successful solve outcome to the result cache.
+
+    The entry shape is shared by every producer — :class:`SweepRunner`,
+    the distributed coordinator and remote ``sweep-worker`` processes —
+    which is what lets any number of hosts write the same
+    content-addressed cell concurrently: entries for a key are identical
+    up to timing fields, so last-writer-wins is harmless.
+    """
+    try:
+        cache.put(
+            key,
+            {
+                "kind": "solve-entry",
+                "key": key,
+                "status": "ok",
+                "solver": solver,
+                "report": report,
+                "elapsed_seconds": elapsed,
+                "created_at": time.time(),
+            },
+        )
+    except OSError:
+        pass  # unwritable cache degrades to uncached, not a crash
+
+
+def sweep_job_key(job: SweepJob) -> Optional[str]:
+    """The content-address of one sweep cell, or ``None`` when uncacheable.
+
+    Validates the solver name against the registry as a side effect
+    (raising :class:`~repro.api.registry.UnknownSolverError` up front,
+    before any work is scheduled).
+    """
+    from repro.api.registry import get_solver
+
+    spec = get_solver(job.solver)
+    try:
+        return solve_job_key(job.instance, spec.name, spec.version, job.opts)
+    except UnhashablePayloadError:
+        return None  # runnable, just not cacheable
 
 
 #: pool respawns tolerated per execute_payloads call before giving up
@@ -254,26 +306,31 @@ class SweepResult:
         this payload is byte-identical across ``--jobs 1`` / ``--jobs N``
         and cold / warm cache runs of the same sweep (timings live in the
         text summary instead).
+
+        This materializes every job record at once; large sweeps should
+        prefer :meth:`write_json`, which streams the identical bytes one
+        record at a time.
         """
         return {
             "kind": "sweep-result",
-            "schema": 3,
-            "jobs": [
-                {
-                    "label": o.job.label,
-                    "solver": o.job.solver,
-                    "family": _KIND_FAMILY.get(o.job.instance.get("kind")),
-                    "key": o.key,
-                    "status": o.status,
-                    # schema 3: engine/LP work counters lifted out of the
-                    # report metadata (None for solvers that don't emit them)
-                    "profile": _profile_of(o.report),
-                    "report": _strip_wall_clock(o.report),
-                    "error": o.error,
-                }
-                for o in self.outcomes
-            ],
+            "schema": SWEEP_RESULT_SCHEMA,
+            "jobs": [job_record(o) for o in self.outcomes],
         }
+
+    def write_json(self, sink: Union[str, Path, IO[str]]) -> None:
+        """Stream the :meth:`to_json` payload to ``sink``, one job at a time.
+
+        Byte-identical to ``json.dump(self.to_json(), fh, indent=2,
+        sort_keys=True)`` plus a trailing newline — the ``--json-out``
+        contract — but memory stays one record, not the whole report list.
+        ``sink`` is a path or an open text file.
+        """
+        dumped = (dump_job_record(job_record(o)) for o in self.outcomes)
+        if hasattr(sink, "write"):
+            write_sweep_json(sink, dumped)  # type: ignore[arg-type]
+        else:
+            with open(sink, "w") as fh:
+                write_sweep_json(fh, dumped)
 
     def summary_text(self) -> str:
         """The human sweep summary (counts, timings, cache hits)."""
@@ -287,6 +344,58 @@ class SweepResult:
         solve_time = sum(o.elapsed_seconds for o in self.outcomes if not o.cached)
         parts.append(f"wall {self.wall_seconds:.2f}s (solve {solve_time:.2f}s)")
         return " · ".join(parts)
+
+
+#: ``sweep-result`` payload schema (bump when the record shape changes)
+SWEEP_RESULT_SCHEMA = 3
+
+
+def job_record(o: JobOutcome) -> JSONDict:
+    """The deterministic per-job record of the ``sweep-result`` payload.
+
+    Shared by :meth:`SweepResult.to_json`, the streaming
+    :meth:`SweepResult.write_json` writer and the distributed
+    coordinator's incremental spool — one definition is what makes the
+    single-host and N-worker ``--json-out`` files byte-identical.
+    """
+    return {
+        "label": o.job.label,
+        "solver": o.job.solver,
+        "family": _KIND_FAMILY.get(o.job.instance.get("kind")),
+        "key": o.key,
+        "status": o.status,
+        # schema 3: engine/LP work counters lifted out of the
+        # report metadata (None for solvers that don't emit them)
+        "profile": _profile_of(o.report),
+        "report": _strip_wall_clock(o.report),
+        "error": o.error,
+    }
+
+
+def dump_job_record(record: JSONDict) -> str:
+    """One record serialized exactly as the full canonical dump would."""
+    return json.dumps(record, indent=2, sort_keys=True)
+
+
+def write_sweep_json(fh: IO[str], dumped_records: Iterable[str]) -> None:
+    """Emit a ``sweep-result`` JSON document from pre-dumped job records.
+
+    Pastes each :func:`dump_job_record` string into the enclosing document
+    at the right indentation, producing bytes identical to
+    ``json.dump({"kind": ..., "schema": ..., "jobs": [...]}, fh, indent=2,
+    sort_keys=True)`` followed by a newline — without ever holding more
+    than one record in memory.  (Top-level keys are emitted in sorted
+    order by hand: ``jobs`` < ``kind`` < ``schema``.)
+    """
+    fh.write('{\n  "jobs": [')
+    n = 0
+    for dumped in dumped_records:
+        if n:
+            fh.write(",")
+        fh.write("\n    " + dumped.replace("\n", "\n    "))
+        n += 1
+    fh.write("\n  ]," if n else "],")
+    fh.write(f'\n  "kind": "sweep-result",\n  "schema": {SWEEP_RESULT_SCHEMA}\n}}\n')
 
 
 def _strip_wall_clock(report: Optional[JSONDict]) -> Optional[JSONDict]:
@@ -353,33 +462,12 @@ class SweepRunner:
     # -- key computation ----------------------------------------------------
 
     def _key_of(self, job: SweepJob) -> Optional[str]:
-        from repro.api.registry import get_solver
-
-        spec = get_solver(job.solver)  # raises UnknownSolverError up front
-        try:
-            return solve_job_key(job.instance, spec.name, spec.version, job.opts)
-        except UnhashablePayloadError:
-            return None  # runnable, just not cacheable
+        return sweep_job_key(job)
 
     def _store(
         self, job: SweepJob, key: str, report: Optional[JSONDict], elapsed: float
     ) -> None:
-        """Write one successful outcome to the result cache."""
-        try:
-            self.cache.put(
-                key,
-                {
-                    "kind": "solve-entry",
-                    "key": key,
-                    "status": "ok",
-                    "solver": job.solver,
-                    "report": report,
-                    "elapsed_seconds": elapsed,
-                    "created_at": time.time(),
-                },
-            )
-        except OSError:
-            pass  # unwritable cache degrades to uncached, not a crash
+        store_solve_entry(self.cache, key, job.solver, report, elapsed)
 
     # -- execution ----------------------------------------------------------
 

@@ -44,6 +44,7 @@ NAV: List[Tuple[str, str]] = [
     ("Architecture", "architecture.md"),
     ("Reproducing the paper", "reproducing.md"),
     ("Sweep runtime & cache", "runtime.md"),
+    ("Distributed sweeps", "distributed.md"),
     ("Solver daemon", "serving.md"),
     ("Scenario library", "scenarios.md"),
     ("LP backends", "lp-backends.md"),
